@@ -1,0 +1,177 @@
+// Package nearstream is the public API of this reproduction of
+// "Near-Stream Computing: General and Transparent Near-Cache Acceleration"
+// (Wang, Weng, Liu, Nowatzki — HPCA 2022).
+//
+// The package re-exports the pieces a downstream user needs:
+//
+//   - authoring kernels in the loop-nest IR (Kernel, via the ir builder)
+//   - compiling them to streams (Compile)
+//   - building a simulated machine (NewMachine) and running a kernel on
+//     any of the paper's eight design points (Run, Systems)
+//   - the 14 Table VI workloads (Workloads, Workload)
+//   - the experiment harness that regenerates every figure and table of
+//     the evaluation (Figure, StaticTable)
+//
+// See examples/quickstart for a complete walkthrough, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for measured-vs-paper results.
+package nearstream
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// System is an evaluated design point (§VI): Base, INST, SINGLE, NSCore,
+// NSNoComp, NS, NSNoSync, NSDecouple.
+type System = core.System
+
+// Re-exported design points.
+const (
+	Base       = core.Base
+	INST       = core.INST
+	SINGLE     = core.SINGLE
+	NSCore     = core.NSCore
+	NSNoComp   = core.NSNoComp
+	NS         = core.NS
+	NSNoSync   = core.NSNoSync
+	NSDecouple = core.NSDecouple
+)
+
+// Systems lists every design point in figure order.
+func Systems() []System { return core.AllSystems() }
+
+// Scale selects workload/machine sizing.
+type Scale = workloads.Scale
+
+// Scales.
+const (
+	ScaleCI    = workloads.ScaleCI
+	ScalePaper = workloads.ScalePaper
+)
+
+// Kernel is a loop-nest IR kernel; author one with NewKernelBuilder.
+type Kernel = ir.Kernel
+
+// NewKernelBuilder starts a kernel definition (see package ir for the
+// full builder API).
+func NewKernelBuilder(name string) *ir.Builder { return ir.NewKernel(name) }
+
+// Plan is a compiled stream plan.
+type Plan = compiler.Plan
+
+// Compile runs the §III-B compiler passes over a kernel.
+func Compile(k *Kernel) (*Plan, error) { return compiler.Compile(k) }
+
+// Machine is the simulated system of Table V.
+type Machine = machine.Machine
+
+// Params are the runtime tunables (range window, SCM latency, SCC ROB,
+// lock type, …).
+type Params = core.Params
+
+// Config selects scale, core type and parameter tweaks for harness runs.
+type Config = harness.Config
+
+// Result is one (workload, system) measurement.
+type Result = harness.Result
+
+// Table is a rendered figure/table.
+type Table = harness.Table
+
+// Workload is one Table VI benchmark.
+type Workload = workloads.Workload
+
+// Workloads lists the 14 Table VI benchmark names.
+func Workloads() []string { return workloads.Names() }
+
+// GetWorkload builds one workload at a scale.
+func GetWorkload(name string, scale Scale) *Workload { return workloads.Get(name, scale) }
+
+// DefaultConfig returns the CI-scale OOO8 harness configuration.
+func DefaultConfig() Config { return harness.DefaultConfig() }
+
+// NewMachine builds a machine for a configuration; prefetchers must be
+// enabled exactly for the Base system.
+func NewMachine(cfg Config, prefetchers bool) *Machine {
+	return machine.New(harness.MachineConfig(cfg, prefetchers))
+}
+
+// RunWorkload simulates one workload on one system.
+func RunWorkload(name string, sys System, cfg Config) (*Result, error) {
+	return harness.RunOne(name, sys, cfg)
+}
+
+// RunKernel simulates a user-authored kernel on a fresh machine, returning
+// the cycle count and the run result. Data arrays are allocated and handed
+// to init for filling.
+func RunKernel(k *Kernel, sys System, cfg Config, kparams map[string]uint64, init func(*ir.Data)) (*core.RunResult, error) {
+	m := machine.New(harness.MachineConfig(cfg, sys == core.Base))
+	d := ir.NewData(m.AS)
+	d.AllocArrays(k)
+	if init != nil {
+		init(d)
+	}
+	return core.Run(m, k, sys, core.DefaultParams(m.Tiles()), kparams, d)
+}
+
+// Figure regenerates one paper figure by number ("1a", "1b", "9" … "17").
+// subset restricts the workloads (nil = all 14).
+func Figure(id string, cfg Config, subset []string) (*Table, error) {
+	switch id {
+	case "1a":
+		return harness.Fig1a(cfg, subset)
+	case "1b":
+		return harness.Fig1b(cfg, subset)
+	case "9":
+		return harness.Fig9(cfg, subset)
+	case "10":
+		return harness.Fig10(cfg, subset)
+	case "11":
+		return harness.Fig11(cfg, subset)
+	case "12":
+		return harness.Fig12(cfg, subset)
+	case "13":
+		return harness.Fig13(cfg, subset)
+	case "14":
+		return harness.Fig14(cfg, subset)
+	case "15":
+		return harness.Fig15(cfg, subset)
+	case "16":
+		return harness.Fig16(cfg, subset)
+	case "17":
+		return harness.Fig17(cfg, subset)
+	default:
+		return nil, fmt.Errorf("nearstream: unknown figure %q", id)
+	}
+}
+
+// StaticTable renders the qualitative tables ("1", "2", "4", "5", "area").
+func StaticTable(id string) (*Table, error) {
+	switch id {
+	case "1":
+		return harness.TableI(), nil
+	case "2":
+		return harness.TableII(), nil
+	case "4":
+		return harness.TableIV(), nil
+	case "5":
+		cfg := harness.DefaultConfig()
+		cfg.Scale = ScalePaper
+		return harness.TableV(cfg), nil
+	case "area":
+		return harness.AreaReport(), nil
+	default:
+		return nil, fmt.Errorf("nearstream: unknown static table %q", id)
+	}
+}
+
+// NewRand exposes the deterministic RNG used throughout (for example
+// programs that generate inputs).
+func NewRand(seed uint64) *sim.Rand { return sim.NewRand(seed) }

@@ -1,0 +1,172 @@
+package nearstream
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each benchmark
+// regenerates its figure at CI scale over a taxonomy-spanning workload
+// subset and reports the headline number as a custom metric, so
+// `go test -bench=.` both exercises the full stack and prints the
+// reproduced shape. `-benchtime=1x` is implicit in spirit: every figure is
+// expensive, so b.N loops re-render from scratch.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// benchSubset spans the taxonomy: multi-operand store (pathfinder), affine
+// load + indirect atomic (histogram), indirect reduce (pr_pull), pointer
+// chase (hash_join).
+var benchSubset = []string{"pathfinder", "histogram", "pr_pull", "hash_join"}
+
+func benchCfg() Config {
+	return DefaultConfig()
+}
+
+func renderFig(b *testing.B, id string, subset []string) *Table {
+	b.Helper()
+	var tab *Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = Figure(id, benchCfg(), subset)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func BenchmarkFig1aStreamOpBreakdown(b *testing.B) {
+	tab := renderFig(b, "1a", benchSubset)
+	var streamable float64
+	for _, r := range tab.Rows {
+		streamable += r.Cells[0] + r.Cells[1]
+	}
+	b.ReportMetric(streamable/float64(len(tab.Rows)), "streamable_frac")
+}
+
+func BenchmarkFig1bIdealTraffic(b *testing.B) {
+	tab := renderFig(b, "1b", benchSubset)
+	var nearLLC float64
+	for _, r := range tab.Rows {
+		nearLLC += r.Cells[2]
+	}
+	b.ReportMetric(1-nearLLC/float64(len(tab.Rows)), "near_llc_traffic_cut")
+}
+
+func BenchmarkFig9OverallSpeedup(b *testing.B) {
+	tab := renderFig(b, "9", benchSubset)
+	ns, _ := tab.Cell("geomean", "NS")
+	dec, _ := tab.Cell("geomean", "NS_decouple")
+	b.ReportMetric(ns, "NS_speedup")
+	b.ReportMetric(dec, "NS_decouple_speedup")
+}
+
+func BenchmarkFig10EnergyPerf(b *testing.B) {
+	tab := renderFig(b, "10", []string{"pathfinder", "pr_pull"})
+	en, _ := tab.Cell("OOO8", "NS energy")
+	b.ReportMetric(en, "NS_energy_ratio_OOO8")
+}
+
+func BenchmarkFig11OffloadedOps(b *testing.B) {
+	tab := renderFig(b, "11", benchSubset)
+	var off, str float64
+	for _, r := range tab.Rows {
+		str += r.Cells[0]
+		off += r.Cells[1]
+	}
+	b.ReportMetric(off/str, "offloaded_of_streamable")
+}
+
+func BenchmarkFig12Traffic(b *testing.B) {
+	tab := renderFig(b, "12", []string{"pathfinder", "pr_pull"})
+	col := tab.Col("NS_decouple/data")
+	var total float64
+	for _, r := range tab.Rows {
+		total += r.Cells[col] + r.Cells[col+1] + r.Cells[col+2]
+	}
+	b.ReportMetric(1-total/float64(len(tab.Rows)), "decouple_traffic_cut")
+}
+
+func BenchmarkFig13SCMLatency(b *testing.B) {
+	tab := renderFig(b, "13", []string{"pathfinder", "hash_join"})
+	v, _ := tab.Cell("NS_decouple", "16cyc")
+	b.ReportMetric(v, "decouple_rel_perf_16cyc")
+}
+
+func BenchmarkFig14SCCROB(b *testing.B) {
+	tab := renderFig(b, "14", []string{"pathfinder", "pr_pull"})
+	v, _ := tab.Cell("pathfinder", "8")
+	b.ReportMetric(v, "pathfinder_perf_rob8")
+}
+
+func BenchmarkFig15AffineRanges(b *testing.B) {
+	tab := renderFig(b, "15", []string{"pathfinder", "histogram"})
+	v, _ := tab.Cell("pathfinder", "traffic ratio")
+	b.ReportMetric(v, "core_range_traffic_ratio")
+}
+
+func BenchmarkFig16LockType(b *testing.B) {
+	tab := renderFig(b, "16", []string{"bfs_push"})
+	v, _ := tab.Cell("bfs_push", "conflict ratio")
+	b.ReportMetric(v, "mrsw_conflict_ratio")
+}
+
+func BenchmarkFig17ScalarPE(b *testing.B) {
+	tab := renderFig(b, "17", []string{"hash_join", "pr_pull"})
+	v, _ := tab.Cell("hash_join", "speedup")
+	b.ReportMetric(v, "hash_join_pe_speedup")
+}
+
+func BenchmarkTableICapabilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := StaticTable("1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIIPatternMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := StaticTable("2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIVEncoding(b *testing.B) {
+	var tab *Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = StaticTable("4")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	v, _ := tab.Cell("affine", "bytes")
+	b.ReportMetric(v, "affine_cfg_bytes")
+}
+
+func BenchmarkAreaOverhead(b *testing.B) {
+	var tab *Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = StaticTable("area")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	v, _ := tab.Cell("overhead% OOO8", "value")
+	b.ReportMetric(v, "chip_overhead_pct_OOO8")
+}
+
+// BenchmarkWorkloadNS benchmarks a single representative NS run end to end
+// (the unit of every figure above).
+func BenchmarkWorkloadNS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunOne("histogram", core.NS, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

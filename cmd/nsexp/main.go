@@ -1,0 +1,74 @@
+// Command nsexp regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	nsexp -fig 9                 # one figure, all 14 workloads
+//	nsexp -fig 12 -quick         # a taxonomy-spanning 4-workload subset
+//	nsexp -table 1               # a static table
+//	nsexp -all -quick            # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	nearstream "repro"
+	"repro/internal/workloads"
+)
+
+// quickSet spans the taxonomy: MO store, affine load + indirect atomic,
+// indirect reduce, pointer-chase reduce.
+var quickSet = []string{"pathfinder", "histogram", "pr_pull", "hash_join"}
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure id: 1a 1b 9 10 11 12 13 14 15 16 17")
+		table  = flag.String("table", "", "static table id: 1 2 4 5 area")
+		all    = flag.Bool("all", false, "run every figure and table")
+		quick  = flag.Bool("quick", false, "use a 4-workload taxonomy-spanning subset")
+		scale  = flag.String("scale", "ci", "ci or paper")
+		coreTy = flag.String("core", "OOO8", "IO4, OOO4 or OOO8")
+		wl     = flag.String("workloads", "", "comma-separated workload subset")
+	)
+	flag.Parse()
+
+	cfg := nearstream.DefaultConfig()
+	cfg.CoreType = *coreTy
+	if *scale == "paper" {
+		cfg.Scale = workloads.ScalePaper
+	}
+	var subset []string
+	if *quick {
+		subset = quickSet
+	}
+	if *wl != "" {
+		subset = strings.Split(*wl, ",")
+	}
+
+	show := func(t *nearstream.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+	}
+
+	switch {
+	case *fig != "":
+		show(nearstream.Figure(*fig, cfg, subset))
+	case *table != "":
+		show(nearstream.StaticTable(*table))
+	case *all:
+		for _, id := range []string{"1", "2", "4", "5", "area"} {
+			show(nearstream.StaticTable(id))
+		}
+		for _, id := range []string{"1a", "1b", "9", "10", "11", "12", "13", "14", "15", "16", "17"} {
+			show(nearstream.Figure(id, cfg, subset))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

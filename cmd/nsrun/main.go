@@ -1,0 +1,79 @@
+// Command nsrun simulates one Table VI workload on one design point and
+// prints the headline statistics.
+//
+// Usage:
+//
+//	nsrun -workload histogram -system NS -scale ci -core OOO8
+//	nsrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	nearstream "repro"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		wname   = flag.String("workload", "histogram", "workload name (see -list)")
+		sysName = flag.String("system", "NS", "system: Base INST SINGLE NS_core NS_no_comp NS NS_no_sync NS_decouple")
+		scale   = flag.String("scale", "ci", "ci or paper")
+		coreTy  = flag.String("core", "OOO8", "IO4, OOO4 or OOO8")
+		seed    = flag.Uint64("seed", 1, "input seed")
+		list    = flag.Bool("list", false, "list workloads and systems")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, n := range nearstream.Workloads() {
+			w := nearstream.GetWorkload(n, nearstream.ScaleCI)
+			fmt.Printf("  %-12s %-5s %s\n", n, w.AddrClass, w.CmpClass)
+		}
+		fmt.Println("systems:")
+		for _, s := range nearstream.Systems() {
+			fmt.Printf("  %s\n", s)
+		}
+		return
+	}
+
+	var sys core.System
+	found := false
+	for _, s := range nearstream.Systems() {
+		if s.String() == *sysName {
+			sys, found = s, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown system %q (try -list)\n", *sysName)
+		os.Exit(2)
+	}
+	cfg := nearstream.DefaultConfig()
+	cfg.CoreType = *coreTy
+	cfg.Seed = *seed
+	if *scale == "paper" {
+		cfg.Scale = workloads.ScalePaper
+	}
+
+	res, err := nearstream.RunWorkload(*wname, sys, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload        %s\n", res.Workload)
+	fmt.Printf("system          %s\n", res.System)
+	fmt.Printf("cycles          %d\n", res.Cycles)
+	fmt.Printf("micro-ops       %d\n", res.TotalOps)
+	fmt.Printf("streamable ops  %d\n", res.StreamableOps)
+	fmt.Printf("offloaded ops   %d\n", res.OffloadedOps)
+	fmt.Printf("traffic (B*hops) data=%d control=%d offloaded=%d\n",
+		res.TrafficData, res.TrafficControl, res.TrafficOffload)
+	fmt.Printf("lock acquires   %d (conflicts %d)\n", res.LockAcquires, res.LockConflicts)
+	e := res.Energy
+	fmt.Printf("energy (J)      total=%.6f core=%.6f caches=%.6f noc=%.6f dram=%.6f static=%.6f\n",
+		e.Total(), e.Core, e.Caches, e.NoC, e.DRAM, e.Static)
+}

@@ -1,0 +1,43 @@
+// Graph analytics: runs the GAP-style push and pull kernels (indirect
+// atomics and indirect reductions over a Kronecker graph) on the paper's
+// near-stream design points and reports the speedups and lock behaviour —
+// the workloads behind Figures 9, 12 and 16.
+//
+//	go run ./examples/graphanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nearstream "repro"
+)
+
+func main() {
+	cfg := nearstream.DefaultConfig()
+	graphs := []string{"bfs_push", "pr_push", "sssp", "bfs_pull", "pr_pull"}
+
+	fmt.Printf("%-10s %12s %12s %10s %14s\n", "workload", "Base cyc", "NS cyc", "speedup", "lock conflicts")
+	for _, name := range graphs {
+		base, err := nearstream.RunWorkload(name, nearstream.Base, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ns, err := nearstream.RunWorkload(name, nearstream.NS, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12d %12d %9.2fx %14d\n",
+			name, base.Cycles, ns.Cycles,
+			float64(base.Cycles)/float64(ns.Cycles), ns.LockConflicts)
+	}
+
+	// The §IV-C MRSW lock: failed CASes and non-improving mins are served
+	// as concurrent readers.
+	fmt.Println("\nMRSW vs exclusive locks on bfs_push (Figure 16):")
+	tab, err := nearstream.Figure("16", cfg, []string{"bfs_push", "sssp"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+}

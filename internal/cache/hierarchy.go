@@ -1,0 +1,427 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Level identifies where a request was served, for miss-rate stats and the
+// SE_core offload policy (§IV-B: only streams with high private-cache miss
+// rates are offloaded).
+type Level int
+
+const (
+	ServedL1 Level = iota
+	ServedL2
+	ServedL3
+	ServedMem
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case ServedL1:
+		return "L1"
+	case ServedL2:
+		return "L2"
+	case ServedL3:
+		return "L3"
+	case ServedMem:
+		return "Mem"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Sizes of protocol messages (payload bytes; the NoC adds its header).
+const (
+	CtrlBytes = 8  // requests, invalidations, acks, upgrades
+	LineBytes = 64 // a full cache line of data
+)
+
+// Config describes the full hierarchy for one machine.
+type Config struct {
+	LineBytes int
+	L1        ArrayConfig
+	L2        ArrayConfig
+	L3Bank    ArrayConfig
+}
+
+// DefaultConfig returns the Table V hierarchy: 32 KB 8-way L1 (2-cycle),
+// 256 KB 16-way L2 (16-cycle), 1 MB 16-way L3 bank (20-cycle, BRRIP).
+func DefaultConfig() Config {
+	return Config{
+		LineBytes: 64,
+		L1:        ArrayConfig{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, Policy: LRU, Latency: 2},
+		L2:        ArrayConfig{SizeBytes: 256 << 10, Ways: 16, LineBytes: 64, Policy: BRRIP, Latency: 16},
+		L3Bank:    ArrayConfig{SizeBytes: 1 << 20, Ways: 16, LineBytes: 64, Policy: BRRIP, Latency: 20},
+	}
+}
+
+// dirInfo is the full-map directory state attached to each L3 line.
+type dirInfo struct {
+	sharers uint64 // bitmask of tiles with Shared copies
+	owner   int    // tile holding E/M, or -1
+}
+
+func newDir() *dirInfo { return &dirInfo{owner: -1} }
+
+// Hierarchy ties together all tiles' private caches, the L3 banks, the NoC
+// and DRAM.
+type Hierarchy struct {
+	cfg    Config
+	engine *sim.Engine
+	net    *noc.Network
+	dram   *mem.Memory
+	// ctrlNodes maps controller index to mesh node.
+	ctrlNodes []int
+	tiles     []*Tile
+	banks     []*Bank
+	Stats     *stats.Set
+	// PrefetchHook, when non-nil, observes every demand L1 access
+	// (tile, addr, pc, hit) — the Bingo/stride prefetchers attach here.
+	PrefetchHook func(tile int, addr uint64, pc uint64, hit bool)
+}
+
+// New builds the hierarchy for every node of the mesh.
+func New(engine *sim.Engine, net *noc.Network, dram *mem.Memory, cfg Config) *Hierarchy {
+	n := net.Nodes()
+	h := &Hierarchy{
+		cfg:       cfg,
+		engine:    engine,
+		net:       net,
+		dram:      dram,
+		ctrlNodes: mem.CornerNodes(net.Config().Width, net.Config().Height, dram.Config().Controllers),
+		Stats:     stats.NewSet(),
+	}
+	for i := 0; i < n; i++ {
+		h.tiles = append(h.tiles, &Tile{
+			id: i, h: h,
+			l1: NewArray(cfg.L1, uint64(i)*2+1),
+			l2: NewArray(cfg.L2, uint64(i)*2+2),
+		})
+		h.banks = append(h.banks, &Bank{
+			id: i, h: h,
+			array:   NewArray(cfg.L3Bank, uint64(i)*2+3),
+			pending: make(map[uint64][]func()),
+			busy:    make(map[uint64]bool),
+			locks:   make(map[uint64]*lineLock),
+		})
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Tiles returns the number of tiles.
+func (h *Hierarchy) Tiles() int { return len(h.tiles) }
+
+// Tile returns tile i's private caches.
+func (h *Hierarchy) Tile(i int) *Tile { return h.tiles[i] }
+
+// Bank returns L3 bank i.
+func (h *Hierarchy) Bank(i int) *Bank { return h.banks[i] }
+
+// LineAddr clears the offset bits of addr.
+func (h *Hierarchy) LineAddr(addr uint64) uint64 {
+	return addr / uint64(h.cfg.LineBytes) * uint64(h.cfg.LineBytes)
+}
+
+// HomeBank returns the static-NUCA home bank of addr (64 B interleave).
+func (h *Hierarchy) HomeBank(addr uint64) int {
+	return int(addr / uint64(h.cfg.LineBytes) % uint64(len(h.banks)))
+}
+
+func (h *Hierarchy) ctrlNodeFor(addr uint64) int {
+	return h.ctrlNodes[h.dram.ControllerFor(addr)]
+}
+
+// Tile is the private L1+L2 of one core, plus its MSHR merge table.
+type Tile struct {
+	id     int
+	h      *Hierarchy
+	l1, l2 *Array
+	// inflight merges concurrent misses to the same line.
+	inflight map[uint64][]func(Level)
+}
+
+// ID returns the tile's mesh node id.
+func (t *Tile) ID() int { return t.id }
+
+// L1 and L2 expose the arrays for tests and the prefetchers.
+func (t *Tile) L1() *Array { return t.l1 }
+
+// L2 returns the private L2 array.
+func (t *Tile) L2() *Array { return t.l2 }
+
+// Access performs a demand load or store from this tile's core. onDone
+// (may be nil) fires when the access commits, with the level that served
+// it. pc tags the access for the prefetchers.
+func (t *Tile) Access(addr uint64, write bool, pc uint64, onDone func(Level)) {
+	h := t.h
+	line := h.LineAddr(addr)
+	hitL1 := false
+	if l := t.l1.Lookup(line); l != nil {
+		hitL1 = !write || l.State == Exclusive || l.State == Modified
+	}
+	if h.PrefetchHook != nil {
+		h.PrefetchHook(t.id, addr, pc, hitL1)
+	}
+	h.engine.Schedule(h.cfg.L1.Latency, func() {
+		t.afterL1(line, write, onDone)
+	})
+}
+
+func (t *Tile) afterL1(line uint64, write bool, onDone func(Level)) {
+	h := t.h
+	if l := t.l1.Lookup(line); l != nil {
+		if !write {
+			h.Stats.Inc("l1.hits")
+			finish(onDone, ServedL1)
+			return
+		}
+		switch l.State {
+		case Modified:
+			h.Stats.Inc("l1.hits")
+			l.Dirty = true
+			finish(onDone, ServedL1)
+			return
+		case Exclusive:
+			h.Stats.Inc("l1.hits")
+			l.State = Modified
+			l.Dirty = true
+			if l2 := t.l2.Peek(line); l2 != nil {
+				l2.State = Modified
+			}
+			finish(onDone, ServedL1)
+			return
+		case Shared:
+			// Needs an upgrade; fall through to the miss path, which
+			// issues GetM/Upg.
+		}
+	}
+	h.Stats.Inc("l1.misses")
+	h.engine.Schedule(h.cfg.L2.Latency, func() {
+		t.afterL2(line, write, onDone)
+	})
+}
+
+func (t *Tile) afterL2(line uint64, write bool, onDone func(Level)) {
+	h := t.h
+	if l := t.l2.Lookup(line); l != nil {
+		if !write {
+			h.Stats.Inc("l2.hits")
+			t.fillL1(line, l.State)
+			finish(onDone, ServedL2)
+			return
+		}
+		if l.State == Exclusive || l.State == Modified {
+			h.Stats.Inc("l2.hits")
+			l.State = Modified
+			l.Dirty = true
+			t.fillL1(line, Modified)
+			if l1 := t.l1.Peek(line); l1 != nil {
+				l1.Dirty = true
+			}
+			finish(onDone, ServedL2)
+			return
+		}
+		// Shared: upgrade required. Control-only round trip.
+		h.Stats.Inc("l2.upgrades")
+		t.requestLine(line, reqUpgrade, onDone)
+		return
+	}
+	h.Stats.Inc("l2.misses")
+	if write {
+		t.requestLine(line, reqGetM, onDone)
+	} else {
+		t.requestLine(line, reqGetS, onDone)
+	}
+}
+
+// fillL1 installs line into L1, folding dirty victims back into L2
+// (inclusive hierarchy: the L2 always has the victim).
+func (t *Tile) fillL1(line uint64, state LineState) {
+	_, victim := t.l1.Insert(line, state)
+	if victim.Valid() && victim.Dirty {
+		vaddr := victim.Tag * uint64(t.h.cfg.LineBytes)
+		if l2 := t.l2.Peek(vaddr); l2 != nil {
+			l2.Dirty = true
+			l2.State = Modified
+		}
+	}
+}
+
+// fillL2 installs line into L2 (and then L1), writing back dirty victims to
+// their home banks and keeping L1 inclusive.
+func (t *Tile) fillL2(line uint64, state LineState) {
+	_, victim := t.l2.Insert(line, state)
+	if victim.Valid() {
+		vaddr := victim.Tag * uint64(t.h.cfg.LineBytes)
+		// Inclusive: drop the L1 copy, folding its dirtiness in.
+		if l1 := t.l1.Invalidate(vaddr); l1.Valid() && l1.Dirty {
+			victim.Dirty = true
+		}
+		if victim.Dirty {
+			t.h.Stats.Inc("l2.writebacks")
+			t.h.sendWriteback(t.id, vaddr)
+		}
+	}
+	t.fillL1(line, state)
+}
+
+type reqKind int
+
+const (
+	reqGetS reqKind = iota
+	reqGetM
+	reqUpgrade
+)
+
+// requestLine sends a coherence request to the home bank and completes the
+// access when the response returns, merging concurrent same-line misses.
+func (t *Tile) requestLine(line uint64, kind reqKind, onDone func(Level)) {
+	h := t.h
+	if t.inflight == nil {
+		t.inflight = make(map[uint64][]func(Level))
+	}
+	// Merge only same-line GetS with GetS; writes restart the protocol (a
+	// merged read completion does not grant write permission). To stay
+	// simple and conservative, merge everything and re-check permission.
+	if q, ok := t.inflight[line]; ok {
+		t.inflight[line] = append(q, func(lv Level) {
+			// Re-run the access: permissions may still be insufficient
+			// (e.g. read brought S, this needs M).
+			t.afterL1(line, kind != reqGetS, onDone)
+		})
+		return
+	}
+	t.inflight[line] = nil
+	bank := h.banks[h.HomeBank(line)]
+	h.net.Send(&noc.Message{
+		Src: t.id, Dst: bank.id, Bytes: CtrlBytes, Class: stats.TrafficControl,
+		OnDeliver: func() {
+			bank.handleCoherence(line, kind, t.id, func(grant LineState, fromMem bool) {
+				respBytes := LineBytes
+				if kind == reqUpgrade {
+					respBytes = CtrlBytes
+				}
+				class := stats.TrafficData
+				if kind == reqUpgrade {
+					class = stats.TrafficControl
+				}
+				h.net.Send(&noc.Message{
+					Src: bank.id, Dst: t.id, Bytes: respBytes, Class: class,
+					OnDeliver: func() {
+						t.completeFill(line, kind, grant, fromMem, onDone)
+					},
+				})
+			})
+		},
+	})
+}
+
+func (t *Tile) completeFill(line uint64, kind reqKind, grant LineState, fromMem bool, onDone func(Level)) {
+	if kind == reqUpgrade {
+		if l2 := t.l2.Peek(line); l2 != nil {
+			l2.State = Modified
+			l2.Dirty = true
+		}
+		if l1 := t.l1.Peek(line); l1 != nil {
+			l1.State = Modified
+			l1.Dirty = true
+		} else {
+			t.fillL1(line, Modified)
+		}
+	} else {
+		st := grant
+		if kind == reqGetM {
+			st = Modified
+		}
+		t.fillL2(line, st)
+		if kind == reqGetM {
+			if l1 := t.l1.Peek(line); l1 != nil {
+				l1.Dirty = true
+			}
+			if l2 := t.l2.Peek(line); l2 != nil {
+				l2.Dirty = true
+			}
+		}
+	}
+	lv := ServedL3
+	if fromMem {
+		lv = ServedMem
+	}
+	finish(onDone, lv)
+	waiters := t.inflight[line]
+	delete(t.inflight, line)
+	for _, w := range waiters {
+		w(lv)
+	}
+}
+
+// Prefetch pulls a line into the private caches without blocking the core.
+// It is a no-op when the line is already present or being fetched. The
+// Bingo and stride prefetchers drive this path for the Base system.
+func (t *Tile) Prefetch(addr uint64) {
+	line := t.h.LineAddr(addr)
+	if t.l1.Peek(line) != nil || t.l2.Peek(line) != nil {
+		return
+	}
+	if t.inflight != nil {
+		if _, busy := t.inflight[line]; busy {
+			return
+		}
+	}
+	t.h.Stats.Inc("prefetch.issued")
+	t.requestLine(line, reqGetS, nil)
+}
+
+// InvalidateLine removes a line from both private levels, reporting whether
+// a dirty copy was destroyed (the ack must then carry data).
+func (t *Tile) InvalidateLine(line uint64) (wasDirty bool) {
+	l1 := t.l1.Invalidate(line)
+	l2 := t.l2.Invalidate(line)
+	return (l1.Valid() && l1.Dirty) || (l2.Valid() && l2.Dirty)
+}
+
+// downgradeLine moves a private E/M line to S, reporting whether it was
+// dirty (data must be written back to the bank).
+func (t *Tile) downgradeLine(line uint64) (wasDirty bool) {
+	if l := t.l2.Peek(line); l != nil {
+		wasDirty = wasDirty || l.Dirty
+		l.State = Shared
+		l.Dirty = false
+	}
+	if l := t.l1.Peek(line); l != nil {
+		wasDirty = wasDirty || l.Dirty
+		l.State = Shared
+		l.Dirty = false
+	}
+	return wasDirty
+}
+
+// HasLine reports whether this tile caches line (tests).
+func (t *Tile) HasLine(line uint64) bool {
+	return t.l1.Peek(line) != nil || t.l2.Peek(line) != nil
+}
+
+// sendWriteback carries a dirty evicted line to its home bank.
+func (h *Hierarchy) sendWriteback(from int, line uint64) {
+	bank := h.banks[h.HomeBank(line)]
+	h.net.Send(&noc.Message{
+		Src: from, Dst: bank.id, Bytes: LineBytes, Class: stats.TrafficData,
+		OnDeliver: func() { bank.handleWriteback(line, from) },
+	})
+}
+
+func finish(onDone func(Level), lv Level) {
+	if onDone != nil {
+		onDone(lv)
+	}
+}

@@ -1,0 +1,141 @@
+package cache
+
+// Line locking for streaming atomics (§IV-C). The target cache line is
+// locked in the L3 while an offloaded atomic's read-modify-write and (under
+// range-sync) its commit round trip are in flight.
+//
+// Two lock types are modelled, matching Figure 16:
+//
+//   - Exclusive: every atomic locks the line exclusively.
+//   - MRSW (multi-reader single-writer): atomics that do not change the
+//     value (compare-exchange misses in bfs, non-improving min in sssp) are
+//     recorded as "readers" in the coherence state and served concurrently;
+//     only value-modifying atomics take the writer role.
+//
+// Atomics from the same stream always proceed even when they modify the
+// same line, because the SE_L3 orders them; the lock is therefore keyed by
+// a holder key (stream identity), and re-entrant per key.
+
+// LockMode selects the locking discipline.
+type LockMode int
+
+const (
+	// LockExclusive serializes all atomics to a line.
+	LockExclusive LockMode = iota
+	// LockMRSW allows concurrent non-modifying atomics.
+	LockMRSW
+)
+
+// String names the mode like Figure 16's legend.
+func (m LockMode) String() string {
+	if m == LockMRSW {
+		return "mrsw"
+	}
+	return "exclusive"
+}
+
+// lineLock is the lock state of one line.
+type lineLock struct {
+	writer  string         // key of the writer ("" when none)
+	wcount  int            // writer recursion depth
+	readers map[string]int // reader key -> count
+	waiters []func()
+}
+
+func (l *lineLock) idle() bool {
+	return l.writer == "" && len(l.readers) == 0 && len(l.waiters) == 0
+}
+
+// otherReaders reports whether a reader with a different key holds the lock.
+func (l *lineLock) otherReaders(key string) bool {
+	for k := range l.readers {
+		if k != key {
+			return true
+		}
+	}
+	return false
+}
+
+// AcquireLock requests the line lock at this bank. key identifies the
+// holder (stream); modifies marks a value-changing atomic; mode selects the
+// discipline. granted fires (possibly immediately) when the lock is held.
+// Blocked attempts are counted as contention for Figure 16.
+func (b *Bank) AcquireLock(line uint64, key string, modifies bool, mode LockMode, granted func()) {
+	l := b.locks[line]
+	if l == nil {
+		l = &lineLock{readers: make(map[string]int)}
+		b.locks[line] = l
+	}
+	b.h.Stats.Inc("lock.acquires")
+	asWriter := modifies || mode == LockExclusive
+	try := func() bool {
+		if asWriter {
+			if (l.writer == "" || l.writer == key) && !l.otherReaders(key) {
+				l.writer = key
+				l.wcount++
+				return true
+			}
+			return false
+		}
+		if l.writer == "" || l.writer == key {
+			l.readers[key]++
+			return true
+		}
+		return false
+	}
+	if try() {
+		granted()
+		return
+	}
+	b.h.Stats.Inc("lock.conflicts")
+	var wait func()
+	wait = func() {
+		if try() {
+			granted()
+			return
+		}
+		l.waiters = append(l.waiters, wait)
+	}
+	l.waiters = append(l.waiters, wait)
+}
+
+// ReleaseLock drops one hold on the line lock and wakes waiters.
+func (b *Bank) ReleaseLock(line uint64, key string, modifies bool, mode LockMode) {
+	l := b.locks[line]
+	if l == nil {
+		panic("cache: release of unheld line lock")
+	}
+	asWriter := modifies || mode == LockExclusive
+	if asWriter {
+		if l.writer != key || l.wcount <= 0 {
+			panic("cache: writer release mismatch")
+		}
+		l.wcount--
+		if l.wcount == 0 {
+			l.writer = ""
+		}
+	} else {
+		if l.readers[key] <= 0 {
+			panic("cache: reader release mismatch")
+		}
+		l.readers[key]--
+		if l.readers[key] == 0 {
+			delete(l.readers, key)
+		}
+	}
+	// Wake all waiters; unsatisfiable ones re-queue themselves.
+	waiters := l.waiters
+	l.waiters = nil
+	for _, w := range waiters {
+		w()
+	}
+	if l.idle() {
+		delete(b.locks, line)
+	}
+}
+
+// LockHeld reports whether any holder owns the line lock (tests).
+func (b *Bank) LockHeld(line uint64) bool {
+	l := b.locks[line]
+	return l != nil && (l.writer != "" || len(l.readers) > 0)
+}

@@ -1,0 +1,130 @@
+package cache
+
+import "testing"
+
+func lockBank() *Bank {
+	_, h := testMachine()
+	return h.Bank(0)
+}
+
+func TestExclusiveLockSerializes(t *testing.T) {
+	b := lockBank()
+	got := []string{}
+	b.AcquireLock(0, "s1", false, LockExclusive, func() { got = append(got, "s1") })
+	b.AcquireLock(0, "s2", false, LockExclusive, func() { got = append(got, "s2") })
+	if len(got) != 1 || got[0] != "s1" {
+		t.Fatalf("grants = %v, want only s1", got)
+	}
+	b.ReleaseLock(0, "s1", false, LockExclusive)
+	if len(got) != 2 || got[1] != "s2" {
+		t.Fatalf("grants after release = %v", got)
+	}
+	b.ReleaseLock(0, "s2", false, LockExclusive)
+	if b.LockHeld(0) {
+		t.Fatal("lock still held after all releases")
+	}
+}
+
+func TestMRSWReadersShare(t *testing.T) {
+	b := lockBank()
+	granted := 0
+	b.AcquireLock(0, "s1", false, LockMRSW, func() { granted++ })
+	b.AcquireLock(0, "s2", false, LockMRSW, func() { granted++ })
+	b.AcquireLock(0, "s3", false, LockMRSW, func() { granted++ })
+	if granted != 3 {
+		t.Fatalf("only %d readers granted, want 3 concurrent", granted)
+	}
+	if b.h.Stats.Get("lock.conflicts") != 0 {
+		t.Fatal("concurrent readers counted as conflicts")
+	}
+}
+
+func TestMRSWWriterExcludesReaders(t *testing.T) {
+	b := lockBank()
+	b.AcquireLock(0, "w", true, LockMRSW, func() {})
+	readerIn := false
+	b.AcquireLock(0, "r", false, LockMRSW, func() { readerIn = true })
+	if readerIn {
+		t.Fatal("reader admitted while writer holds lock")
+	}
+	b.ReleaseLock(0, "w", true, LockMRSW)
+	if !readerIn {
+		t.Fatal("reader not woken after writer release")
+	}
+}
+
+func TestMRSWWriterBlockedByOtherReaders(t *testing.T) {
+	b := lockBank()
+	b.AcquireLock(0, "r1", false, LockMRSW, func() {})
+	writerIn := false
+	b.AcquireLock(0, "w", true, LockMRSW, func() { writerIn = true })
+	if writerIn {
+		t.Fatal("writer admitted while another stream reads")
+	}
+	if b.h.Stats.Get("lock.conflicts") != 1 {
+		t.Fatalf("conflicts = %d, want 1", b.h.Stats.Get("lock.conflicts"))
+	}
+	b.ReleaseLock(0, "r1", false, LockMRSW)
+	if !writerIn {
+		t.Fatal("writer not woken")
+	}
+}
+
+func TestSameStreamAlwaysProceeds(t *testing.T) {
+	// §IV-C: atomics from the same stream can always proceed even when
+	// they modify the same line — the SE_L3 orders them.
+	b := lockBank()
+	grants := 0
+	b.AcquireLock(0, "s1", true, LockMRSW, func() { grants++ })
+	b.AcquireLock(0, "s1", true, LockMRSW, func() { grants++ })
+	b.AcquireLock(0, "s1", false, LockMRSW, func() { grants++ })
+	if grants != 3 {
+		t.Fatalf("same-stream grants = %d, want 3", grants)
+	}
+	if b.h.Stats.Get("lock.conflicts") != 0 {
+		t.Fatal("same-stream re-entry counted as conflict")
+	}
+	b.ReleaseLock(0, "s1", true, LockMRSW)
+	b.ReleaseLock(0, "s1", true, LockMRSW)
+	b.ReleaseLock(0, "s1", false, LockMRSW)
+	if b.LockHeld(0) {
+		t.Fatal("lock leaked")
+	}
+}
+
+func TestLocksIndependentPerLine(t *testing.T) {
+	b := lockBank()
+	aIn, bIn := false, false
+	b.AcquireLock(0, "s1", true, LockExclusive, func() { aIn = true })
+	b.AcquireLock(64, "s2", true, LockExclusive, func() { bIn = true })
+	if !aIn || !bIn {
+		t.Fatal("locks on different lines interfered")
+	}
+}
+
+func TestReleaseUnheldPanics(t *testing.T) {
+	b := lockBank()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release of unheld lock should panic")
+		}
+	}()
+	b.ReleaseLock(0, "nobody", true, LockExclusive)
+}
+
+func TestWaiterQueueFairDrain(t *testing.T) {
+	b := lockBank()
+	var order []string
+	b.AcquireLock(0, "a", true, LockExclusive, func() { order = append(order, "a") })
+	b.AcquireLock(0, "b", true, LockExclusive, func() { order = append(order, "b") })
+	b.AcquireLock(0, "c", true, LockExclusive, func() { order = append(order, "c") })
+	b.ReleaseLock(0, "a", true, LockExclusive)
+	b.ReleaseLock(0, "b", true, LockExclusive)
+	b.ReleaseLock(0, "c", true, LockExclusive)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("grant order = %v", order)
+	}
+	if b.LockHeld(0) {
+		t.Fatal("lock leaked after drain")
+	}
+}

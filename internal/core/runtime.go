@@ -1,0 +1,694 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/compiler"
+	"repro/internal/cpu"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// streamMode is how the runtime executes one stream under the selected
+// system.
+type streamMode int
+
+const (
+	// modeDirect: the access runs as ordinary core memory ops.
+	modeDirect streamMode = iota
+	// modePrefetch: SE_core prefetches; the core s_loads from the FIFO.
+	modePrefetch
+	// modeRemote: offloaded to SE_L3s (NS family).
+	modeRemote
+	// modeChain: SINGLE's bank-to-bank chained functions.
+	modeChain
+	// modePerElem: SINGLE's per-element core↔bank round trips.
+	modePerElem
+	// modeINSTAnchor: INST's per-iteration offload request, anchored at
+	// the bundle's store/RMW stream.
+	modeINSTAnchor
+	// modeINSTOperand: fetched remotely as an operand of an INST bundle.
+	modeINSTOperand
+)
+
+// RunResult reports one kernel invocation on one system.
+type RunResult struct {
+	Cycles       sim.Time
+	DynOps       map[compiler.Category]uint64
+	OffloadedOps uint64
+	Stats        *stats.Set
+	// Accs are the per-core reduction results (validation).
+	Accs []map[string]uint64
+	// Plan is the compiled plan (nil for Base).
+	Plan *compiler.Plan
+}
+
+// runShared is state shared by all cores of one invocation.
+type runShared struct {
+	m       *machine.Machine
+	scms    []*SCM
+	sePages []map[uint64]bool // per-bank SE_L3 translation cache
+}
+
+// srcOp is one queued micro-op with an optional memory action.
+type srcOp struct {
+	op     *cpu.MicroOp
+	action func(done func())
+}
+
+// coreRun drives one core's partition.
+type coreRun struct {
+	shared *runShared
+	m      *machine.Machine
+	coreID int
+	sys    System
+	pol    policy
+	params Params
+	plan   *compiler.Plan
+	k      *ir.Kernel
+	trace  *Trace
+
+	modes        map[int]streamMode
+	remotes      map[int]*remoteStream
+	extraRemotes []*remoteStream // parallel chase instances (§V)
+	prefetch     map[int]*inCoreStream
+	chains       []*chainStream
+	lastAcc      map[string]uint64
+
+	cursor  int
+	seq     uint64 // next sequence number (push order == fetch order)
+	queue   []srcOp
+	actions map[uint64]func(done func())
+	lastSeq map[ir.ValueRef]uint64
+	haveSeq map[ir.ValueRef]bool
+
+	elemCount    map[int]int // elements of each stream seen in the trace
+	consumeCount map[int]int // responses consumed from remote streams
+
+	core           *cpu.Core
+	ranges         RangeTable
+	pendingStreams int
+	barrierWaiters []func()
+	endEmitted     bool
+	doneEmitted    bool
+
+	offloadedDyn uint64
+}
+
+func (cr *coreRun) net() *noc.Network { return cr.m.Net }
+func (cr *coreRun) tile() *cache.Tile { return cr.m.Hier.Tile(cr.coreID) }
+func (cr *coreRun) scmAt(bank int) *SCM {
+	return cr.shared.scms[bank]
+}
+func (cr *coreRun) stat(name string, v uint64) { cr.m.Stats.Add(name, v) }
+
+// nextSidBound returns an exclusive upper bound on stream ids.
+func (cr *coreRun) nextSidBound() int {
+	if cr.plan == nil {
+		return 0
+	}
+	max := 0
+	for _, s := range cr.plan.Streams {
+		if s.Sid >= max {
+			max = s.Sid + 1
+		}
+	}
+	return max
+}
+
+// streamOf returns the stream claiming an op, or nil.
+func (cr *coreRun) streamOf(id ir.ValueRef) *compiler.Stream {
+	if cr.plan == nil {
+		return nil
+	}
+	return cr.plan.StreamOf(id)
+}
+func (cr *coreRun) decoupledCore() bool {
+	return cr.pol.decouple && cr.plan != nil && cr.plan.FullyDecoupled
+}
+
+// seTLBLookup models the SE_L3-colocated TLB: one access per page, cached
+// thereafter (§IV-B). Returns extra latency and hit status.
+func (cr *coreRun) seTLBLookup(bank int, pa uint64) (sim.Time, bool) {
+	pages := cr.shared.sePages[bank]
+	page := pa >> 21 // huge-page granularity
+	if pages[page] {
+		return 0, true
+	}
+	pages[page] = true
+	cr.stat("ns.setlb_misses", 1)
+	return 8, false
+}
+
+// isaConfigOf converts a compiled stream to its Table IV encoding (for
+// configuration/migration message sizing).
+func (cr *coreRun) isaConfigOf(s *compiler.Stream) *isa.StreamConfig {
+	cfg := &isa.StreamConfig{
+		ID:     isa.StreamID{Core: cr.coreID % 64, Sid: s.Sid % 16},
+		Write:  s.Write,
+		Atomic: s.Atomic,
+	}
+	switch s.Kind {
+	case isa.KindAffine:
+		cfg.Kind = isa.KindAffine
+		cfg.Affine = isa.AffinePattern{Strides: [3]int64{int64(s.Type.Size())}, Lens: [3]uint64{1}, Dims: 1, ElemSize: s.Type.Size()}
+	case isa.KindIndirect:
+		cfg.Kind = isa.KindIndirect
+		cfg.Ind = isa.IndirectPattern{ElemSize: s.Type.Size(), BaseStream: isa.StreamID{Core: cr.coreID % 64, Sid: maxi(s.BaseSid, 0) % 16}}
+	case isa.KindPointerChase:
+		cfg.Kind = isa.KindPointerChase
+		cfg.Ptr = isa.PointerChasePattern{ElemSize: s.Type.Size()}
+	}
+	if s.CT == isa.ComputeReduce {
+		cfg.Reduction = true
+		cfg.AssocOnly = true
+	}
+	if s.CT != isa.ComputeNone {
+		args := []isa.ComputeArg{}
+		for _, d := range s.ValueDepSids {
+			args = append(args, isa.ComputeArg{Kind: isa.ArgStream, Stream: isa.StreamID{Core: cr.coreID % 64, Sid: d % 16}, Size: s.Type.Size()})
+		}
+		cfg.Compute = &isa.ComputeSpec{
+			Type: s.CT, Op: s.ScalarOp, RetSize: powTwoAtLeast(s.RetBytes),
+			FuncOps: len(s.ComputeOps), Vector: s.Vector, Args: args,
+		}
+	}
+	return cfg
+}
+
+func powTwoAtLeast(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Run executes kernel k on machine m under system sys. The machine must be
+// freshly built (caches cold) and configured with prefetchers only for
+// Base. d must hold freshly initialized arrays.
+func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams map[string]uint64, d *ir.Data) (*RunResult, error) {
+	pol := policyFor(sys)
+	if pol.prefetchers != m.Cfg.EnablePrefetchers {
+		return nil, fmt.Errorf("core: system %v needs prefetchers=%v in the machine config", sys, pol.prefetchers)
+	}
+	var plan *compiler.Plan
+	if pol.useStreams {
+		var err error
+		plan, err = compiler.Compile(k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	total, err := outerTrip(k, kparams)
+	if err != nil {
+		return nil, err
+	}
+	cores := m.Cores()
+	if uint64(cores) > total && total > 0 {
+		cores = int(total)
+	}
+	parts := Partition(total, cores)
+
+	shared := &runShared{m: m, scms: make([]*SCM, m.Tiles()), sePages: make([]map[uint64]bool, m.Tiles())}
+	for i := range shared.scms {
+		shared.scms[i] = NewSCM(m.Engine, params)
+		shared.sePages[i] = map[uint64]bool{}
+	}
+
+	res := &RunResult{DynOps: map[compiler.Category]uint64{}, Plan: plan}
+	runs := make([]*coreRun, 0, cores)
+	remainingCores := 0
+	for c := 0; c < cores; c++ {
+		lo, hi := parts[c][0], parts[c][1]
+		if lo >= hi {
+			continue
+		}
+		tr, err := GenTrace(m, k, plan, kparams, d, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		cr := &coreRun{
+			shared: shared, m: m, coreID: c, sys: sys, pol: pol,
+			params: params, plan: plan, k: k, trace: tr,
+			modes: map[int]streamMode{}, remotes: map[int]*remoteStream{},
+			prefetch: map[int]*inCoreStream{},
+			actions:  map[uint64]func(done func()){},
+			lastSeq:  map[ir.ValueRef]uint64{}, haveSeq: map[ir.ValueRef]bool{},
+			elemCount: map[int]int{}, consumeCount: map[int]int{},
+		}
+		cr.decideModes()
+		cr.buildStreams()
+		cr.core = cpu.NewCore(m.Engine, m.Cfg.CoreType, (*coreSource)(cr), cr.memFunc)
+		runs = append(runs, cr)
+		for cat, n := range tr.DynOps {
+			res.DynOps[cat] += n
+		}
+		res.Accs = append(res.Accs, tr.Accs)
+		remainingCores++
+	}
+
+	finished := 0
+	for _, cr := range runs {
+		cr := cr
+		cr.core.SetOnIdle(func() { finished++ })
+		cr.core.Start()
+		// Start streams in sid order: same-cycle events fire FIFO, so a
+		// deterministic insert order keeps runs bit-identical.
+		for sid := 0; sid < cr.nextSidBound(); sid++ {
+			if rs, ok := cr.remotes[sid]; ok {
+				rs := rs
+				m.Engine.Schedule(1, rs.start)
+			}
+		}
+		for _, rs := range cr.extraRemotes {
+			rs := rs
+			m.Engine.Schedule(1, rs.start)
+		}
+		for _, ch := range cr.chains {
+			ch := ch
+			m.Engine.Schedule(1, ch.start)
+		}
+	}
+	if params.ContextSwitchAt > 0 {
+		scheduleContextSwitch(m, runs, params)
+	}
+	m.Engine.Run()
+	if finished != remainingCores {
+		return nil, fmt.Errorf("core: deadlock — %d/%d cores finished at cycle %d", finished, remainingCores, m.Engine.Now())
+	}
+	var last sim.Time
+	for _, cr := range runs {
+		if t := cr.core.FinishTime(); t > last {
+			last = t
+		}
+		res.OffloadedOps += cr.offloadedDyn
+	}
+	if t := m.Engine.Now(); t > last {
+		last = t // stream drain beyond last core op
+	}
+	res.Cycles = last
+	res.Stats = m.CollectStats()
+	return res, nil
+}
+
+func outerTrip(k *ir.Kernel, kparams map[string]uint64) (uint64, error) {
+	l := k.Loops[0]
+	switch {
+	case l.Trip > 0:
+		return l.Trip, nil
+	case l.TripParam != "":
+		if v, ok := kparams[l.TripParam]; ok {
+			return v, nil
+		}
+		if v, ok := k.Params[l.TripParam]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("core: missing outer trip parameter %q", l.TripParam)
+	default:
+		return 0, fmt.Errorf("core: outer loop must have a static or parameter trip count")
+	}
+}
+
+// decideModes picks each stream's execution mode (SE_core offload policy,
+// §IV-B, plus the baseline-specific rules of §VI).
+func (cr *coreRun) decideModes() {
+	if cr.plan == nil {
+		return
+	}
+	groups := streamGroups(cr.plan)
+	for _, g := range groups {
+		mode := cr.groupMode(g)
+		for _, s := range g {
+			cr.modes[s.Sid] = mode
+		}
+		if mode == modeINSTAnchor {
+			// Operand streams of INST bundles are fetched remotely; the
+			// anchor is the write stream.
+			for _, s := range g {
+				if !s.Write && s.CT != isa.ComputeReduce {
+					cr.modes[s.Sid] = modeINSTOperand
+				}
+			}
+		}
+	}
+}
+
+// streamGroups partitions streams into dependence-connected components:
+// offloading decisions are made per group so producers move with
+// consumers.
+func streamGroups(p *compiler.Plan) [][]*compiler.Stream {
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, s := range p.Streams {
+		parent[s.Sid] = s.Sid
+	}
+	for _, s := range p.Streams {
+		if s.BaseSid >= 0 {
+			if _, ok := parent[s.BaseSid]; ok {
+				union(s.Sid, s.BaseSid)
+			}
+		}
+		for _, d := range s.ValueDepSids {
+			if _, ok := parent[d]; ok {
+				union(s.Sid, d)
+			}
+		}
+	}
+	byRoot := map[int][]*compiler.Stream{}
+	for _, s := range p.Streams {
+		r := find(s.Sid)
+		byRoot[r] = append(byRoot[r], s)
+	}
+	out := make([][]*compiler.Stream, 0, len(byRoot))
+	// Deterministic order: by smallest sid.
+	for sid := 0; sid < len(p.Streams)*2+16; sid++ {
+		for root, g := range byRoot {
+			if root == sid {
+				out = append(out, g)
+				delete(byRoot, root)
+			}
+		}
+	}
+	return out
+}
+
+// groupMode picks the mode for one dependence group.
+func (cr *coreRun) groupMode(g []*compiler.Stream) streamMode {
+	pol := cr.pol
+	hasWrite, hasReduce, hasIndirect, hasPtr, multiOp := false, false, false, false, false
+	var totalElems int
+	var footprint uint64
+	for _, s := range g {
+		elems := cr.trace.StreamElems[s.Sid]
+		totalElems += len(elems)
+		footprint += spanOf(elems)
+		if s.Write {
+			hasWrite = true
+		}
+		if s.CT == isa.ComputeReduce {
+			hasReduce = true
+		}
+		if s.Kind == isa.KindIndirect {
+			hasIndirect = true
+		}
+		if s.Kind == isa.KindPointerChase {
+			hasPtr = true
+		}
+		if len(s.ValueDepSids) > 1 || (len(s.ValueDepSids) == 1 && s.Kind == isa.KindAffine && s.Write) {
+			multiOp = true
+		}
+	}
+	switch {
+	case pol.iterGrain: // INST
+		if hasReduce {
+			return modePrefetch // Omni-Compute cannot offload reductions
+		}
+		if hasWrite {
+			return modeINSTAnchor
+		}
+		return modePrefetch
+	case pol.singleLine: // SINGLE
+		if multiOp {
+			return modePrefetch // Livia has no multi-operand functions
+		}
+		if hasReduce && (hasPtr || !hasIndirect) {
+			return modeChain // chained single-line functions
+		}
+		if hasIndirect {
+			return modePerElem // indirect breaks Livia's autonomy
+		}
+		return modePrefetch
+	case !pol.offload: // NS_core
+		return modePrefetch
+	case !pol.offloadCompute: // NS_no_comp: read streams only
+		if hasWrite || hasReduce {
+			return modePrefetch
+		}
+		if !cr.offloadProfitable(footprint, totalElems, hasIndirect, hasPtr, hasReduce, g) {
+			return modePrefetch
+		}
+		return modeRemote
+	default: // NS / NS_no_sync / NS_decouple
+		if !cr.offloadProfitable(footprint, totalElems, hasIndirect, hasPtr, hasReduce, g) {
+			return modePrefetch
+		}
+		return modeRemote
+	}
+}
+
+// offloadProfitable is the SE_core policy: offload when the group's
+// footprint cannot live in the private cache, with the §IV-C minimum
+// length for indirect reductions.
+func (cr *coreRun) offloadProfitable(footprint uint64, totalElems int, hasIndirect, hasPtr, hasReduce bool, g []*compiler.Stream) bool {
+	if totalElems == 0 {
+		return false
+	}
+	l2 := uint64(cr.m.Cfg.Cache.L2.SizeBytes)
+	if hasIndirect && hasReduce {
+		// §IV-C: only offload indirect reductions longer than 4× banks.
+		for _, s := range g {
+			if s.CT == isa.ComputeReduce {
+				if uint64(totalElems) < cr.params.IndirectReduceMinLen {
+					return false
+				}
+			}
+		}
+	}
+	return footprint > l2 || hasPtr || hasIndirect
+}
+
+// scheduleContextSwitch arranges the §V coarse-grain context switch: at
+// the configured cycle every offloaded stream suspends and drains
+// (Figure 7b precise state), the machine sits out the gap, and streams are
+// re-dispatched with fresh configure messages.
+func scheduleContextSwitch(m *machine.Machine, runs []*coreRun, params Params) {
+	m.Engine.ScheduleAt(sim.Time(params.ContextSwitchAt), func() {
+		var all []*remoteStream
+		for _, cr := range runs {
+			for sid := 0; sid < cr.nextSidBound(); sid++ {
+				if rs, ok := cr.remotes[sid]; ok {
+					all = append(all, rs)
+				}
+			}
+			all = append(all, cr.extraRemotes...)
+		}
+		if len(all) == 0 {
+			return
+		}
+		remaining := len(all)
+		for _, rs := range all {
+			rs := rs
+			rs.cr.stat("ns.ctxswitch_drains", 1)
+			rs.Suspend(func() {
+				remaining--
+				if remaining == 0 {
+					m.Engine.Schedule(sim.Time(params.ContextSwitchGap), func() {
+						for _, r := range all {
+							r.Resume()
+						}
+					})
+				}
+			})
+		}
+	})
+}
+
+// chaseInstances is how many pointer-chase instances run concurrently
+// under §V decoupling (bounded by SE_L3 stream-table entries per core).
+const chaseInstances = 8
+
+// splitByChain partitions elements round-robin by chain id into at most k
+// parts, preserving within-chain order.
+func splitByChain(elems []streamElem, k int) [][]streamElem {
+	if len(elems) == 0 {
+		return nil
+	}
+	parts := make([][]streamElem, k)
+	for _, e := range elems {
+		i := int(e.chain) % k
+		parts[i] = append(parts[i], e)
+	}
+	out := parts[:0]
+	for _, p := range parts {
+		if len(p) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// spanOf estimates a stream's touched bytes from its dynamic elements.
+func spanOf(elems []streamElem) uint64 {
+	if len(elems) == 0 {
+		return 0
+	}
+	lo, hi := elems[0].pa, elems[0].pa
+	for _, e := range elems {
+		if e.pa < lo {
+			lo = e.pa
+		}
+		if e.pa > hi {
+			hi = e.pa
+		}
+	}
+	return hi - lo + uint64(elems[0].size)
+}
+
+// buildStreams instantiates the per-mode stream executors.
+func (cr *coreRun) buildStreams() {
+	if cr.plan == nil {
+		return
+	}
+	for _, s := range cr.plan.Streams {
+		elems := cr.trace.StreamElems[s.Sid]
+		if cr.modes[s.Sid] != modeRemote {
+			continue
+		}
+		// §V: fully-decoupled pointer-chase streams run as several
+		// concurrent instances (Figure 8's simultaneous inner streams);
+		// under range-sync a single instance preserves ordering.
+		if s.Kind == isa.KindPointerChase && (cr.decoupledCore() || !cr.pol.rangeSync) {
+			for _, part := range splitByChain(elems, chaseInstances) {
+				rs := newRemoteStream(cr, s, part)
+				cr.pendingStreams++
+				rs.onFinished = cr.streamFinished
+				if cr.remotes[s.Sid] == nil {
+					cr.remotes[s.Sid] = rs
+				} else {
+					cr.extraRemotes = append(cr.extraRemotes, rs)
+				}
+			}
+			continue
+		}
+		rs := newRemoteStream(cr, s, elems)
+		cr.remotes[s.Sid] = rs
+		cr.pendingStreams++
+		rs.onFinished = cr.streamFinished
+	}
+	// SINGLE chained groups: the group's longest access-stream element
+	// sequence drives the chain; independent chains (per outer iteration)
+	// run as parallel invocations, as Livia's chained functions do.
+	for _, g := range streamGroups(cr.plan) {
+		if cr.modes[g[0].Sid] != modeChain {
+			continue
+		}
+		var primary *compiler.Stream
+		var elems []streamElem
+		funcOps, vector := 1, false
+		for _, s := range g {
+			if se := cr.trace.StreamElems[s.Sid]; len(se) > len(elems) {
+				primary, elems = s, se
+			}
+			funcOps += len(s.ComputeOps)
+			vector = vector || s.Vector
+		}
+		if primary == nil {
+			continue
+		}
+		for _, part := range splitByChain(elems, chaseInstances) {
+			ch := &chainStream{cr: cr, elems: part, funcOps: funcOps, vector: vector}
+			ch.onFinished = cr.streamFinished
+			cr.chains = append(cr.chains, ch)
+			cr.pendingStreams++
+		}
+	}
+	// Wire remote dependences.
+	for _, s := range cr.plan.Streams {
+		rs := cr.remotes[s.Sid]
+		if rs == nil {
+			continue
+		}
+		if s.BaseSid >= 0 {
+			if base := cr.remotes[s.BaseSid]; base != nil {
+				rs.base = base
+			}
+		}
+		for _, d := range s.ValueDepSids {
+			if dep := cr.remotes[d]; dep != nil && dep != rs {
+				rs.deps = append(rs.deps, dep)
+			}
+		}
+	}
+	// Wire prefetch streams (loads only) with base chaining. Pointer
+	// chases gain nothing from FIFO prefetching (each address needs the
+	// previous node's data) and would head-of-line-block other chains;
+	// they execute as ordinary core loads, letting the OOO window overlap
+	// independent chains exactly as the Base core does.
+	for _, s := range cr.plan.Streams {
+		if cr.modes[s.Sid] != modePrefetch || s.Write || s.AccessOp == ir.NoValue {
+			continue
+		}
+		if s.CT == isa.ComputeReduce || s.Kind == isa.KindPointerChase {
+			continue
+		}
+		elems := cr.trace.StreamElems[s.Sid]
+		cr.prefetch[s.Sid] = newInCoreStream(cr, elems, s.Kind == isa.KindPointerChase)
+	}
+	for _, s := range cr.plan.Streams {
+		ics := cr.prefetch[s.Sid]
+		if ics == nil || s.BaseSid < 0 {
+			continue
+		}
+		if base := cr.prefetch[s.BaseSid]; base != nil {
+			ics.base = base
+		}
+	}
+}
+
+func (cr *coreRun) streamFinished() {
+	cr.pendingStreams--
+	if cr.pendingStreams == 0 {
+		for _, w := range cr.barrierWaiters {
+			w()
+		}
+		cr.barrierWaiters = nil
+	}
+}
+
+// memFunc routes the core's memory micro-ops: registered actions (stream
+// FIFO reads, offload round trips) or ordinary hierarchy accesses.
+func (cr *coreRun) memFunc(seq uint64, ref cpu.MemRef, at sim.Time, done func()) {
+	if act, ok := cr.actions[seq]; ok {
+		delete(cr.actions, seq)
+		cr.m.Engine.ScheduleAt(at, func() { act(done) })
+		return
+	}
+	cr.m.Engine.ScheduleAt(at, func() {
+		// §IV-B alias check: committed core accesses compare against
+		// offloaded streams' reported ranges. On a hit (possibly a false
+		// positive — the check is conservative) the stream drains to a
+		// precise state before the access proceeds, then restarts
+		// (Figure 7b). The alias-free evaluation kernels never take this
+		// path; TestAliasUnwind does.
+		if cr.pol.rangeSync && cr.ranges.Active() > 0 {
+			if sid, alias := cr.ranges.Check(ref.Addr, 8); alias {
+				cr.stat("ns.alias_detected", 1)
+				cr.ranges.Release(sid)
+				if rs := cr.remotes[sid]; rs != nil && !rs.finished {
+					rs.Suspend(func() {
+						cr.m.Engine.Schedule(1, rs.Resume)
+						cr.tile().Access(ref.Addr, ref.Write, ref.PC, func(cache.Level) { done() })
+					})
+					return
+				}
+			}
+		}
+		cr.tile().Access(ref.Addr, ref.Write, ref.PC, func(cache.Level) { done() })
+	})
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// inCoreStream models SE_core stream prefetching (§III-C): a load stream
+// kept in the core. The SE issues the stream's line accesses up to
+// FIFODepth elements ahead of the core's consumption; s_load then reads
+// the FIFO with a short latency. Indirect streams chain behind their base
+// stream's data; pointer-chase streams are strictly serial. This is the
+// SSP-like mode (NS_core) and the stream-prefetch benefit INST/SINGLE
+// retain on unsupported patterns (§VI).
+type inCoreStream struct {
+	cr    *coreRun
+	elems []streamElem
+
+	ready   []sim.Time
+	done    []bool
+	waiters map[int][]func()
+
+	issued   int
+	consumed int
+	serial   bool
+	base     *inCoreStream
+
+	// Per-line dedupe: consecutive elements on one line share a fetch.
+	lineDone map[uint64]sim.Time
+	linePend map[uint64][]func(sim.Time)
+}
+
+func newInCoreStream(cr *coreRun, elems []streamElem, serial bool) *inCoreStream {
+	return &inCoreStream{
+		cr: cr, elems: elems, serial: serial,
+		ready:    make([]sim.Time, len(elems)),
+		done:     make([]bool, len(elems)),
+		waiters:  map[int][]func(){},
+		lineDone: map[uint64]sim.Time{},
+		linePend: map[uint64][]func(sim.Time){},
+	}
+}
+
+// consume is the s_load: done fires when element i's data is in the FIFO.
+func (ics *inCoreStream) consume(i int, done func(at sim.Time)) {
+	if i >= len(ics.elems) {
+		panic("core: s_load past end of stream")
+	}
+	if i+1 > ics.consumed {
+		ics.consumed = i + 1
+	}
+	ics.pump()
+	if ics.done[i] {
+		at := ics.ready[i]
+		if now := ics.cr.m.Engine.Now(); now > at {
+			at = now
+		}
+		done(at)
+		return
+	}
+	ics.waiters[i] = append(ics.waiters[i], func() { done(ics.ready[i]) })
+}
+
+// pump issues prefetches up to the FIFO depth ahead of consumption.
+func (ics *inCoreStream) pump() {
+	depth := ics.cr.params.FIFODepth
+	for ics.issued < len(ics.elems) && ics.issued < ics.consumed+depth {
+		i := ics.issued
+		if ics.serial && i > 0 && !ics.done[i-1] && ics.elems[i].chain == ics.elems[i-1].chain {
+			return // pointer chase: the next node's address needs this one
+		}
+		if ics.base != nil {
+			bi := min(i, len(ics.base.elems)-1)
+			if bi >= 0 && !ics.base.done[bi] {
+				// Indirect: the index must arrive first; piggyback on the
+				// base stream's FIFO fill.
+				ics.base.consume(bi, func(sim.Time) { ics.pump() })
+				return
+			}
+		}
+		ics.issued++
+		ics.fetch(i)
+	}
+}
+
+// fetch brings element i's line into the private cache.
+func (ics *inCoreStream) fetch(i int) {
+	e := ics.elems[i]
+	line := ics.cr.m.Hier.LineAddr(e.pa)
+	if t, okDone := ics.lineDone[line]; okDone {
+		at := t
+		if now := ics.cr.m.Engine.Now(); now > at {
+			at = now
+		}
+		ics.complete(i, at+1)
+		return
+	}
+	if pend, okPend := ics.linePend[line]; okPend {
+		ics.linePend[line] = append(pend, func(at sim.Time) { ics.complete(i, at+1) })
+		return
+	}
+	ics.linePend[line] = []func(sim.Time){}
+	ics.cr.tile().Access(e.pa, false, sePrefetchPC, func(cache.Level) {
+		at := ics.cr.m.Engine.Now()
+		ics.lineDone[line] = at
+		pend := ics.linePend[line]
+		delete(ics.linePend, line)
+		ics.complete(i, at)
+		for _, fn := range pend {
+			fn(at)
+		}
+	})
+}
+
+// sePrefetchPC tags SE-issued accesses for the (disabled) prefetchers.
+const sePrefetchPC uint64 = 0x5E0
+
+func (ics *inCoreStream) complete(i int, at sim.Time) {
+	ics.cr.m.Engine.ScheduleAt(at, func() {
+		ics.ready[i] = ics.cr.m.Engine.Now()
+		ics.done[i] = true
+		for _, w := range ics.waiters[i] {
+			w()
+		}
+		delete(ics.waiters, i)
+		ics.pump()
+	})
+}

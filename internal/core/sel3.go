@@ -1,0 +1,740 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Message payload sizes (bytes) for the coarse-grained protocol of §IV-B.
+const (
+	creditBytes  = 8
+	rangeBytes   = 16 // [min,max) physical range, stream id, window
+	commitBytes  = 8
+	doneBytes    = 8
+	migrateBytes = 16 // §IV-D: only changing fields re-sent
+	endBytes     = 8
+)
+
+// remoteStream is one offloaded stream executing at SE_L3s (§IV). Elements
+// are processed in order with a bounded number in flight (the stream
+// buffer); pointer-chase streams are strictly serial because each node's
+// address comes from the previous node's data. Bank accesses are per line:
+// the first element touching a line pays the L3 (and coherence/DRAM)
+// latency, subsequent same-line elements complete a cycle later.
+type remoteStream struct {
+	cr *coreRun
+	s  *compiler.Stream
+	// elems is the dynamic element sequence from the trace.
+	elems []streamElem
+
+	// Per-element completion state at the bank.
+	readyAt []sim.Time
+	done    []bool
+	waiters map[int][]func()
+
+	// respAt/respDone track per-element responses at the core.
+	respAt   []sim.Time
+	respDone []bool
+	respWtrs map[int][]func()
+
+	// Value dependences (forwarded operands) and indirect base.
+	deps []*remoteStream
+	base *remoteStream
+
+	// idx is the next element to process; curBank the stream's current
+	// SE_L3 location; inflight bounds the element pipeline.
+	idx      int
+	curBank  int
+	started  bool
+	inflight int
+
+	// lineDone caches per-line availability; linePend queues callbacks
+	// while a line access is outstanding; lineWritten coalesces store
+	// writebacks per line.
+	lineDone    map[uint64]sim.Time
+	linePend    map[uint64][]func(at sim.Time)
+	lineWritten map[uint64]bool
+
+	// Range-sync state. Commits pipeline: nextCommit is the next window
+	// whose commit message goes out; winCommitted counts received dones.
+	winProcessed   int
+	winCommitted   int
+	nextCommit     int
+	coreSteps      int
+	stepExempt     bool // ptr-chase: the core cannot step a data-dependent chase
+	rangeArrived   []bool
+	elemsProcessed int
+
+	// Atomic lock bookkeeping.
+	lockedLines []lockedLine
+
+	// visitedBanks tracks banks holding partial reductions (§IV-C).
+	visitedBanks map[int]bool
+
+	finished   bool
+	finalSent  bool
+	onFinished func()
+
+	// Coarse-grain context switch support (§V): while suspended the
+	// stream issues no new elements; once in-flight work and commit
+	// round trips drain, its precise state is architectural and can be
+	// saved/restored.
+	suspended   bool
+	drainWaiter func()
+}
+
+type lockedLine struct {
+	line     uint64
+	bank     int
+	modifies bool
+}
+
+// lockKey identifies this stream as a lock holder (same-stream atomics
+// always proceed, §IV-C).
+func (rs *remoteStream) lockKey() string {
+	return fmt.Sprintf("c%d.s%d", rs.cr.coreID, rs.s.Sid)
+}
+
+func newRemoteStream(cr *coreRun, s *compiler.Stream, elems []streamElem) *remoteStream {
+	rs := &remoteStream{
+		cr: cr, s: s, elems: elems,
+		readyAt:      make([]sim.Time, len(elems)),
+		done:         make([]bool, len(elems)),
+		waiters:      map[int][]func(){},
+		respWtrs:     map[int][]func(){},
+		lineDone:     map[uint64]sim.Time{},
+		linePend:     map[uint64][]func(sim.Time){},
+		lineWritten:  map[uint64]bool{},
+		visitedBanks: map[int]bool{},
+		curBank:      -1,
+		stepExempt:   s.Kind == isa.KindPointerChase,
+	}
+	if s.RetBytes > 0 || !cr.pol.offloadCompute {
+		rs.respAt = make([]sim.Time, len(elems))
+		rs.respDone = make([]bool, len(elems))
+	}
+	if cr.pol.rangeSync {
+		rs.rangeArrived = make([]bool, rs.numWindows()+1)
+	}
+	return rs
+}
+
+// maxInflight bounds concurrently processed elements: the per-core SE_L3
+// stream buffer (1 kB, Table V) holds ~64 in-flight elements; pointer
+// chases are serial by data dependence.
+func (rs *remoteStream) maxInflight() int {
+	if rs.s.Kind == isa.KindPointerChase {
+		return 1
+	}
+	return 64
+}
+
+func (rs *remoteStream) numWindows() int {
+	r := rs.cr.params.RangeWindow
+	return (len(rs.elems) + r - 1) / r
+}
+
+// windowOf returns the range-sync window of element i.
+func (rs *remoteStream) windowOf(i int) int { return i / rs.cr.params.RangeWindow }
+
+// start configures the stream at its first bank (Figure 5 step 1).
+func (rs *remoteStream) start() {
+	rs.started = true
+	if len(rs.elems) == 0 {
+		rs.finish()
+		return
+	}
+	first := rs.firstBank()
+	cfgBytes := isa.EncodedBytes(rs.cr.isaConfigOf(rs.s))
+	rs.cr.net().Send(&noc.Message{
+		Src: rs.cr.coreID, Dst: first, Bytes: cfgBytes, Class: stats.TrafficOffload,
+		OnDeliver: func() {
+			rs.curBank = first
+			rs.advance()
+		},
+	})
+}
+
+func (rs *remoteStream) firstBank() int {
+	if len(rs.elems) == 0 {
+		return rs.cr.coreID
+	}
+	return rs.cr.m.Hier.HomeBank(rs.elems[0].pa)
+}
+
+// creditOK checks the credit window (§IV-B resource management).
+func (rs *remoteStream) creditOK(i int) bool {
+	if !rs.cr.pol.rangeSync {
+		return true
+	}
+	return rs.windowOf(i)-rs.winCommitted < rs.cr.params.CreditWindows
+}
+
+// elemReady registers a callback for element i's availability at its bank.
+func (rs *remoteStream) elemReady(i int, fn func()) {
+	if rs.done[i] {
+		fn()
+		return
+	}
+	rs.waiters[i] = append(rs.waiters[i], fn)
+}
+
+// respReady registers a callback for element i's response at the core.
+func (rs *remoteStream) respReady(i int, fn func(at sim.Time)) {
+	if i >= len(rs.respDone) {
+		panic("core: respReady on stream without responses")
+	}
+	if rs.respDone[i] {
+		fn(rs.respAt[i])
+		return
+	}
+	rs.respWtrs[i] = append(rs.respWtrs[i], func() { fn(rs.respAt[i]) })
+}
+
+// Suspend stops issuing elements and calls onDrained once in-flight work
+// and commit round trips complete — the Figure 7b/§V drain that makes the
+// stream's progress architectural state.
+func (rs *remoteStream) Suspend(onDrained func()) {
+	rs.suspended = true
+	if rs.drained() {
+		onDrained()
+		return
+	}
+	rs.drainWaiter = onDrained
+}
+
+// Resume re-dispatches a suspended stream: a fresh configure message to
+// its current bank, then processing continues from the saved element.
+func (rs *remoteStream) Resume() {
+	if !rs.suspended {
+		return
+	}
+	rs.suspended = false
+	if rs.finished {
+		return
+	}
+	bank := rs.curBank
+	if bank < 0 {
+		bank = rs.firstBank()
+	}
+	cfgBytes := isa.EncodedBytes(rs.cr.isaConfigOf(rs.s))
+	rs.cr.stat("ns.resumes", 1)
+	rs.cr.net().Send(&noc.Message{Src: rs.cr.coreID, Dst: bank, Bytes: cfgBytes,
+		Class: stats.TrafficOffload, OnDeliver: rs.advance})
+}
+
+func (rs *remoteStream) drained() bool {
+	return rs.inflight == 0 && rs.winCommitted >= rs.nextCommit
+}
+
+func (rs *remoteStream) checkDrain() {
+	if rs.suspended && rs.drainWaiter != nil && rs.drained() {
+		fn := rs.drainWaiter
+		rs.drainWaiter = nil
+		fn()
+	}
+}
+
+// advance processes elements until blocked on credits, dependences, the
+// in-flight bound, suspension, or stream end.
+func (rs *remoteStream) advance() {
+	if rs.finished || !rs.started || rs.suspended {
+		return
+	}
+	for rs.idx < len(rs.elems) && rs.inflight < rs.maxInflight() {
+		i := rs.idx
+		if !rs.creditOK(i) {
+			return
+		}
+		if rs.base != nil {
+			bi := min(i, len(rs.base.done)-1)
+			if bi >= 0 && !rs.base.done[bi] {
+				rs.base.elemReady(bi, rs.advance)
+				return
+			}
+		}
+		blocked := false
+		for _, dep := range rs.deps {
+			di := min(i, len(dep.done)-1)
+			if di >= 0 && !dep.done[di] {
+				dep.elemReady(di, rs.advance)
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			return
+		}
+		rs.idx++
+		rs.inflight++
+		rs.processElem(i)
+	}
+	rs.maybeFinish()
+}
+
+func (rs *remoteStream) maybeFinish() {
+	if rs.finished {
+		return
+	}
+	if rs.elemsProcessed >= len(rs.elems) && rs.allCommitted() {
+		rs.finish()
+	}
+}
+
+func (rs *remoteStream) allCommitted() bool {
+	if !rs.cr.pol.rangeSync || !rs.s.Write {
+		return true
+	}
+	return rs.winCommitted >= rs.numWindows()
+}
+
+// processElem runs the per-element pipeline at the SE_L3.
+func (rs *remoteStream) processElem(i int) {
+	e := rs.elems[i]
+	m := rs.cr.m
+	line := m.Hier.LineAddr(e.pa)
+	bank := m.Hier.HomeBank(e.pa)
+	net := rs.cr.net()
+
+	afterMigrate := func() {
+		// Forwarded operands (multi-op, Figure 2b) are charged as
+		// offload traffic from the producer's bank.
+		for _, dep := range rs.deps {
+			di := min(i, len(dep.elems)-1)
+			if di < 0 {
+				continue
+			}
+			depBank := m.Hier.HomeBank(dep.elems[di].pa)
+			if depBank != bank {
+				net.Send(&noc.Message{Src: depBank, Dst: bank,
+					Bytes: int(dep.elems[di].size), Class: stats.TrafficOffload})
+			}
+		}
+		// Indirect request hop: base bank → target bank (Figure 5 step 7).
+		// The request carries the address plus, for stores/atomics, the
+		// update value.
+		if rs.base != nil {
+			bi := min(i, len(rs.base.elems)-1)
+			if bi >= 0 {
+				baseBank := m.Hier.HomeBank(rs.base.elems[bi].pa)
+				if baseBank != bank {
+					bytes := 8
+					// Stream-carried update values travel with the
+					// request; loop-invariant operands (histogram's +1)
+					// live in the target SE's configuration.
+					if rs.s.Write && len(rs.s.ValueDepSids) > 0 {
+						bytes += int(e.size)
+					}
+					net.Send(&noc.Message{Src: baseBank, Dst: bank,
+						Bytes: bytes, Class: stats.TrafficOffload})
+				}
+			}
+		}
+		rs.accessElem(i, line, bank)
+	}
+
+	if rs.base == nil && bank != rs.curBank {
+		// Affine/pointer streams migrate with the data (§IV-B). Moving to
+		// an already-visited bank only re-sends the changing fields
+		// (§IV-D): core id, stream id, iteration.
+		rs.cr.stat("ns.migrations", 1)
+		from := rs.curBank
+		if from < 0 {
+			from = bank
+		}
+		bytes := migrateBytes
+		if rs.visitedBanks[bank] {
+			bytes = 8
+		}
+		rs.curBank = bank
+		net.Send(&noc.Message{Src: from, Dst: bank, Bytes: bytes,
+			Class: stats.TrafficOffload, OnDeliver: afterMigrate})
+		return
+	}
+	afterMigrate()
+}
+
+// ensureLine resolves a line's availability at its bank, paying the bank
+// access once per line.
+func (rs *remoteStream) ensureLine(bank int, line uint64, cb func(at sim.Time)) {
+	if t, ok := rs.lineDone[line]; ok {
+		now := rs.cr.m.Engine.Now()
+		if t < now {
+			t = now
+		}
+		cb(t + 1) // buffered element access
+		return
+	}
+	if pend, ok := rs.linePend[line]; ok {
+		rs.linePend[line] = append(pend, cb)
+		return
+	}
+	rs.linePend[line] = []func(sim.Time){cb}
+	rs.cr.m.Hier.Bank(bank).StreamRead(line, func(bool) {
+		at := rs.cr.m.Engine.Now()
+		rs.lineDone[line] = at
+		pend := rs.linePend[line]
+		delete(rs.linePend, line)
+		for _, fn := range pend {
+			fn(at)
+		}
+	})
+}
+
+// accessElem performs the bank access, computation, and write/response.
+func (rs *remoteStream) accessElem(i int, line uint64, bank int) {
+	m := rs.cr.m
+	b := m.Hier.Bank(bank)
+	e := rs.elems[i]
+	rs.visitedBanks[bank] = true
+
+	complete := func(at sim.Time) {
+		// SE_L3 TLB: one lookup per page (cached translation).
+		if lat, hit := rs.cr.seTLBLookup(bank, e.pa); !hit {
+			at += lat
+		}
+		// Computation at the bank (scalar PE or SCM/SCC, §III-C).
+		if rs.cr.pol.offloadCompute && (len(rs.s.ComputeOps) > 0 || (rs.s.ScalarOp != isa.OpNone && rs.s.ScalarOp != isa.OpFunc)) {
+			scm := rs.cr.scmAt(bank)
+			scalarOK := rs.s.ScalarOp != isa.OpNone && rs.s.ScalarOp != isa.OpFunc && len(rs.s.ComputeOps) <= 2
+			at = computeAt(scm, rs.cr.params, scalarOK, maxi(len(rs.s.ComputeOps), 1), rs.s.Vector, at)
+			rs.cr.stat("ns.remote_compute", 1)
+		}
+		m.Engine.ScheduleAt(at, func() { rs.elemDone(i, line, bank) })
+	}
+
+	switch {
+	case rs.s.Atomic && rs.cr.pol.offloadCompute:
+		// Lock the line (§IV-C) for the read-modify-write. The lock is
+		// released when the element's RMW completes; under range-sync the
+		// modified line additionally writes back at commit. (The paper
+		// holds locks to the commit point and breaks the resulting rare
+		// deadlocks with timeouts; releasing at RMW completion avoids the
+		// deadlock while preserving the MRSW-vs-exclusive contention this
+		// models — see DESIGN.md.)
+		modifies := e.changed || !rs.cr.params.MRSWLock
+		rs.cr.stat("ns.atomic_elems", 1)
+		b.AcquireLock(line, rs.lockKey(), modifies, rs.cr.lockModeKind(), func() {
+			rs.lockedLines = append(rs.lockedLines, lockedLine{line: line, bank: bank, modifies: modifies})
+			rs.ensureLine(bank, line, func(at sim.Time) {
+				if rs.cr.pol.rangeSync {
+					m.Engine.ScheduleAt(at, func() {
+						rs.releaseLock(bank, line)
+						complete(m.Engine.Now()) // write-back at commit
+					})
+					return
+				}
+				// The first atomic to a line claims it in the L3 (clearing
+				// private copies); later same-line atomics update in place
+				// in a cycle.
+				if rs.lineWritten[line] {
+					m.Engine.ScheduleAt(at, func() {
+						rs.releaseLock(bank, line)
+						complete(m.Engine.Now() + 1)
+					})
+					return
+				}
+				rs.lineWritten[line] = true
+				b.StreamWrite(line, func(bool) {
+					rs.releaseLock(bank, line)
+					complete(m.Engine.Now())
+				})
+			})
+		})
+	case rs.s.Write:
+		if rs.cr.pol.rangeSync {
+			rs.ensureLine(bank, line, complete) // buffered until commit
+			return
+		}
+		// Stores coalesce in the stream buffer and write back per line.
+		if rs.lineWritten[line] {
+			complete(m.Engine.Now() + 1)
+			return
+		}
+		rs.lineWritten[line] = true
+		b.StreamWrite(line, func(bool) { complete(m.Engine.Now()) })
+	default:
+		rs.ensureLine(bank, line, complete)
+	}
+}
+
+func (rs *remoteStream) releaseLock(bank int, line uint64) {
+	b := rs.cr.m.Hier.Bank(bank)
+	for j, ll := range rs.lockedLines {
+		if ll.bank == bank && ll.line == line {
+			b.ReleaseLock(line, rs.lockKey(), ll.modifies, rs.cr.lockModeKind())
+			rs.lockedLines = append(rs.lockedLines[:j], rs.lockedLines[j+1:]...)
+			return
+		}
+	}
+}
+
+// elemDone finalizes element i: responses, window bookkeeping, pipeline
+// refill.
+func (rs *remoteStream) elemDone(i int, line uint64, bank int) {
+	now := rs.cr.m.Engine.Now()
+	rs.readyAt[i] = now
+	rs.done[i] = true
+	rs.inflight--
+	rs.elemsProcessed++
+	for _, w := range rs.waiters[i] {
+		w()
+	}
+	delete(rs.waiters, i)
+
+	if rs.respAt != nil && rs.s.CT != isa.ComputeReduce {
+		bytes := rs.s.RetBytes
+		if !rs.cr.pol.offloadCompute && !rs.s.Write {
+			// Address-only offload forwards the raw element to the core.
+			bytes = int(rs.elems[i].size)
+		}
+		if bytes > 0 {
+			rs.sendResponse(i, bank, bytes)
+		} else {
+			rs.respAt[i] = now
+			rs.respDone[i] = true
+		}
+	}
+
+	// Windows report in order even when elements complete out of order.
+	for rs.winProcessed < rs.numWindows() && rs.doneThroughWindow(rs.winProcessed) {
+		win := rs.winProcessed
+		rs.winProcessed = win + 1
+		rs.windowProcessed(win, bank)
+	}
+	rs.cr.m.Engine.Schedule(1, rs.advance)
+	rs.checkDrain()
+	rs.maybeFinish()
+}
+
+// doneThroughWindow reports whether every element of window w completed.
+func (rs *remoteStream) doneThroughWindow(w int) bool {
+	end := (w + 1) * rs.cr.params.RangeWindow
+	if end > len(rs.elems) {
+		end = len(rs.elems)
+	}
+	for i := w * rs.cr.params.RangeWindow; i < end; i++ {
+		if !rs.done[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (rs *remoteStream) sendResponse(i, bank, bytes int) {
+	rs.cr.net().Send(&noc.Message{Src: bank, Dst: rs.cr.coreID, Bytes: bytes,
+		Class: stats.TrafficOffload, OnDeliver: func() {
+			rs.respAt[i] = rs.cr.m.Engine.Now()
+			rs.respDone[i] = true
+			for _, w := range rs.respWtrs[i] {
+				w()
+			}
+			delete(rs.respWtrs, i)
+		}})
+}
+
+// windowProcessed handles end-of-window protocol actions (Figure 7a).
+func (rs *remoteStream) windowProcessed(win, bank int) {
+	cr := rs.cr
+	if !cr.pol.rangeSync {
+		if cr.sys == NSNoSync && win%4 == 0 {
+			// §V: streams still report progress so the core cannot
+			// commit ahead; reports are batched (no ordering needed).
+			cr.net().Send(&noc.Message{Src: bank, Dst: cr.coreID,
+				Bytes: creditBytes, Class: stats.TrafficOffload})
+		}
+		return
+	}
+	lo, hi := rangeOfWindow(rs.elems, win*cr.params.RangeWindow, (win+1)*cr.params.RangeWindow)
+	needRangeMsg := rs.s.Kind != isa.KindAffine || !cr.params.AffineRangesAtCore
+	if needRangeMsg {
+		cr.net().Send(&noc.Message{Src: bank, Dst: cr.coreID, Bytes: rangeBytes,
+			Class: stats.TrafficOffload, OnDeliver: func() {
+				cr.ranges.Update(rs.s.Sid, lo, hi, cr.m.Engine.Now())
+				rs.rangeArrived[win] = true
+				rs.tryCommit()
+			}})
+	} else {
+		// Affine ranges generated at SE_core (Figure 15 default): no
+		// traffic, duplicate address generation is SE-local work.
+		cr.ranges.Update(rs.s.Sid, lo, hi, cr.m.Engine.Now())
+		rs.rangeArrived[win] = true
+		rs.tryCommit()
+	}
+}
+
+// noteCoreStep records that the core retired s_steps through element n.
+func (rs *remoteStream) noteCoreStep(n int) {
+	if n > rs.coreSteps {
+		rs.coreSteps = n
+	}
+	rs.tryCommit()
+}
+
+// tryCommit issues commits for eligible windows in order, keeping several
+// round trips in flight (the protocol is coarse-grained precisely so that
+// synchronization pipelines, §IV-B).
+func (rs *remoteStream) tryCommit() {
+	if !rs.cr.pol.rangeSync || rs.finished {
+		return
+	}
+	for rs.nextCommit < rs.winProcessed {
+		win := rs.nextCommit
+		if !rs.rangeArrived[win] {
+			break
+		}
+		endElem := (win + 1) * rs.cr.params.RangeWindow
+		if endElem > len(rs.elems) {
+			endElem = len(rs.elems)
+		}
+		if !rs.stepExempt && !rs.cr.decoupledCore() && rs.coreSteps < endElem {
+			break
+		}
+		rs.nextCommit = win + 1
+		rs.commitWindow(win, endElem)
+	}
+	rs.maybeFinish()
+}
+
+// commitWindow performs the commit → write-back → done round trip for one
+// window (Figure 5 steps 3–5). For read-only streams it degenerates to a
+// credit grant covering every currently eligible window (one message).
+func (rs *remoteStream) commitWindow(win, endElem int) {
+	cr := rs.cr
+	bank := rs.curBank
+	if bank < 0 {
+		bank = rs.firstBank()
+	}
+	if !rs.s.Write {
+		// Batch the grant over everything tryCommit has released.
+		hi := rs.nextCommit
+		cr.net().Send(&noc.Message{Src: cr.coreID, Dst: bank, Bytes: creditBytes,
+			Class: stats.TrafficOffload, OnDeliver: func() {
+				if hi > rs.winCommitted {
+					rs.winCommitted = hi
+				}
+				rs.tryCommit()
+				rs.checkDrain()
+				rs.advance()
+			}})
+		return
+	}
+	cr.net().Send(&noc.Message{Src: cr.coreID, Dst: bank, Bytes: commitBytes,
+		Class: stats.TrafficOffload, OnDeliver: func() {
+			// Write back the window's buffered stores (in element order,
+			// for determinism).
+			startElem := win * cr.params.RangeWindow
+			seen := map[uint64]bool{}
+			var lines []uint64
+			for i := startElem; i < endElem; i++ {
+				line := cr.m.Hier.LineAddr(rs.elems[i].pa)
+				if !seen[line] {
+					seen[line] = true
+					lines = append(lines, line)
+				}
+			}
+			remaining := len(lines) + 1
+			finishOne := func() {
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				cr.net().Send(&noc.Message{Src: bank, Dst: cr.coreID, Bytes: doneBytes,
+					Class: stats.TrafficOffload, OnDeliver: func() {
+						rs.winCommitted++
+						rs.tryCommit()
+						rs.checkDrain()
+						rs.advance()
+					}})
+			}
+			for _, line := range lines {
+				cr.m.Hier.Bank(cr.m.Hier.HomeBank(line)).StreamWrite(line, func(bool) {
+					finishOne()
+				})
+			}
+			finishOne()
+		}})
+}
+
+// finish terminates the stream: partial-reduction collection, final value
+// return (Figure 5 step 6, §IV-C indirect reduction).
+func (rs *remoteStream) finish() {
+	if rs.finished {
+		return
+	}
+	rs.finished = true
+	cr := rs.cr
+	if rs.s.CT == isa.ComputeReduce && len(rs.elems) > 0 && cr.pol.offloadCompute {
+		banks := make([]int, 0, len(rs.visitedBanks))
+		for b := 0; b < cr.m.Tiles(); b++ {
+			if rs.visitedBanks[b] {
+				banks = append(banks, b)
+			}
+		}
+		remaining := len(banks)
+		for _, b := range banks {
+			cr.net().Send(&noc.Message{Src: b, Dst: cr.coreID,
+				Bytes: rs.s.RetBytes + 4, Class: stats.TrafficOffload,
+				OnDeliver: func() {
+					remaining--
+					if remaining == 0 {
+						rs.signalFinished()
+					}
+				}})
+		}
+		if len(banks) == 0 {
+			rs.signalFinished()
+		}
+		return
+	}
+	bank := rs.curBank
+	if bank < 0 {
+		bank = cr.coreID
+	}
+	cr.net().Send(&noc.Message{Src: cr.coreID, Dst: bank, Bytes: endBytes,
+		Class: stats.TrafficOffload, OnDeliver: rs.signalFinished})
+}
+
+func (rs *remoteStream) signalFinished() {
+	if rs.finalSent {
+		return
+	}
+	rs.finalSent = true
+	rs.cr.ranges.Release(rs.s.Sid)
+	// Safety: release any lock still held (fault/end path, Figure 7c).
+	for _, ll := range rs.lockedLines {
+		rs.cr.m.Hier.Bank(ll.bank).ReleaseLock(ll.line, rs.lockKey(), ll.modifies, rs.cr.lockModeKind())
+	}
+	rs.lockedLines = nil
+	if rs.onFinished != nil {
+		rs.onFinished()
+	}
+}
+
+// lockModeKind maps the MRSW parameter to the cache lock mode.
+func (cr *coreRun) lockModeKind() cache.LockMode {
+	if cr.params.MRSWLock {
+		return cache.LockMRSW
+	}
+	return cache.LockExclusive
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

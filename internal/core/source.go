@@ -1,0 +1,321 @@
+package core
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/cpu"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// coreSource adapts a coreRun to the cpu.OpSource interface; micro-ops are
+// generated lazily from the trace according to the per-stream modes.
+type coreSource coreRun
+
+// Next implements cpu.OpSource.
+func (s *coreSource) Next() (*cpu.MicroOp, cpu.FetchResult) {
+	cr := (*coreRun)(s)
+	for len(cr.queue) == 0 {
+		if cr.cursor >= len(cr.trace.Entries) {
+			if !cr.endEmitted {
+				cr.emitEnd()
+				continue
+			}
+			return nil, cpu.FetchDone
+		}
+		cr.emitEntry(&cr.trace.Entries[cr.cursor])
+		cr.cursor++
+	}
+	op := cr.queue[0].op
+	cr.queue = cr.queue[1:]
+	return op, cpu.FetchOp
+}
+
+// push queues a micro-op, assigning its sequence number (queue order is
+// fetch order) and registering its memory action if any.
+func (cr *coreRun) push(op *cpu.MicroOp, action func(done func())) uint64 {
+	seq := cr.seq
+	cr.seq++
+	if action != nil {
+		if op.Mem == nil {
+			op.Mem = &cpu.MemRef{}
+		}
+		cr.actions[seq] = action
+	}
+	cr.queue = append(cr.queue, srcOp{op: op})
+	return seq
+}
+
+// loopOverheadOps is the induction/branch cost charged per loop iteration.
+const loopOverheadOps = 2
+
+func (cr *coreRun) emitEntry(ent *traceEntry) {
+	if ent.kind == entIter {
+		if cr.decoupledCore() {
+			return // §V: the loop disappears from the core
+		}
+		for i := 0; i < loopOverheadOps; i++ {
+			cr.push(&cpu.MicroOp{Class: cpu.IntAlu}, nil)
+		}
+		return
+	}
+	id := ent.id
+	op := &cr.k.Ops[id]
+	if op.Kind == ir.OpConst || op.Kind == ir.OpParam {
+		return // folded into configuration / registers
+	}
+	st := cr.streamOf(id)
+	if st == nil {
+		cr.emitCoreOp(id, ent)
+		return
+	}
+	mode := cr.modes[st.Sid]
+	isAccess := id == st.AccessOp || id == st.MergedStore
+	if !isAccess {
+		for _, f := range st.ChaseFieldOps {
+			if f == id {
+				isAccess = true
+				break
+			}
+		}
+	}
+	switch mode {
+	case modeRemote:
+		cr.offloadedDyn++
+		if isAccess && id == st.AccessOp {
+			n := cr.elemCount[st.Sid]
+			cr.elemCount[st.Sid] = n + 1
+			rs := cr.remotes[st.Sid]
+			if rs != nil && cr.pol.rangeSync && !cr.decoupledCore() && !rs.stepExempt {
+				// s_step: the core's in-order commit point for range-sync.
+				cr.push(&cpu.MicroOp{Class: cpu.IntAlu, OnRetire: func(sim.Time) {
+					rs.noteCoreStep(n + 1)
+				}}, nil)
+			}
+			// A later core consumer of this element must s_load it.
+			if rs != nil && rs.respAt != nil {
+				cr.haveSeq[id] = false
+			}
+		}
+	case modeChain, modeINSTOperand:
+		cr.offloadedDyn++
+		if isAccess && id == st.AccessOp {
+			cr.elemCount[st.Sid]++
+		}
+	case modeINSTAnchor:
+		cr.offloadedDyn++
+		if isAccess && id == st.AccessOp {
+			n := cr.elemCount[st.Sid]
+			cr.elemCount[st.Sid] = n + 1
+			// One offload request per iteration (Omni-Compute style).
+			act := cr.instRoundTrip(st, n)
+			cr.push(&cpu.MicroOp{Class: cpu.Load}, act)
+		}
+	case modePerElem:
+		if isAccess && (st.Write || st.Kind == isa.KindIndirect) {
+			// Per-element core↔bank round trip (Livia without autonomy).
+			cr.offloadedDyn++
+			n := cr.elemCount[st.Sid]
+			cr.elemCount[st.Sid] = n + 1
+			deps := cr.memDeps(op)
+			act := cr.perElemRoundTrip(st, n)
+			seq := cr.push(&cpu.MicroOp{Class: cpu.Load, Deps: deps}, act)
+			cr.setSeq(id, seq)
+			return
+		}
+		cr.emitPrefetchOrCore(id, ent, st, isAccess)
+	case modePrefetch:
+		cr.emitPrefetchOrCore(id, ent, st, isAccess)
+	default: // modeDirect
+		cr.emitCoreOp(id, ent)
+	}
+}
+
+// emitPrefetchOrCore handles streams kept in the core: load accesses read
+// the SE_core FIFO; everything else executes normally.
+func (cr *coreRun) emitPrefetchOrCore(id ir.ValueRef, ent *traceEntry, st *compiler.Stream, isAccess bool) {
+	if isAccess && !ent.write {
+		if ics := cr.prefetch[st.Sid]; ics != nil {
+			n := cr.elemCount[st.Sid]
+			if id == st.AccessOp {
+				cr.elemCount[st.Sid] = n + 1
+			} else if n > 0 {
+				n-- // chase field loads share the current element
+			}
+			elem := n
+			if elem >= len(ics.elems) {
+				elem = len(ics.elems) - 1
+			}
+			seq := cr.push(&cpu.MicroOp{Class: cpu.Load, ExtraLatency: 1}, func(done func()) {
+				ics.consume(elem, func(at sim.Time) {
+					cr.m.Engine.ScheduleAt(maxT(at, cr.m.Engine.Now()), done)
+				})
+			})
+			cr.setSeq(id, seq)
+			cr.stat("ns.sload", 1)
+			return
+		}
+	}
+	cr.emitCoreOp(id, ent)
+}
+
+func maxT(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// emitCoreOp lowers one IR op to a core micro-op with dependences.
+func (cr *coreRun) emitCoreOp(id ir.ValueRef, ent *traceEntry) {
+	op := &cr.k.Ops[id]
+	var deps []uint64
+	addDep := func(r ir.ValueRef) { deps = append(deps, cr.resolveDep(r)...) }
+	mop := &cpu.MicroOp{}
+	switch op.Kind {
+	case ir.OpLoad, ir.OpStore, ir.OpAtomic:
+		addDep(op.Val)
+		addDep(op.Expected)
+		addDep(op.Addr.Base)
+		addDep(op.Addr.IndexVal)
+		addDep(op.Addr.Pointer)
+		switch op.Kind {
+		case ir.OpLoad:
+			mop.Class = cpu.Load
+		case ir.OpStore:
+			mop.Class = cpu.Store
+		default:
+			mop.Class = cpu.Atomic
+		}
+		mop.Mem = &cpu.MemRef{Addr: ent.pa, Write: ent.write, PC: uint64(id)*8 + 0x4000}
+	case ir.OpBin:
+		addDep(op.A)
+		addDep(op.B)
+		mop.Class = classOfBin(op)
+	case ir.OpSelect:
+		addDep(op.Cond)
+		addDep(op.A)
+		addDep(op.B)
+		mop.Class = cpu.IntAlu
+	case ir.OpConvert:
+		addDep(op.A)
+		mop.Class = cpu.IntAlu
+	case ir.OpIndex:
+		mop.Class = cpu.IntAlu
+	case ir.OpChaseVar:
+		// The chase variable carries the loop dependence: its value is
+		// the previous iteration's next pointer (or the start value).
+		l := &cr.k.Loops[op.Level]
+		addDep(l.NextVal)
+		addDep(l.StartVal)
+		mop.Class = cpu.IntAlu
+	case ir.OpReduce:
+		addDep(op.Val)
+		if prev, ok := cr.lastAcc[op.Acc]; ok {
+			deps = append(deps, prev)
+		}
+		mop.Class = classOfBin(op)
+	case ir.OpAccRead:
+		if prev, ok := cr.lastAcc[op.Acc]; ok {
+			deps = append(deps, prev)
+		}
+		mop.Class = cpu.IntAlu
+	default:
+		mop.Class = cpu.IntAlu
+	}
+	if op.Vector {
+		mop.Class = cpu.SIMD
+	}
+	mop.Deps = deps
+	seq := cr.push(mop, nil)
+	cr.setSeq(id, seq)
+	if op.Kind == ir.OpReduce {
+		if cr.lastAcc == nil {
+			cr.lastAcc = map[string]uint64{}
+		}
+		cr.lastAcc[op.Acc] = seq
+	}
+}
+
+// memDeps resolves the operand deps of a memory op (for round-trip modes).
+func (cr *coreRun) memDeps(op *ir.Op) []uint64 {
+	var deps []uint64
+	for _, r := range []ir.ValueRef{op.Val, op.Expected, op.Addr.Base, op.Addr.IndexVal, op.Addr.Pointer} {
+		deps = append(deps, cr.resolveDep(r)...)
+	}
+	return deps
+}
+
+func classOfBin(op *ir.Op) cpu.OpClass {
+	if op.Vector {
+		return cpu.SIMD
+	}
+	if op.Type.IsFloat() {
+		if op.Bin == ir.Div {
+			return cpu.FPDiv
+		}
+		return cpu.FPAlu
+	}
+	switch op.Bin {
+	case ir.Mul:
+		return cpu.IntMult
+	case ir.Div:
+		return cpu.IntDiv
+	default:
+		return cpu.IntAlu
+	}
+}
+
+// resolveDep returns the dependence seqs for one IR operand: the last
+// emitted instance, or an s_load of a remote stream's response.
+func (cr *coreRun) resolveDep(r ir.ValueRef) []uint64 {
+	if r == ir.NoValue {
+		return nil
+	}
+	if cr.haveSeq[r] {
+		return []uint64{cr.lastSeq[r]}
+	}
+	// Value produced by an offloaded stream: read it from the response
+	// FIFO (s_load).
+	if st := cr.streamOf(r); st != nil && cr.modes[st.Sid] == modeRemote {
+		rs := cr.remotes[st.Sid]
+		if rs != nil && rs.respAt != nil && r == st.AccessOp {
+			idx := cr.consumeCount[st.Sid]
+			cr.consumeCount[st.Sid] = idx + 1
+			if idx >= len(rs.respAt) {
+				idx = len(rs.respAt) - 1
+			}
+			elem := idx
+			seq := cr.push(&cpu.MicroOp{Class: cpu.Load, ExtraLatency: 1}, func(done func()) {
+				rs.respReady(elem, func(sim.Time) { done() })
+			})
+			cr.setSeq(r, seq)
+			cr.stat("ns.sload_remote", 1)
+			return []uint64{seq}
+		}
+	}
+	return nil // configuration value or fully offloaded producer
+}
+
+func (cr *coreRun) setSeq(id ir.ValueRef, seq uint64) {
+	cr.lastSeq[id] = seq
+	cr.haveSeq[id] = true
+}
+
+// emitEnd issues s_end per stream and the completion barrier that waits
+// for every offloaded stream's done/final-value message.
+func (cr *coreRun) emitEnd() {
+	cr.endEmitted = true
+	for range cr.remotes {
+		cr.push(&cpu.MicroOp{Class: cpu.IntAlu}, nil) // s_end
+	}
+	if cr.pendingStreams > 0 {
+		cr.push(&cpu.MicroOp{Class: cpu.Load}, func(done func()) {
+			if cr.pendingStreams == 0 {
+				done()
+				return
+			}
+			cr.barrierWaiters = append(cr.barrierWaiters, done)
+		})
+	}
+}

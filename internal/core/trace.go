@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// entryKind discriminates trace entries.
+type entryKind uint8
+
+const (
+	entOp entryKind = iota
+	entIter
+)
+
+// traceEntry is one dynamic event from the functional interpretation of a
+// kernel partition.
+type traceEntry struct {
+	kind  entryKind
+	id    ir.ValueRef // entOp
+	level int         // entIter
+	iter  uint64      // entIter index
+	// Memory-op payload (entOp with a memory kind).
+	pa      uint64
+	size    uint8
+	write   bool
+	atomic  bool
+	changed bool
+}
+
+// Trace is a per-core dynamic trace: the functional execution is
+// timing-independent (kernels are data-race free, §IV-B), so one trace
+// drives every system variant.
+type Trace struct {
+	Entries []traceEntry
+	// DynOps counts dynamic ops by compiler category.
+	DynOps map[compiler.Category]uint64
+	// StreamElems[sid] is the ordered element list of each stream.
+	StreamElems map[int][]streamElem
+	// Iters is the number of innermost iterations.
+	Iters uint64
+	// Accs carries the functional reduction results.
+	Accs map[string]uint64
+}
+
+// streamElem is one dynamic element of a stream.
+type streamElem struct {
+	pa      uint64
+	size    uint8
+	iter    uint64 // innermost-iteration index it belongs to
+	chain   uint32 // instance id of the stream's loop level (chases)
+	changed bool   // atomics: whether the value changed (MRSW)
+}
+
+// GenTrace interprets kernel k over [outerLo, outerHi) with plan p,
+// producing the core's trace. The machine supplies address translation.
+func GenTrace(m *machine.Machine, k *ir.Kernel, p *compiler.Plan, params map[string]uint64, d *ir.Data, outerLo, outerHi uint64) (*Trace, error) {
+	tr := &Trace{
+		DynOps:      map[compiler.Category]uint64{},
+		StreamElems: map[int][]streamElem{},
+	}
+	innermost := len(k.Loops) - 1
+	var innerIter uint64
+	classOf := func(id ir.ValueRef) compiler.Category {
+		if p == nil {
+			op := &k.Ops[id]
+			if op.Kind == ir.OpConst || op.Kind == ir.OpParam {
+				return compiler.CatConfig
+			}
+			return compiler.CatCore
+		}
+		return p.ClassOf(id)
+	}
+	streamOf := func(id ir.ValueRef) *compiler.Stream {
+		if p == nil {
+			return nil
+		}
+		return p.StreamOf(id)
+	}
+	// instances[L] counts how many times loop level L has been entered
+	// (distinct dynamic instances — chains for while loops).
+	instances := make([]uint32, len(k.Loops))
+	hooks := &ir.Hooks{
+		OnIter: func(level int, idx uint64) {
+			if idx == 0 {
+				instances[level]++
+			}
+			if level == innermost {
+				innerIter = tr.Iters
+				tr.Iters++
+			}
+			tr.Entries = append(tr.Entries, traceEntry{kind: entIter, level: level, iter: idx})
+		},
+		OnOp: func(id ir.ValueRef, op *ir.Op) {
+			if op.Kind == ir.OpLoad || op.Kind == ir.OpStore || op.Kind == ir.OpAtomic {
+				return // recorded by OnMem with the address attached
+			}
+			tr.DynOps[classOf(id)]++
+			tr.Entries = append(tr.Entries, traceEntry{kind: entOp, id: id})
+		},
+		OnMem: func(ev ir.MemEvent) {
+			tr.DynOps[classOf(ev.OpID)]++
+			pa := m.Translate(ev.Addr)
+			tr.Entries = append(tr.Entries, traceEntry{
+				kind: entOp, id: ev.OpID, pa: pa, size: uint8(ev.Size),
+				write: ev.Write, atomic: ev.Atomic, changed: ev.Changed,
+			})
+			// One stream element per iteration, recorded at the primary
+			// access: chase field loads and the store half of merged RMW
+			// streams share the primary's element.
+			if s := streamOf(ev.OpID); s != nil && ev.OpID == s.AccessOp {
+				changed := ev.Changed
+				if s.MergedStore != ir.NoValue {
+					changed = true // the merged store will modify the line
+				}
+				tr.StreamElems[s.Sid] = append(tr.StreamElems[s.Sid], streamElem{
+					pa: pa, size: uint8(ev.Size), iter: innerIter,
+					chain: instances[s.Level], changed: changed,
+				})
+			}
+		},
+	}
+	accs, err := ir.Exec(k, d, params, outerLo, outerHi, hooks)
+	if err != nil {
+		return nil, fmt.Errorf("core: trace generation: %w", err)
+	}
+	tr.Accs = accs
+	return tr, nil
+}
+
+// Partition splits [0, total) into per-core contiguous chunks (OpenMP
+// static scheduling).
+func Partition(total uint64, cores int) [][2]uint64 {
+	out := make([][2]uint64, cores)
+	chunk := total / uint64(cores)
+	rem := total % uint64(cores)
+	var lo uint64
+	for c := 0; c < cores; c++ {
+		hi := lo + chunk
+		if uint64(c) < rem {
+			hi++
+		}
+		out[c] = [2]uint64{lo, hi}
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package cpu provides the core timing models of Table V: IO4 (in-order
+// 4-issue), OOO4 and OOO8 out-of-order cores, and the lightweight SCC
+// (stream computing context) thread contexts used for near-stream
+// computation (§III-C).
+//
+// The model is an instruction-window timing model in the style of ZSim /
+// Sniper rather than a full pipeline simulation: each micro-op's issue time
+// is the maximum of its operands' completion times, an issue-bandwidth
+// slot, a functional-unit slot, and window occupancy limits (ROB, LQ, SQ);
+// memory ops complete event-driven through the cache hierarchy. This
+// preserves the ILP/MLP limits that differentiate the systems the paper
+// compares while staying fast enough to simulate 64 tiles.
+package cpu
+
+import "repro/internal/sim"
+
+// OpClass categorizes micro-ops for functional-unit selection and default
+// latencies (Table V functional units).
+type OpClass int
+
+const (
+	// IntAlu is a 1-cycle integer/branch/address op.
+	IntAlu OpClass = iota
+	// IntMult is a 3-cycle integer multiply.
+	IntMult
+	// IntDiv is a 12-cycle unpipelined integer divide.
+	IntDiv
+	// FPAlu is a 2-cycle floating-point add/mul/compare.
+	FPAlu
+	// FPDiv is a 12-cycle unpipelined floating-point divide.
+	FPDiv
+	// SIMD is a 1-cycle vector integer / 2-cycle handled as FPAlu for FP;
+	// we use 2 cycles to be conservative for AVX-512 style ops.
+	SIMD
+	// Load reads memory through the hierarchy.
+	Load
+	// Store writes memory through the hierarchy (retires into the store
+	// buffer; occupancy is bounded by the SQ+SB).
+	Store
+	// Atomic is a read-modify-write memory op executed at the core.
+	Atomic
+	numOpClasses
+)
+
+// String names the class.
+func (c OpClass) String() string {
+	switch c {
+	case IntAlu:
+		return "int_alu"
+	case IntMult:
+		return "int_mult"
+	case IntDiv:
+		return "int_div"
+	case FPAlu:
+		return "fp_alu"
+	case FPDiv:
+		return "fp_div"
+	case SIMD:
+		return "simd"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Atomic:
+		return "atomic"
+	default:
+		return "op?"
+	}
+}
+
+// IsMem reports whether the class goes through the memory hierarchy.
+func (c OpClass) IsMem() bool { return c == Load || c == Store || c == Atomic }
+
+// fuKind maps op classes onto functional-unit pools.
+type fuKind int
+
+const (
+	fuIntAlu fuKind = iota
+	fuIntMult
+	fuFPAlu
+	fuFPDiv
+	fuMemPort
+	numFUKinds
+)
+
+// Config describes one core (Table V).
+type Config struct {
+	Name       string
+	IssueWidth int
+	ROB        int
+	IQ         int
+	LQ         int
+	SQ         int // includes the store buffer
+	InOrder    bool
+	// FUCount is the number of units per pool; zero entries get defaults.
+	FUCount [numFUKinds]int
+	// Latency overrides per class; zero entries get defaults.
+	Latency [numOpClasses]sim.Time
+}
+
+func defaults(cfg Config) Config {
+	def := [numFUKinds]int{fuIntAlu: 4, fuIntMult: 2, fuFPAlu: 2, fuFPDiv: 2, fuMemPort: 2}
+	for k := range cfg.FUCount {
+		if cfg.FUCount[k] == 0 {
+			cfg.FUCount[k] = def[k]
+		}
+	}
+	lat := [numOpClasses]sim.Time{
+		IntAlu: 1, IntMult: 3, IntDiv: 12, FPAlu: 2, FPDiv: 12, SIMD: 2,
+		Load: 0, Store: 1, Atomic: 0, // memory classes are event-driven
+	}
+	for c := range cfg.Latency {
+		if cfg.Latency[c] == 0 {
+			cfg.Latency[c] = lat[c]
+		}
+	}
+	return cfg
+}
+
+// IO4 returns the in-order 4-issue core of Table V
+// (10 IQ, 4 LSQ, 10 SB).
+func IO4() Config {
+	return defaults(Config{
+		Name: "IO4", IssueWidth: 4, ROB: 10, IQ: 10, LQ: 4, SQ: 10, InOrder: true,
+	})
+}
+
+// OOO4 returns the 4-issue out-of-order core of Table V
+// (24 IQ, 24 LQ, 24 SQ+SB, 96 ROB).
+func OOO4() Config {
+	return defaults(Config{
+		Name: "OOO4", IssueWidth: 4, ROB: 96, IQ: 24, LQ: 24, SQ: 24,
+	})
+}
+
+// OOO8 returns the 8-issue out-of-order core of Table V
+// (64 IQ, 72 LQ, 56 SQ+SB, 224 ROB, double FUs).
+func OOO8() Config {
+	return defaults(Config{
+		Name: "OOO8", IssueWidth: 8, ROB: 224, IQ: 64, LQ: 72, SQ: 56,
+		FUCount: [numFUKinds]int{fuIntAlu: 8, fuIntMult: 4, fuFPAlu: 4, fuFPDiv: 4, fuMemPort: 4},
+	})
+}
+
+// SCC returns a stream-computing-context configuration: a lightweight SMT
+// thread with restricted ROB and no LSQ pressure (near-stream functions
+// contain no loads/stores — stream FIFO reads stand in for them, §III-C).
+// robEntries is swept by Figure 14 (default 32 per context for OOO8).
+func SCC(robEntries int) Config {
+	if robEntries <= 0 {
+		robEntries = 32
+	}
+	return defaults(Config{
+		Name: "SCC", IssueWidth: 2, ROB: robEntries, IQ: robEntries,
+		LQ: robEntries, SQ: robEntries,
+		FUCount: [numFUKinds]int{fuIntAlu: 2, fuIntMult: 1, fuFPAlu: 2, fuFPDiv: 1, fuMemPort: 2},
+	})
+}

@@ -1,0 +1,479 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MemRef describes the memory side of a Load/Store/Atomic micro-op.
+type MemRef struct {
+	Addr  uint64
+	Write bool
+	PC    uint64
+}
+
+// MicroOp is one dynamic micro-operation. Deps name earlier ops by their
+// sequence number (the value Core assigns in fetch order, starting at 0);
+// dependences on ops older than the window are treated as ready.
+type MicroOp struct {
+	Class OpClass
+	Deps  []uint64
+	Mem   *MemRef
+	// ExtraLatency is added to the class latency (e.g. an SE FIFO access).
+	ExtraLatency sim.Time
+	// OnRetire, if set, runs when the op retires (in order), with the
+	// retirement time. The stream runtime uses this for s_step/commit.
+	OnRetire func(at sim.Time)
+	// OnIssue, if set, runs when the op's issue time is decided. For
+	// memory ops the hierarchy access starts at this time.
+	OnIssue func(at sim.Time)
+}
+
+// FetchResult is the source's answer to a fetch request.
+type FetchResult int
+
+const (
+	// FetchOp delivered an op.
+	FetchOp FetchResult = iota
+	// FetchStall means no op is available yet; the source must call
+	// Core.Wake when that changes.
+	FetchStall
+	// FetchDone means the instruction stream ended.
+	FetchDone
+)
+
+// OpSource supplies the dynamic micro-op stream.
+type OpSource interface {
+	Next() (*MicroOp, FetchResult)
+}
+
+// MemFunc issues a memory access for op seq at time at; done must be called
+// exactly once when the access completes.
+type MemFunc func(seq uint64, ref MemRef, at sim.Time, done func())
+
+// robEntry tracks one in-flight op.
+type robEntry struct {
+	seq      uint64
+	complete sim.Time
+	resolved bool
+	onRetire func(at sim.Time)
+}
+
+// waitOp is a dispatched-but-unissued op parked in the issue queue until
+// its dependences resolve.
+type waitOp struct {
+	op        *MicroOp
+	seq       uint64
+	loadSlot  int // -1 when none
+	storeSlot int
+}
+
+// Core is one hardware context (a full core or an SCC thread).
+type Core struct {
+	cfg    Config
+	engine *sim.Engine
+	source OpSource
+	mem    MemFunc
+
+	// Window state.
+	rob        []robEntry // ring, indexed by seq % ROB
+	fetched    uint64     // ops fetched (next seq)
+	retired    uint64     // ops retired
+	lastRetire sim.Time
+	doneTimes  []sim.Time // shadow completions of recently retired ops
+
+	// Issue-queue: ops dispatched but waiting on unresolved deps (OOO).
+	waiting []waitOp
+
+	// Issue bandwidth bookkeeping.
+	issueCycle sim.Time
+	issueUsed  int
+	lastIssue  sim.Time
+
+	// Functional units: next-free time per unit.
+	fu [numFUKinds][]sim.Time
+
+	// Load/store queue occupancy rings (completion time or MaxTime while
+	// the slot's op is still in flight).
+	loadRing  []sim.Time
+	loadIdx   int
+	storeRing []sim.Time
+	storeIdx  int
+
+	fetchDone bool
+	stalled   bool // waiting on source Wake
+	pumping   bool
+	pumpQd    bool
+	retryOp   *MicroOp
+	onIdle    func()
+
+	// Stats.
+	OpsRetired uint64
+	MemOps     uint64
+}
+
+// NewCore builds a core. mem may be nil when the source never produces
+// memory ops with a MemRef.
+func NewCore(engine *sim.Engine, cfg Config, source OpSource, mem MemFunc) *Core {
+	if cfg.IssueWidth <= 0 || cfg.ROB <= 0 {
+		panic("cpu: bad core config")
+	}
+	c := &Core{
+		cfg:       cfg,
+		engine:    engine,
+		source:    source,
+		mem:       mem,
+		rob:       make([]robEntry, cfg.ROB),
+		doneTimes: make([]sim.Time, cfg.ROB),
+		loadRing:  make([]sim.Time, maxInt(cfg.LQ, 1)),
+		storeRing: make([]sim.Time, maxInt(cfg.SQ, 1)),
+	}
+	for k := range c.fu {
+		c.fu[k] = make([]sim.Time, cfg.FUCount[k])
+	}
+	return c
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Start begins execution.
+func (c *Core) Start() { c.schedulePump(0) }
+
+// Wake tells a stalled core that its source has ops again.
+func (c *Core) Wake() {
+	if c.stalled {
+		c.stalled = false
+		c.schedulePump(0)
+	}
+}
+
+// Done reports whether the core has retired its whole stream.
+func (c *Core) Done() bool { return c.fetchDone && c.retired == c.fetched }
+
+// FinishTime returns the retirement time of the last op.
+func (c *Core) FinishTime() sim.Time { return c.lastRetire }
+
+// SetOnIdle registers a callback fired once when the stream completes.
+func (c *Core) SetOnIdle(fn func()) { c.onIdle = fn }
+
+func (c *Core) schedulePump(delay sim.Time) {
+	if c.pumpQd {
+		return
+	}
+	c.pumpQd = true
+	c.engine.Schedule(delay, func() {
+		c.pumpQd = false
+		c.pump()
+	})
+}
+
+// completionOf returns the completion time of dependency seq, or ok=false
+// while it is unresolved.
+func (c *Core) completionOf(seq uint64) (sim.Time, bool) {
+	if seq >= c.fetched {
+		panic(fmt.Sprintf("cpu: dependence on future op %d (fetched %d)", seq, c.fetched))
+	}
+	if seq < c.retired {
+		if c.retired-seq <= uint64(c.cfg.ROB) {
+			return c.doneTimes[seq%uint64(c.cfg.ROB)], true
+		}
+		return 0, true
+	}
+	e := &c.rob[seq%uint64(c.cfg.ROB)]
+	if !e.resolved {
+		return 0, false
+	}
+	return e.complete, true
+}
+
+// tryRetire advances retirement over resolved heads.
+func (c *Core) tryRetire() {
+	for c.retired < c.fetched {
+		e := &c.rob[c.retired%uint64(c.cfg.ROB)]
+		if !e.resolved {
+			return
+		}
+		if e.complete > c.lastRetire {
+			c.lastRetire = e.complete
+		}
+		c.doneTimes[c.retired%uint64(c.cfg.ROB)] = e.complete
+		if e.onRetire != nil {
+			fn, at := e.onRetire, c.lastRetire
+			e.onRetire = nil
+			fn(at)
+		}
+		c.retired++
+		c.OpsRetired++
+	}
+	if c.fetchDone && c.Done() && c.onIdle != nil {
+		fn := c.onIdle
+		c.onIdle = nil
+		fn()
+	}
+}
+
+// maxPumpOps bounds run-ahead per pump so event interleaving with the
+// memory system stays fine-grained.
+const maxPumpOps = 64
+
+func (c *Core) pump() {
+	if c.pumping {
+		return
+	}
+	c.pumping = true
+	defer func() { c.pumping = false }()
+
+	c.drainWaiting()
+	c.tryRetire()
+	for n := 0; n < maxPumpOps; n++ {
+		if c.fetched-c.retired >= uint64(c.cfg.ROB) {
+			if c.rob[c.retired%uint64(c.cfg.ROB)].resolved {
+				c.tryRetire()
+				continue
+			}
+			return // head unresolved; completion event re-pumps
+		}
+		op := c.retryOp
+		if op != nil {
+			c.retryOp = nil
+		} else {
+			var res FetchResult
+			op, res = c.source.Next()
+			switch res {
+			case FetchStall:
+				c.stalled = true
+				return
+			case FetchDone:
+				c.fetchDone = true
+				c.tryRetire()
+				return
+			}
+		}
+		if !c.dispatch(op) {
+			c.retryOp = op
+			return // blocked; a completion event re-pumps
+		}
+	}
+	c.schedulePump(1)
+}
+
+// dispatch admits one op into the window. It returns false when dispatch
+// must stall (LSQ slot or IQ full, or in-order with unresolved deps).
+func (c *Core) dispatch(op *MicroOp) bool {
+	// Reserve LSQ slots at dispatch (allocation-time semantics).
+	isLoad := op.Class == Load || op.Class == Atomic
+	isStore := op.Class == Store || op.Class == Atomic
+	loadSlot, storeSlot := -1, -1
+	ready := c.engine.Now()
+	if isLoad {
+		if c.loadRing[c.loadIdx] == sim.MaxTime {
+			return false // LQ full
+		}
+		if t := c.loadRing[c.loadIdx]; t > ready {
+			ready = t
+		}
+	}
+	if isStore {
+		if c.storeRing[c.storeIdx] == sim.MaxTime {
+			return false // SQ full
+		}
+		if t := c.storeRing[c.storeIdx]; t > ready {
+			ready = t
+		}
+	}
+	// Resolve dependences.
+	unresolved := false
+	for _, d := range op.Deps {
+		t, ok := c.completionOf(d)
+		if !ok {
+			unresolved = true
+			continue
+		}
+		if t > ready {
+			ready = t
+		}
+	}
+	if unresolved {
+		if c.cfg.InOrder {
+			return false // in-order issue stalls at the front
+		}
+		if len(c.waiting) >= c.cfg.IQ {
+			return false // issue queue full
+		}
+	}
+	// Claim LSQ slots now that we will definitely dispatch.
+	if isLoad {
+		loadSlot = c.loadIdx
+		c.loadRing[loadSlot] = sim.MaxTime
+		c.loadIdx = (c.loadIdx + 1) % len(c.loadRing)
+	}
+	if isStore {
+		storeSlot = c.storeIdx
+		c.storeRing[storeSlot] = sim.MaxTime
+		c.storeIdx = (c.storeIdx + 1) % len(c.storeRing)
+	}
+	seq := c.fetched
+	c.fetched++
+	c.rob[seq%uint64(c.cfg.ROB)] = robEntry{seq: seq, onRetire: op.OnRetire}
+	if unresolved {
+		c.waiting = append(c.waiting, waitOp{op: op, seq: seq, loadSlot: loadSlot, storeSlot: storeSlot})
+		return true
+	}
+	c.issueOp(op, seq, ready, loadSlot, storeSlot)
+	return true
+}
+
+// drainWaiting re-checks parked ops after completions; runs to fixpoint so
+// chains of non-memory ops resolve in one pass.
+func (c *Core) drainWaiting() {
+	for {
+		progressed := false
+		remaining := c.waiting[:0]
+		for _, w := range c.waiting {
+			ready := c.engine.Now()
+			ok := true
+			for _, d := range w.op.Deps {
+				t, resolved := c.completionOf(d)
+				if !resolved {
+					ok = false
+					break
+				}
+				if t > ready {
+					ready = t
+				}
+			}
+			if !ok {
+				remaining = append(remaining, w)
+				continue
+			}
+			c.issueOp(w.op, w.seq, ready, w.loadSlot, w.storeSlot)
+			progressed = true
+		}
+		c.waiting = remaining
+		if !progressed {
+			return
+		}
+	}
+}
+
+// issueOp assigns an issue time respecting bandwidth and functional units,
+// then starts execution (memory ops go to the hierarchy).
+func (c *Core) issueOp(op *MicroOp, seq uint64, ready sim.Time, loadSlot, storeSlot int) {
+	if c.cfg.InOrder && c.lastIssue > ready {
+		ready = c.lastIssue
+	}
+	issue := ready
+	if issue < c.issueCycle {
+		issue = c.issueCycle
+	}
+	if issue == c.issueCycle && c.issueUsed >= c.cfg.IssueWidth {
+		issue++
+	}
+	kind := fuFor(op.Class)
+	units := c.fu[kind]
+	best := 0
+	for i := 1; i < len(units); i++ {
+		if units[i] < units[best] {
+			best = i
+		}
+	}
+	if units[best] > issue {
+		issue = units[best]
+	}
+	if issue != c.issueCycle {
+		c.issueCycle = issue
+		c.issueUsed = 0
+	}
+	c.issueUsed++
+	occupancy := sim.Time(1)
+	if op.Class == IntDiv || op.Class == FPDiv {
+		occupancy = c.cfg.Latency[op.Class] // unpipelined
+	}
+	units[best] = issue + occupancy
+	c.lastIssue = issue
+
+	if op.OnIssue != nil {
+		op.OnIssue(issue)
+	}
+
+	e := &c.rob[seq%uint64(c.cfg.ROB)]
+	if op.Class.IsMem() && op.Mem != nil {
+		c.MemOps++
+		extra := op.ExtraLatency
+		ref := *op.Mem
+		c.mem(seq, ref, issue, func() {
+			at := c.engine.Now() + extra
+			c.resolveMem(seq, at, loadSlot, storeSlot)
+		})
+		if op.Class == Store {
+			// Stores complete into the store buffer; the SQ slot stays
+			// busy until memory acknowledges.
+			e.resolved = true
+			e.complete = issue + c.cfg.Latency[Store] + op.ExtraLatency
+		}
+	} else {
+		lat := c.cfg.Latency[op.Class] + op.ExtraLatency
+		if op.Class.IsMem() {
+			// Mem-class op without a MemRef (SE FIFO access).
+			lat = c.cfg.Latency[IntAlu] + op.ExtraLatency
+		}
+		e.resolved = true
+		e.complete = issue + lat
+		if loadSlot >= 0 {
+			c.loadRing[loadSlot] = e.complete
+		}
+		if storeSlot >= 0 {
+			c.storeRing[storeSlot] = e.complete
+		}
+	}
+	c.tryRetire()
+}
+
+// resolveMem records a memory op's completion, frees its queue slots, and
+// restarts the pipeline.
+func (c *Core) resolveMem(seq uint64, at sim.Time, loadSlot, storeSlot int) {
+	if c.fetched > seq && c.fetched-seq <= uint64(c.cfg.ROB) {
+		e := &c.rob[seq%uint64(c.cfg.ROB)]
+		if e.seq == seq && !e.resolved {
+			e.resolved = true
+			e.complete = at
+		}
+	}
+	if loadSlot >= 0 {
+		c.loadRing[loadSlot] = at
+	}
+	if storeSlot >= 0 {
+		c.storeRing[storeSlot] = at
+	}
+	c.drainWaiting()
+	c.tryRetire()
+	if !c.Done() {
+		c.schedulePump(0)
+	}
+}
+
+func fuFor(class OpClass) fuKind {
+	switch class {
+	case IntAlu:
+		return fuIntAlu
+	case IntMult, IntDiv:
+		return fuIntMult
+	case FPAlu, SIMD:
+		return fuFPAlu
+	case FPDiv:
+		return fuFPDiv
+	case Load, Store, Atomic:
+		return fuMemPort
+	default:
+		panic("cpu: unknown op class")
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

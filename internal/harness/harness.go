@@ -1,0 +1,198 @@
+// Package harness runs the paper's experiment matrix: (workload × system
+// × parameters) → statistics, and renders every table and figure of the
+// evaluation (§VII) as text. See DESIGN.md's experiment index for the
+// figure-to-function mapping.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Config selects scale, core type and parameter overrides for a run.
+type Config struct {
+	Scale    workloads.Scale
+	CoreType string // "IO4", "OOO4", "OOO8" (default)
+	// Tweak adjusts runtime parameters (sensitivity studies); may be nil.
+	Tweak func(*core.Params)
+	// Seed feeds workload initialization.
+	Seed uint64
+}
+
+// DefaultConfig returns the CI-scale OOO8 configuration.
+func DefaultConfig() Config {
+	return Config{Scale: workloads.ScaleCI, CoreType: "OOO8", Seed: 1}
+}
+
+// coreConfigFor maps the name to a cpu configuration.
+func coreConfigFor(name string) cpu.Config {
+	switch name {
+	case "IO4":
+		return cpu.IO4()
+	case "OOO4":
+		return cpu.OOO4()
+	default:
+		return cpu.OOO8()
+	}
+}
+
+// MachineConfig builds the machine for a scale: the paper's 8×8 Table V
+// system, or the CI system (4×4 mesh with caches scaled 1/16 so the
+// footprint ratios — and therefore the §IV-B offload decisions — match
+// the paper's at the reduced workload sizes).
+func MachineConfig(cfg Config, prefetchers bool) machine.Config {
+	var mc machine.Config
+	if cfg.Scale == workloads.ScalePaper {
+		mc = machine.Default()
+	} else {
+		mc = machine.CI()
+		mc.Cache.L1.SizeBytes = 2 << 10
+		mc.Cache.L2.SizeBytes = 16 << 10
+		mc.Cache.L3Bank.SizeBytes = 64 << 10
+	}
+	mc.CoreType = coreConfigFor(cfg.CoreType)
+	mc.EnablePrefetchers = prefetchers
+	mc.Seed = cfg.Seed
+	return mc
+}
+
+// Result is one (workload, system) measurement.
+type Result struct {
+	Workload string
+	System   core.System
+	Cycles   uint64
+	// TotalOps is the dynamic micro-op count (all categories).
+	TotalOps uint64
+	// StreamableOps and OffloadedOps drive Figure 11.
+	StreamableOps, OffloadedOps uint64
+	// Traffic in bytes×hops by class (Figure 12).
+	TrafficData, TrafficControl, TrafficOffload uint64
+	// Energy for Figure 10.
+	Energy energy.Breakdown
+	// LockAcquires/LockConflicts for Figure 16.
+	LockAcquires, LockConflicts uint64
+}
+
+// TotalTraffic sums all classes.
+func (r *Result) TotalTraffic() uint64 {
+	return r.TrafficData + r.TrafficControl + r.TrafficOffload
+}
+
+// RunOne simulates one workload on one system: the kernel runs Iters
+// times on one machine (so iterations past the first observe a warm LLC,
+// as in the paper's simulate-to-completion runs).
+func RunOne(wname string, sys core.System, cfg Config) (*Result, error) {
+	w := workloads.Get(wname, cfg.Scale)
+	needPf := sys == core.Base
+	m := machine.New(MachineConfig(cfg, needPf))
+	d := ir.NewData(m.AS)
+	d.AllocArrays(w.Kernel)
+	w.Init(d, sim.NewRand(cfg.Seed^0x9e37))
+	params := core.DefaultParams(m.Tiles())
+	if cfg.Tweak != nil {
+		cfg.Tweak(&params)
+	}
+	out := &Result{Workload: wname, System: sys}
+	for it := 0; it < w.Iters; it++ {
+		res, err := core.Run(m, w.Kernel, sys, params, w.Params, d)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%v: %w", wname, sys, err)
+		}
+		for _, n := range res.DynOps {
+			out.TotalOps += n
+		}
+		out.StreamableOps += res.DynOps[1] + res.DynOps[2] // mem + compute
+		out.OffloadedOps += res.OffloadedOps
+	}
+	out.Cycles = uint64(m.Engine.Now())
+	s := m.CollectStats()
+	out.TrafficData = s.Get("noc.bytehops.data")
+	out.TrafficControl = s.Get("noc.bytehops.control")
+	out.TrafficOffload = s.Get("noc.bytehops.offloaded")
+	out.LockAcquires = s.Get("lock.acquires")
+	out.LockConflicts = s.Get("lock.conflicts")
+	out.Energy = energy.Estimate(energy.ForCore(cfg.CoreType), s, out.TotalOps, out.Cycles)
+	return out, nil
+}
+
+// Table is a rendered experiment: named rows × named columns of values.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  []TableRow
+	Note  string
+}
+
+// TableRow is one row.
+type TableRow struct {
+	Name  string
+	Cells []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(name string, cells ...float64) {
+	t.Rows = append(t.Rows, TableRow{Name: name, Cells: cells})
+}
+
+// String renders aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s", r.Name)
+		for _, v := range r.Cells {
+			fmt.Fprintf(&b, "%14.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Col returns a column index by name (-1 when missing).
+func (t *Table) Col(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Cell returns a named cell.
+func (t *Table) Cell(row, col string) (float64, bool) {
+	ci := t.Col(col)
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Name == row && ci < len(r.Cells) {
+			return r.Cells[ci], true
+		}
+	}
+	return 0, false
+}
+
+// geoMean of positive values; 0 when empty.
+func geoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return stats.GeoMean(xs)
+}

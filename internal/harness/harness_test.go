@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// quick is a fast workload subset spanning the taxonomy: MO store, affine
+// load + indirect atomic, indirect reduce, pointer-chase reduce.
+var quick = []string{"pathfinder", "histogram", "pr_pull", "hash_join"}
+
+func TestRunOneAllQuickWorkloads(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, name := range quick {
+		for _, sys := range []core.System{core.Base, core.NS, core.NSDecouple} {
+			r, err := RunOne(name, sys, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Cycles == 0 || r.TotalOps == 0 {
+				t.Fatalf("%s/%v: empty result", name, sys)
+			}
+			if r.Energy.Total() <= 0 {
+				t.Fatalf("%s/%v: no energy", name, sys)
+			}
+		}
+	}
+}
+
+func TestFig1aFractionsSane(t *testing.T) {
+	tab, err := Fig1a(DefaultConfig(), quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		sum := r.Cells[0] + r.Cells[1] + r.Cells[2]
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("%s: fractions sum to %v", r.Name, sum)
+		}
+		if r.Cells[0]+r.Cells[1] < 0.3 {
+			t.Fatalf("%s: streamable fraction %v too low", r.Name, r.Cells[0]+r.Cells[1])
+		}
+	}
+}
+
+func TestFig1bOrdering(t *testing.T) {
+	tab, err := Fig1b(DefaultConfig(), quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		noPriv, perfPriv, nearLLC := r.Cells[0], r.Cells[1], r.Cells[2]
+		if noPriv != 1.0 {
+			t.Fatalf("%s: No-Priv$ must normalize to 1", r.Name)
+		}
+		if perfPriv > noPriv+1e-9 {
+			t.Fatalf("%s: perfect caches increased traffic", r.Name)
+		}
+		if nearLLC > perfPriv+1e-9 {
+			t.Fatalf("%s: near-LLC (%v) not below perfect caches (%v) — the paper's key motivation",
+				r.Name, nearLLC, perfPriv)
+		}
+	}
+}
+
+func TestFig9ShapeOnQuickSet(t *testing.T) {
+	tab, err := Fig9(DefaultConfig(), quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := tab.Rows[len(tab.Rows)-1]
+	if gm.Name != "geomean" {
+		t.Fatal("missing geomean row")
+	}
+	get := func(col string) float64 {
+		v, ok := tab.Cell("geomean", col)
+		if !ok {
+			t.Fatalf("missing column %s", col)
+		}
+		return v
+	}
+	ns, dec, inst := get("NS"), get("NS_decouple"), get("INST")
+	if ns <= 1.0 {
+		t.Fatalf("NS geomean speedup %v <= 1 over Base", ns)
+	}
+	if dec < ns*0.95 {
+		t.Fatalf("NS_decouple (%v) should be at least NS (%v)", dec, ns)
+	}
+	if ns <= inst {
+		t.Fatalf("NS (%v) must beat INST (%v) — the paper's headline", ns, inst)
+	}
+}
+
+func TestFig11OffloadFraction(t *testing.T) {
+	tab, err := Fig11(DefaultConfig(), quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		streamable, offloaded := r.Cells[0], r.Cells[1]
+		if offloaded > streamable+1e-9 {
+			t.Fatalf("%s: offloaded %v exceeds streamable %v", r.Name, offloaded, streamable)
+		}
+		if offloaded < 0.5*streamable {
+			t.Fatalf("%s: offloaded %v below half of streamable %v", r.Name, offloaded, streamable)
+		}
+	}
+}
+
+func TestFig12TrafficReduction(t *testing.T) {
+	tab, err := Fig12(DefaultConfig(), []string{"pathfinder", "pr_pull"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		base := r.Cells[0] + r.Cells[1] + r.Cells[2]
+		nsIdx := tab.Col("NS/data")
+		ns := r.Cells[nsIdx] + r.Cells[nsIdx+1] + r.Cells[nsIdx+2]
+		if ns >= base {
+			t.Fatalf("%s: NS traffic %v not below Base %v", r.Name, ns, base)
+		}
+	}
+}
+
+func TestFig16MRSWHelpsFailedCAS(t *testing.T) {
+	tab, err := Fig16(DefaultConfig(), []string{"bfs_push"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := tab.Cell("bfs_push", "conflict ratio")
+	if !ok {
+		t.Fatal("missing cell")
+	}
+	if v > 0.7 {
+		t.Fatalf("MRSW conflict ratio %v; expected large reduction on failed CASes", v)
+	}
+}
+
+func TestTableVParameters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 1 // paper scale
+	tab := TableV(cfg)
+	if v, ok := tab.Cell("core ROB", "value"); !ok || v != 224 {
+		t.Fatalf("OOO8 ROB = %v, want 224 (Table V)", v)
+	}
+	if v, ok := tab.Cell("mesh width", "value"); !ok || v != 8 {
+		t.Fatalf("mesh = %v, want 8", v)
+	}
+	if v, ok := tab.Cell("range window R", "value"); !ok || v != 8 {
+		t.Fatalf("R = %v, want 8 (§IV-B)", v)
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t1, t2, t4, area := TableI(), TableII(), TableIV(), AreaReport()
+	for _, tab := range []*Table{t1, t2, t4, area} {
+		s := tab.String()
+		if !strings.Contains(s, "==") || len(tab.Rows) == 0 {
+			t.Fatalf("table %q renders empty", tab.Title)
+		}
+	}
+	if v, ok := t1.Cell("Near-Stream", "patterns/16"); !ok || v != 16 {
+		t.Fatal("Table I near-stream coverage wrong")
+	}
+	if v, ok := t4.Cell("affine", "bytes"); !ok || v < 40 || v > 96 {
+		t.Fatalf("Table IV affine size %v", v)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "x", Cols: []string{"a", "b"}}
+	tab.AddRow("r1", 1.5, 2.25)
+	s := tab.String()
+	if !strings.Contains(s, "r1") || !strings.Contains(s, "1.500") {
+		t.Fatalf("render: %s", s)
+	}
+	if _, ok := tab.Cell("r1", "b"); !ok {
+		t.Fatal("cell lookup failed")
+	}
+	if _, ok := tab.Cell("r1", "missing"); ok {
+		t.Fatal("missing column found")
+	}
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// TestFullMatrixSmoke runs every Table VI workload on the three key design
+// points and checks the headline orderings hold per workload class. This
+// is the repository's end-to-end integration test (a few minutes); use
+// -short to skip.
+func TestFullMatrixSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload matrix: skipped with -short")
+	}
+	cfg := DefaultConfig()
+	var nsWins, decoupleWins int
+	for _, name := range workloads.Names() {
+		base, err := RunOne(name, core.Base, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns, err := RunOne(name, core.NS, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := RunOne(name, core.NSDecouple, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-12s base=%-9d ns=%-9d (%.2fx) decouple=%-9d (%.2fx)",
+			name, base.Cycles, ns.Cycles, float64(base.Cycles)/float64(ns.Cycles),
+			dec.Cycles, float64(base.Cycles)/float64(dec.Cycles))
+		if ns.Cycles < base.Cycles {
+			nsWins++
+		}
+		if dec.Cycles < base.Cycles {
+			decoupleWins++
+		}
+		// NS_decouple must never lose badly to NS (it removes overhead).
+		if float64(dec.Cycles) > 1.15*float64(ns.Cycles) {
+			t.Errorf("%s: NS_decouple (%d) much slower than NS (%d)", name, dec.Cycles, ns.Cycles)
+		}
+		// Offloading must actually happen on every workload under NS
+		// (Figure 11's generality claim).
+		if ns.OffloadedOps == 0 {
+			t.Errorf("%s: NS offloaded nothing", name)
+		}
+	}
+	if decoupleWins < 12 {
+		t.Errorf("NS_decouple beats Base on only %d/14 workloads", decoupleWins)
+	}
+	if nsWins < 9 {
+		t.Errorf("NS beats Base on only %d/14 workloads", nsWins)
+	}
+}

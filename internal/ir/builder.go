@@ -1,0 +1,271 @@
+package ir
+
+import "fmt"
+
+// Builder constructs kernels fluently. It is the authoring surface that
+// stands in for C source + the paper's frontend: workloads in
+// internal/workloads are written against it.
+type Builder struct {
+	k     *Kernel
+	level int
+}
+
+// NewKernel starts a kernel.
+func NewKernel(name string) *Builder {
+	return &Builder{k: &Kernel{Name: name, Params: map[string]uint64{}}}
+}
+
+// Array declares a data array.
+func (b *Builder) Array(name string, t Type, length uint64) *Builder {
+	b.k.Arrays = append(b.k.Arrays, ArrayDecl{Name: name, Type: t, Len: length})
+	return b
+}
+
+// Param sets a default parameter value.
+func (b *Builder) Param(name string, v uint64) *Builder {
+	b.k.Params[name] = v
+	return b
+}
+
+// SyncFree applies the s_sync_free pragma (§V).
+func (b *Builder) SyncFree() *Builder {
+	b.k.SyncFree = true
+	return b
+}
+
+// Loop opens a counted loop with a literal trip count.
+func (b *Builder) Loop(varName string, trip uint64) *Builder {
+	b.k.Loops = append(b.k.Loops, Loop{Var: varName, Trip: trip, TripVal: NoValue})
+	b.level = len(b.k.Loops) - 1
+	return b
+}
+
+// LoopN opens a counted loop whose trip count is the named parameter.
+func (b *Builder) LoopN(varName, param string) *Builder {
+	b.k.Loops = append(b.k.Loops, Loop{Var: varName, TripParam: param, TripVal: NoValue})
+	b.level = len(b.k.Loops) - 1
+	return b
+}
+
+// LoopVal opens a counted inner loop whose trip count is an outer-level
+// value (data-dependent nested loop, Figure 4d).
+func (b *Builder) LoopVal(varName string, trip ValueRef) *Builder {
+	b.k.Loops = append(b.k.Loops, Loop{Var: varName, TripVal: trip})
+	b.level = len(b.k.Loops) - 1
+	return b
+}
+
+// While opens a pointer-chase loop: the chase pointer starts at start
+// (outer value); within the body, Chase() reads it; SetNext / SetContinue
+// close the loop definition.
+func (b *Builder) While(varName string, start ValueRef) *Builder {
+	b.k.Loops = append(b.k.Loops, Loop{
+		Var: varName, While: true, StartVal: start,
+		NextVal: NoValue, ContinueVal: NoValue, TripVal: NoValue,
+	})
+	b.level = len(b.k.Loops) - 1
+	return b
+}
+
+// SetNext sets the while loop's next-pointer value.
+func (b *Builder) SetNext(v ValueRef) *Builder {
+	b.k.Loops[b.level].NextVal = v
+	return b
+}
+
+// SetContinue sets the while loop's continue condition (non-zero =
+// continue).
+func (b *Builder) SetContinue(v ValueRef) *Builder {
+	b.k.Loops[b.level].ContinueVal = v
+	return b
+}
+
+// AtLevel switches op emission back to an outer level (for epilogue ops
+// after an inner loop).
+func (b *Builder) AtLevel(level int) *Builder {
+	if level < 0 || level >= len(b.k.Loops) {
+		panic(fmt.Sprintf("ir: AtLevel(%d) outside nest", level))
+	}
+	b.level = level
+	return b
+}
+
+func (b *Builder) emit(op Op) ValueRef {
+	op.Level = b.level
+	normalize(&op)
+	b.k.Ops = append(b.k.Ops, op)
+	return ValueRef(len(b.k.Ops) - 1)
+}
+
+func normalize(op *Op) {
+	if op.Addr.Coefs == nil {
+		op.Addr.Coefs = map[int]int64{}
+	}
+	op.Array = op.Addr.Array
+}
+
+// noRefs returns an Op skeleton with all optional refs cleared.
+func noRefs(kind OpKind, t Type) Op {
+	return Op{
+		Kind: kind, Type: t,
+		Val: NoValue, Expected: NoValue, A: NoValue, B: NoValue, Cond: NoValue,
+		Addr: Addr{Base: NoValue, IndexVal: NoValue, Pointer: NoValue},
+	}
+}
+
+// Const emits a literal.
+func (b *Builder) Const(t Type, bits uint64) ValueRef {
+	op := noRefs(OpConst, t)
+	op.Imm = bits
+	return b.emit(op)
+}
+
+// ConstF emits a float literal.
+func (b *Builder) ConstF(t Type, v float64) ValueRef {
+	return b.Const(t, floatBits(t, v))
+}
+
+// ParamVal reads a kernel parameter.
+func (b *Builder) ParamVal(t Type, name string) ValueRef {
+	op := noRefs(OpParam, t)
+	op.Param = name
+	return b.emit(op)
+}
+
+// Index reads the loop index at the given level.
+func (b *Builder) Index(level int) ValueRef {
+	op := noRefs(OpIndex, I64)
+	op.Imm = uint64(level)
+	return b.emit(op)
+}
+
+// Chase reads the enclosing while loop's chase pointer.
+func (b *Builder) Chase() ValueRef {
+	return b.emit(noRefs(OpChaseVar, I64))
+}
+
+// AffineAddr builds an affine address: array[Sum(coefs[L]*idx_L) + offset].
+func AffineAddr(array string, offset int64, coefs map[int]int64) Addr {
+	cp := map[int]int64{}
+	for k, v := range coefs {
+		cp[k] = v
+	}
+	return Addr{Array: array, Coefs: cp, Offset: offset, Base: NoValue, IndexVal: NoValue, Pointer: NoValue}
+}
+
+// AffineBaseAddr is AffineAddr plus an outer-level value added to the
+// element index (nested streams).
+func AffineBaseAddr(array string, base ValueRef, offset int64, coefs map[int]int64) Addr {
+	a := AffineAddr(array, offset, coefs)
+	a.Base = base
+	return a
+}
+
+// IndirectAddr builds array[indexVal].
+func IndirectAddr(array string, index ValueRef) Addr {
+	return Addr{Array: array, Coefs: map[int]int64{}, Base: NoValue, IndexVal: index, Pointer: NoValue}
+}
+
+// PointerAddr builds *(ptr + byteOffset), attributed to array for
+// footprint bookkeeping.
+func PointerAddr(array string, ptr ValueRef, byteOffset int64) Addr {
+	return Addr{Array: array, Coefs: map[int]int64{}, Base: NoValue, IndexVal: NoValue, Pointer: ptr, ByteOffset: byteOffset}
+}
+
+// Load emits a load.
+func (b *Builder) Load(t Type, addr Addr) ValueRef {
+	op := noRefs(OpLoad, t)
+	op.Addr = addr
+	return b.emit(op)
+}
+
+// Store emits a store of val.
+func (b *Builder) Store(t Type, addr Addr, val ValueRef) ValueRef {
+	op := noRefs(OpStore, t)
+	op.Addr = addr
+	op.Val = val
+	return b.emit(op)
+}
+
+// Atomic emits a read-modify-write; the result is the old value.
+func (b *Builder) Atomic(t Type, kind AtomicKind, addr Addr, val ValueRef) ValueRef {
+	op := noRefs(OpAtomic, t)
+	op.Atomic = kind
+	op.Addr = addr
+	op.Val = val
+	return b.emit(op)
+}
+
+// AtomicCAS emits a compare-and-swap; the result is the old value.
+func (b *Builder) AtomicCAS(t Type, addr Addr, expected, newVal ValueRef) ValueRef {
+	op := noRefs(OpAtomic, t)
+	op.Atomic = AtomicCAS
+	op.Addr = addr
+	op.Expected = expected
+	op.Val = newVal
+	return b.emit(op)
+}
+
+// Bin emits a binary op.
+func (b *Builder) Bin(t Type, kind BinKind, a, c ValueRef) ValueRef {
+	op := noRefs(OpBin, t)
+	op.Bin = kind
+	op.A = a
+	op.B = c
+	return b.emit(op)
+}
+
+// VecBin emits a vectorized binary op (SIMD).
+func (b *Builder) VecBin(t Type, kind BinKind, a, c ValueRef) ValueRef {
+	op := noRefs(OpBin, t)
+	op.Bin = kind
+	op.A = a
+	op.B = c
+	op.Vector = true
+	return b.emit(op)
+}
+
+// Select emits cond != 0 ? a : c.
+func (b *Builder) Select(t Type, cond, a, c ValueRef) ValueRef {
+	op := noRefs(OpSelect, t)
+	op.Cond = cond
+	op.A = a
+	op.B = c
+	return b.emit(op)
+}
+
+// Convert emits a width/type conversion.
+func (b *Builder) Convert(t Type, a ValueRef) ValueRef {
+	op := noRefs(OpConvert, t)
+	op.A = a
+	return b.emit(op)
+}
+
+// Reduce accumulates val into acc with kind; accLevel is the loop level
+// whose iterations each get a fresh accumulator (-1 = kernel-wide). init
+// is the initial bit pattern.
+func (b *Builder) Reduce(t Type, kind BinKind, acc string, val ValueRef, accLevel int, init uint64) ValueRef {
+	op := noRefs(OpReduce, t)
+	op.Bin = kind
+	op.Acc = acc
+	op.Val = val
+	op.Imm = init
+	op.AccLevel = accLevel
+	return b.emit(op)
+}
+
+// AccRead reads the accumulator's current value (typically at an outer
+// level after the reducing loop).
+func (b *Builder) AccRead(t Type, acc string) ValueRef {
+	op := noRefs(OpAccRead, t)
+	op.Acc = acc
+	return b.emit(op)
+}
+
+// Build finalizes and validates the kernel.
+func (b *Builder) Build() *Kernel {
+	if err := b.k.Validate(); err != nil {
+		panic(err)
+	}
+	return b.k
+}

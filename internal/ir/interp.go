@@ -1,0 +1,440 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// MemEvent describes one dynamic memory access during interpretation.
+type MemEvent struct {
+	Op     *Op
+	OpID   ValueRef
+	Addr   uint64 // virtual address
+	Size   int
+	Write  bool
+	Atomic bool
+	// Changed reports whether an atomic modified memory (false for a
+	// failed CAS or a non-improving min/max) — the MRSW lock optimization
+	// of §IV-C keys on this.
+	Changed bool
+	// Old and New are the memory values around the access.
+	Old, New uint64
+}
+
+// Hooks observe interpretation for trace-driven timing and μop accounting.
+type Hooks struct {
+	// OnOp fires for every executed op, including memory ops.
+	OnOp func(id ValueRef, op *Op)
+	// OnMem fires for every memory access.
+	OnMem func(ev MemEvent)
+	// OnIter fires at the start of each iteration of each loop level.
+	OnIter func(level int, index uint64)
+}
+
+// maxWhileIters guards against runaway pointer chases.
+const maxWhileIters = 100_000_000
+
+// Exec interprets a kernel functionally over a partition of the outermost
+// loop [outerLo, outerHi). It returns the final kernel-wide accumulators
+// (by name). Per-iteration accumulators are visible to the kernel's own
+// ops only. hooks may be nil.
+func Exec(k *Kernel, d *Data, params map[string]uint64, outerLo, outerHi uint64, hooks *Hooks) (map[string]uint64, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	in := &interp{
+		k: k, d: d, hooks: hooks,
+		params: map[string]uint64{},
+		vals:   make([]uint64, len(k.Ops)),
+		accs:   map[string]uint64{},
+		idx:    make([]uint64, len(k.Loops)),
+		chase:  make([]uint64, len(k.Loops)),
+	}
+	for name, v := range k.Params {
+		in.params[name] = v
+	}
+	for name, v := range params {
+		in.params[name] = v
+	}
+	in.splitLevels()
+	if err := in.runLevel(0, outerLo, outerHi); err != nil {
+		return nil, err
+	}
+	return in.accs, nil
+}
+
+type interp struct {
+	k      *Kernel
+	d      *Data
+	hooks  *Hooks
+	params map[string]uint64
+	vals   []uint64
+	accs   map[string]uint64
+	accSet map[string]bool
+	idx    []uint64
+	chase  []uint64
+	// prologue[L] and epilogue[L] are op index ranges for level L: ops
+	// before/after the first deeper-level op.
+	prologue [][]int
+	epilogue [][]int
+}
+
+// splitLevels partitions each level's ops into prologue (before any
+// deeper op) and epilogue (after).
+func (in *interp) splitLevels() {
+	levels := len(in.k.Loops)
+	in.prologue = make([][]int, levels)
+	in.epilogue = make([][]int, levels)
+	in.accSet = map[string]bool{}
+	for L := 0; L < levels; L++ {
+		seenDeeper := false
+		for i, op := range in.k.Ops {
+			if op.Level > L {
+				seenDeeper = true
+				continue
+			}
+			if op.Level == L {
+				if seenDeeper {
+					in.epilogue[L] = append(in.epilogue[L], i)
+				} else {
+					in.prologue[L] = append(in.prologue[L], i)
+				}
+			}
+		}
+	}
+}
+
+// resetAccs clears accumulators bound to level L.
+func (in *interp) resetAccs(L int) {
+	for _, op := range in.k.Ops {
+		if op.Kind == OpReduce && op.AccLevel == L {
+			in.accs[op.Acc] = op.Imm
+			in.accSet[op.Acc] = true
+		}
+	}
+}
+
+func (in *interp) runLevel(L int, lo, hi uint64) error {
+	if L == 0 {
+		// Kernel-wide accumulators initialize once.
+		in.resetAccsKernelWide()
+	}
+	loop := &in.k.Loops[L]
+	if loop.While {
+		return in.runWhile(L)
+	}
+	trip := hi
+	start := lo
+	if L != 0 {
+		start = 0
+		trip = in.tripOf(L)
+	}
+	for i := start; i < trip; i++ {
+		in.idx[L] = i
+		if in.hooks != nil && in.hooks.OnIter != nil {
+			in.hooks.OnIter(L, i)
+		}
+		in.resetAccs(L)
+		if err := in.runBody(L); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) resetAccsKernelWide() {
+	for _, op := range in.k.Ops {
+		if op.Kind == OpReduce && op.AccLevel == -1 {
+			in.accs[op.Acc] = op.Imm
+			in.accSet[op.Acc] = true
+		}
+	}
+}
+
+func (in *interp) tripOf(L int) uint64 {
+	loop := &in.k.Loops[L]
+	switch {
+	case loop.TripVal != NoValue:
+		return in.vals[loop.TripVal]
+	case loop.TripParam != "":
+		v, ok := in.params[loop.TripParam]
+		if !ok {
+			panic(fmt.Sprintf("ir: missing trip parameter %q", loop.TripParam))
+		}
+		return v
+	default:
+		return loop.Trip
+	}
+}
+
+func (in *interp) runWhile(L int) error {
+	loop := &in.k.Loops[L]
+	in.chase[L] = in.vals[loop.StartVal]
+	for iter := 0; ; iter++ {
+		if iter >= maxWhileIters {
+			return fmt.Errorf("ir: while loop at level %d exceeded %d iterations", L, maxWhileIters)
+		}
+		if in.chase[L] == 0 {
+			return nil // nil pointer terminates
+		}
+		in.idx[L] = uint64(iter)
+		if in.hooks != nil && in.hooks.OnIter != nil {
+			in.hooks.OnIter(L, uint64(iter))
+		}
+		in.resetAccs(L)
+		if err := in.runBody(L); err != nil {
+			return err
+		}
+		if in.vals[loop.ContinueVal] == 0 {
+			return nil
+		}
+		in.chase[L] = in.vals[loop.NextVal]
+	}
+}
+
+func (in *interp) runBody(L int) error {
+	for _, i := range in.prologue[L] {
+		if err := in.eval(ValueRef(i)); err != nil {
+			return err
+		}
+	}
+	if L+1 < len(in.k.Loops) {
+		if err := in.runLevel(L+1, 0, 0); err != nil {
+			return err
+		}
+	}
+	for _, i := range in.epilogue[L] {
+		if err := in.eval(ValueRef(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// address resolves an op's Addr to (array, element index, virtual addr).
+func (in *interp) address(op *Op) (*ArrayData, uint64) {
+	a := in.d.Array(op.Addr.Array)
+	switch {
+	case op.Addr.IsPointer():
+		ptr := in.vals[op.Addr.Pointer]
+		va := uint64(int64(ptr) + op.Addr.ByteOffset)
+		arr, idx := in.d.Resolve(va)
+		return arr, idx
+	case op.Addr.IsIndirect():
+		return a, in.vals[op.Addr.IndexVal]
+	default:
+		idx := op.Addr.Offset
+		for level, coef := range op.Addr.Coefs {
+			idx += coef * int64(in.idx[level])
+		}
+		if op.Addr.Base != NoValue {
+			idx += int64(in.vals[op.Addr.Base])
+		}
+		return a, uint64(idx)
+	}
+}
+
+func (in *interp) eval(id ValueRef) error {
+	op := &in.k.Ops[id]
+	if in.hooks != nil && in.hooks.OnOp != nil {
+		in.hooks.OnOp(id, op)
+	}
+	switch op.Kind {
+	case OpConst:
+		in.vals[id] = op.Imm
+	case OpParam:
+		v, ok := in.params[op.Param]
+		if !ok {
+			return fmt.Errorf("ir: missing parameter %q", op.Param)
+		}
+		in.vals[id] = v
+	case OpIndex:
+		in.vals[id] = in.idx[op.Imm]
+	case OpChaseVar:
+		in.vals[id] = in.chase[op.Level]
+	case OpConvert:
+		in.vals[id] = convert(op.Type, in.k.Ops[op.A].Type, in.vals[op.A])
+	case OpBin:
+		in.vals[id] = binOp(op.Type, op.Bin, in.vals[op.A], in.vals[op.B])
+	case OpSelect:
+		if in.vals[op.Cond] != 0 {
+			in.vals[id] = in.vals[op.A]
+		} else {
+			in.vals[id] = in.vals[op.B]
+		}
+	case OpReduce:
+		if !in.accSet[op.Acc] {
+			return fmt.Errorf("ir: accumulator %q used before reset (AccLevel wrong?)", op.Acc)
+		}
+		in.accs[op.Acc] = binOp(op.Type, op.Bin, in.accs[op.Acc], in.vals[op.Val])
+		in.vals[id] = in.accs[op.Acc]
+	case OpAccRead:
+		in.vals[id] = in.accs[op.Acc]
+	case OpLoad:
+		arr, idx := in.address(op)
+		v := arr.Get(idx)
+		in.vals[id] = v
+		in.emitMem(id, op, arr, idx, false, false, false, v, v)
+	case OpStore:
+		arr, idx := in.address(op)
+		old := arr.Get(idx)
+		v := in.vals[op.Val]
+		arr.Set(idx, v)
+		in.emitMem(id, op, arr, idx, true, false, old != v, old, v)
+		in.vals[id] = v
+	case OpAtomic:
+		arr, idx := in.address(op)
+		old := arr.Get(idx)
+		var next uint64
+		switch op.Atomic {
+		case AtomicAdd:
+			next = binOp(op.Type, Add, old, in.vals[op.Val])
+		case AtomicMin:
+			next = binOp(op.Type, Min, old, in.vals[op.Val])
+		case AtomicMax:
+			next = binOp(op.Type, Max, old, in.vals[op.Val])
+		case AtomicOr:
+			next = old | in.vals[op.Val]
+		case AtomicCAS:
+			if old == in.vals[op.Expected] {
+				next = in.vals[op.Val]
+			} else {
+				next = old
+			}
+		default:
+			return fmt.Errorf("ir: unknown atomic kind %d", op.Atomic)
+		}
+		arr.Set(idx, next)
+		in.emitMem(id, op, arr, idx, true, true, next != old, old, next)
+		in.vals[id] = old
+	default:
+		return fmt.Errorf("ir: unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+func (in *interp) emitMem(id ValueRef, op *Op, arr *ArrayData, idx uint64, write, atomic, changed bool, old, new uint64) {
+	if in.hooks == nil || in.hooks.OnMem == nil {
+		return
+	}
+	in.hooks.OnMem(MemEvent{
+		Op: op, OpID: id,
+		Addr: arr.AddrOf(idx), Size: op.Type.Size(),
+		Write: write, Atomic: atomic, Changed: changed,
+		Old: old, New: new,
+	})
+}
+
+// convert changes bit width/type.
+func convert(to, from Type, v uint64) uint64 {
+	switch {
+	case from.IsFloat() && to.IsFloat():
+		return floatBits(to, bitsToFloat(from, v))
+	case from.IsFloat() && !to.IsFloat():
+		return uint64(int64(bitsToFloat(from, v)))
+	case !from.IsFloat() && to.IsFloat():
+		return floatBits(to, float64(int64(v)))
+	default:
+		switch to {
+		case I8:
+			return v & 0xff
+		case I32:
+			return v & 0xffff_ffff
+		default:
+			return v
+		}
+	}
+}
+
+// binOp applies a binary op to bit patterns of type t.
+func binOp(t Type, kind BinKind, a, b uint64) uint64 {
+	if t.IsFloat() {
+		x, y := bitsToFloat(t, a), bitsToFloat(t, b)
+		var r float64
+		switch kind {
+		case Add:
+			r = x + y
+		case Sub:
+			r = x - y
+		case Mul:
+			r = x * y
+		case Div:
+			r = x / y
+		case Min:
+			r = math.Min(x, y)
+		case Max:
+			r = math.Max(x, y)
+		case CmpEQ:
+			if x == y {
+				return 1
+			}
+			return 0
+		case CmpLT:
+			if x < y {
+				return 1
+			}
+			return 0
+		default:
+			panic(fmt.Sprintf("ir: float %v unsupported", kind))
+		}
+		return floatBits(t, r)
+	}
+	x, y := int64(a), int64(b)
+	mask := uint64(math.MaxUint64)
+	if t == I32 {
+		x, y = int64(int32(a)), int64(int32(b))
+		mask = 0xffff_ffff
+	} else if t == I8 {
+		x, y = int64(int8(a)), int64(int8(b))
+		mask = 0xff
+	}
+	var r int64
+	switch kind {
+	case Add:
+		r = x + y
+	case Sub:
+		r = x - y
+	case Mul:
+		r = x * y
+	case Div:
+		if y == 0 {
+			panic("ir: integer divide by zero")
+		}
+		r = x / y
+	case Min:
+		if x < y {
+			r = x
+		} else {
+			r = y
+		}
+	case Max:
+		if x > y {
+			r = x
+		} else {
+			r = y
+		}
+	case And:
+		r = x & y
+	case Or:
+		r = x | y
+	case Xor:
+		r = x ^ y
+	case Shl:
+		r = x << uint(y&63)
+	case Shr:
+		r = int64(uint64(x) >> uint(y&63))
+	case CmpEQ:
+		if x == y {
+			return 1
+		}
+		return 0
+	case CmpLT:
+		if x < y {
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("ir: int %v unsupported", kind))
+	}
+	return uint64(r) & mask
+}

@@ -1,0 +1,130 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders a kernel as readable pseudo-assembly: the loop nest, then
+// each op with its level, type, and operands. Used by cmd/nsdump and
+// error messages.
+func (k *Kernel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s", k.Name)
+	if k.SyncFree {
+		b.WriteString("  #pragma s_sync_free")
+	}
+	b.WriteByte('\n')
+	for i, a := range k.Arrays {
+		if i == 0 {
+			b.WriteString("arrays: ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s[%d]%v", a.Name, a.Len, a.Type)
+	}
+	if len(k.Arrays) > 0 {
+		b.WriteByte('\n')
+	}
+	for li, l := range k.Loops {
+		indent := strings.Repeat("  ", li)
+		switch {
+		case l.While:
+			fmt.Fprintf(&b, "%swhile %s (start=v%d next=v%d continue=v%d)\n",
+				indent, l.Var, l.StartVal, l.NextVal, l.ContinueVal)
+		case l.TripVal != NoValue:
+			fmt.Fprintf(&b, "%sfor %s in [0, v%d)\n", indent, l.Var, l.TripVal)
+		case l.TripParam != "":
+			fmt.Fprintf(&b, "%sfor %s in [0, %%%s)\n", indent, l.Var, l.TripParam)
+		default:
+			fmt.Fprintf(&b, "%sfor %s in [0, %d)\n", indent, l.Var, l.Trip)
+		}
+	}
+	for i := range k.Ops {
+		fmt.Fprintf(&b, "  v%-3d %s\n", i, k.OpString(ValueRef(i)))
+	}
+	return b.String()
+}
+
+// OpString renders one op.
+func (k *Kernel) OpString(id ValueRef) string {
+	op := &k.Ops[id]
+	lvl := fmt.Sprintf("L%d", op.Level)
+	switch op.Kind {
+	case OpConst:
+		return fmt.Sprintf("%s const.%v %#x", lvl, op.Type, op.Imm)
+	case OpParam:
+		return fmt.Sprintf("%s param.%v %%%s", lvl, op.Type, op.Param)
+	case OpIndex:
+		return fmt.Sprintf("%s index %s", lvl, k.Loops[op.Imm].Var)
+	case OpChaseVar:
+		return fmt.Sprintf("%s chase %s", lvl, k.Loops[op.Level].Var)
+	case OpLoad:
+		return fmt.Sprintf("%s load.%v %s", lvl, op.Type, addrString(&op.Addr))
+	case OpStore:
+		return fmt.Sprintf("%s store.%v %s <- v%d", lvl, op.Type, addrString(&op.Addr), op.Val)
+	case OpAtomic:
+		if op.Atomic == AtomicCAS {
+			return fmt.Sprintf("%s atomic.cas.%v %s expect=v%d new=v%d", lvl, op.Type, addrString(&op.Addr), op.Expected, op.Val)
+		}
+		return fmt.Sprintf("%s atomic.%v.%v %s <- v%d", lvl, op.Atomic, op.Type, addrString(&op.Addr), op.Val)
+	case OpBin:
+		vec := ""
+		if op.Vector {
+			vec = " (simd)"
+		}
+		return fmt.Sprintf("%s %v.%v v%d, v%d%s", lvl, op.Bin, op.Type, op.A, op.B, vec)
+	case OpSelect:
+		return fmt.Sprintf("%s select.%v v%d ? v%d : v%d", lvl, op.Type, op.Cond, op.A, op.B)
+	case OpConvert:
+		return fmt.Sprintf("%s convert.%v v%d", lvl, op.Type, op.A)
+	case OpReduce:
+		scope := "kernel"
+		if op.AccLevel >= 0 {
+			scope = fmt.Sprintf("L%d", op.AccLevel)
+		}
+		return fmt.Sprintf("%s reduce.%v.%v %%%s <- v%d (reset per %s)", lvl, op.Bin, op.Type, op.Acc, op.Val, scope)
+	case OpAccRead:
+		return fmt.Sprintf("%s accread.%v %%%s", lvl, op.Type, op.Acc)
+	default:
+		return fmt.Sprintf("%s op?%d", lvl, op.Kind)
+	}
+}
+
+func addrString(a *Addr) string {
+	switch {
+	case a.IsPointer():
+		if a.ByteOffset != 0 {
+			return fmt.Sprintf("%s[*v%d %+d]", a.Array, a.Pointer, a.ByteOffset)
+		}
+		return fmt.Sprintf("%s[*v%d]", a.Array, a.Pointer)
+	case a.IsIndirect():
+		return fmt.Sprintf("%s[v%d]", a.Array, a.IndexVal)
+	default:
+		var terms []string
+		levels := make([]int, 0, len(a.Coefs))
+		for l := range a.Coefs {
+			levels = append(levels, l)
+		}
+		sort.Ints(levels)
+		for _, l := range levels {
+			c := a.Coefs[l]
+			if c == 0 {
+				continue
+			}
+			if c == 1 {
+				terms = append(terms, fmt.Sprintf("i%d", l))
+			} else {
+				terms = append(terms, fmt.Sprintf("%d*i%d", c, l))
+			}
+		}
+		if a.Base != NoValue {
+			terms = append(terms, fmt.Sprintf("v%d", a.Base))
+		}
+		if a.Offset != 0 || len(terms) == 0 {
+			terms = append(terms, fmt.Sprintf("%d", a.Offset))
+		}
+		return fmt.Sprintf("%s[%s]", a.Array, strings.Join(terms, "+"))
+	}
+}

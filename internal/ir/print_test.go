@@ -1,0 +1,70 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKernelString(t *testing.T) {
+	b := NewKernel("demo").Array("A", I64, 8).Array("B", F32, 8)
+	b.SyncFree()
+	b.Loop("i", 8)
+	v := b.Load(ir64(), AffineAddr("A", 2, map[int]int64{0: 4}))
+	c := b.Const(ir64(), 5)
+	s := b.Bin(ir64(), Add, v, c)
+	b.Store(ir64(), AffineAddr("A", 0, map[int]int64{0: 1}), s)
+	b.Reduce(ir64(), Max, "m", s, -1, 0)
+	k := b.Build()
+	out := k.String()
+	for _, want := range []string{
+		"kernel demo", "s_sync_free", "A[8]i64", "for i in [0, 8)",
+		"load.i64 A[4*i0+2]", "const.i64 0x5", "add.i64 v0, v1",
+		"store.i64 A[i0] <- v2", "reduce.max.i64 %m <- v2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func ir64() Type { return I64 }
+
+func TestAddrStringForms(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want string
+	}{
+		{AffineAddr("A", 0, map[int]int64{0: 1}), "A[i0]"},
+		{AffineAddr("A", 3, nil), "A[3]"},
+		{AffineAddr("A", 0, nil), "A[0]"},
+		{IndirectAddr("B", 7), "B[v7]"},
+		{PointerAddr("N", 2, 8), "N[*v2 +8]"},
+		{PointerAddr("N", 2, 0), "N[*v2]"},
+		{AffineBaseAddr("C", 4, 0, map[int]int64{1: 1}), "C[i1+v4]"},
+	}
+	for _, c := range cases {
+		if got := addrString(&c.addr); got != c.want {
+			t.Errorf("addrString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpStringCoverage(t *testing.T) {
+	b := NewKernel("ops").Array("A", I64, 8)
+	b.Loop("i", 8)
+	idx := b.Index(0)
+	v := b.Load(I64, IndirectAddr("A", idx))
+	exp := b.Const(I64, 0)
+	nv := b.Const(I64, 1)
+	cas := b.AtomicCAS(I64, AffineAddr("A", 0, nil), exp, nv)
+	sel := b.Select(I64, cas, v, nv)
+	cv := b.Convert(I32, sel)
+	_ = cv
+	k := b.Build()
+	joined := k.String()
+	for _, want := range []string{"index i", "atomic.cas", "select.i64", "convert.i32"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing %q in:\n%s", want, joined)
+		}
+	}
+}

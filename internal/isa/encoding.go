@@ -1,0 +1,280 @@
+package isa
+
+import "fmt"
+
+// Table IV stream-configuration encoding. Field widths follow the paper
+// exactly (cid 6b, sid 4b, 48-bit addresses/strides/lengths, 8-bit element
+// size, 4-bit compute type, 3-bit power-of-two sizes); a small header byte
+// carries the stream kind and flags so that a single byte stream can hold
+// any configuration. The encoded size is what the s_cfg_begin fetch and
+// the stream-migrate messages are charged on the NoC.
+
+// bitWriter packs little-endian bit fields.
+type bitWriter struct {
+	buf  []byte
+	nbit uint
+}
+
+func (w *bitWriter) write(v uint64, bits uint) {
+	if bits > 64 {
+		panic("isa: field wider than 64 bits")
+	}
+	for i := uint(0); i < bits; i++ {
+		byteIdx := int(w.nbit / 8)
+		if byteIdx == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if v&(1<<i) != 0 {
+			w.buf[byteIdx] |= 1 << (w.nbit % 8)
+		}
+		w.nbit++
+	}
+}
+
+// bitReader unpacks little-endian bit fields.
+type bitReader struct {
+	buf  []byte
+	nbit uint
+}
+
+func (r *bitReader) read(bits uint) uint64 {
+	var v uint64
+	for i := uint(0); i < bits; i++ {
+		byteIdx := int(r.nbit / 8)
+		if byteIdx >= len(r.buf) {
+			panic("isa: decode past end of configuration")
+		}
+		if r.buf[byteIdx]&(1<<(r.nbit%8)) != 0 {
+			v |= 1 << i
+		}
+		r.nbit++
+	}
+	return v
+}
+
+// signed48 converts a two's-complement 48-bit field to int64.
+func signed48(v uint64) int64 {
+	if v&(1<<47) != 0 {
+		return int64(v | ^uint64(1<<48-1))
+	}
+	return int64(v)
+}
+
+const addrBits = 48
+
+// flag bits in the header.
+const (
+	flagWrite = 1 << iota
+	flagAtomic
+	flagReduction
+	flagAssoc
+	flagNested
+	flagSyncFree
+	flagHasCompute
+)
+
+// log2Size encodes a power-of-two byte size into the 3-bit "2^n" fields of
+// Table IV (0 encodes size 0/none, otherwise n+1 for 2^n).
+func log2Size(size int) uint64 {
+	if size == 0 {
+		return 0
+	}
+	n := uint64(0)
+	for 1<<n < uint64(size) {
+		n++
+	}
+	if 1<<n != uint64(size) {
+		panic(fmt.Sprintf("isa: size %d not a power of two", size))
+	}
+	return n + 1
+}
+
+func sizeFromLog2(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return 1 << (v - 1)
+}
+
+// Encode serializes a stream configuration per Table IV. It panics on
+// invalid configurations: callers validate first.
+func Encode(c *StreamConfig) []byte {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	w := &bitWriter{}
+	// Header: kind (2), dims (2), flags (7), value-dep count (4).
+	w.write(uint64(c.Kind), 2)
+	w.write(uint64(c.Affine.Dims), 2)
+	var flags uint64
+	if c.Write {
+		flags |= flagWrite
+	}
+	if c.Atomic {
+		flags |= flagAtomic
+	}
+	if c.Reduction {
+		flags |= flagReduction
+	}
+	if c.AssocOnly {
+		flags |= flagAssoc
+	}
+	if c.Nested {
+		flags |= flagNested
+	}
+	if c.SyncFree {
+		flags |= flagSyncFree
+	}
+	if c.Compute != nil {
+		flags |= flagHasCompute
+	}
+	w.write(flags, 7)
+	w.write(uint64(len(c.ValueDeps)), 4)
+
+	// Common identification (Table IV affine record leads with cid/sid).
+	w.write(uint64(c.ID.Core), 6)
+	w.write(uint64(c.ID.Sid), 4)
+	w.write(c.PageTableAddr, addrBits)
+	w.write(c.Length, addrBits)
+	w.write(c.ReduceInit, 64)
+
+	switch c.Kind {
+	case KindAffine:
+		w.write(c.Affine.Base, addrBits)
+		for d := 0; d < MaxDims; d++ {
+			w.write(uint64(c.Affine.Strides[d]), addrBits)
+		}
+		for d := 0; d < MaxDims; d++ {
+			w.write(c.Affine.Lens[d], addrBits)
+		}
+		w.write(uint64(c.Affine.ElemSize), 8)
+	case KindIndirect:
+		w.write(uint64(c.Ind.BaseStream.Core), 6)
+		w.write(uint64(c.Ind.BaseStream.Sid), 4)
+		w.write(c.Ind.Base, addrBits)
+		w.write(uint64(c.Ind.Offset), addrBits)
+		w.write(uint64(c.Ind.ElemSize), 8)
+	case KindPointerChase:
+		w.write(c.Ptr.Start, addrBits)
+		w.write(uint64(c.Ptr.NextOffset), addrBits)
+		w.write(uint64(c.Ptr.ElemSize), 8)
+	}
+
+	for _, d := range c.ValueDeps {
+		w.write(uint64(d.Core), 6)
+		w.write(uint64(d.Sid), 4)
+	}
+
+	if c.Compute != nil {
+		cs := c.Compute
+		w.write(uint64(cs.Type), 4)
+		w.write(uint64(cs.Op), 4)
+		w.write(cs.FuncID, addrBits) // fptr
+		w.write(log2Size(cs.RetSize), 3)
+		w.write(uint64(cs.FuncOps), 16)
+		b2u := func(b bool) uint64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		w.write(b2u(cs.Vector), 1)
+		w.write(uint64(len(cs.Args)), 4)
+		for _, a := range cs.Args {
+			w.write(uint64(a.Kind), 2)
+			w.write(uint64(a.Stream.Core), 6)
+			w.write(uint64(a.Stream.Sid), 4)
+			w.write(a.Const, 64)
+			w.write(log2Size(a.Size), 3)
+		}
+	}
+	return w.buf
+}
+
+// Decode deserializes a Table IV configuration.
+func Decode(buf []byte) (cfg *StreamConfig, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			cfg, err = nil, fmt.Errorf("isa: truncated configuration: %v", p)
+		}
+	}()
+	r := &bitReader{buf: buf}
+	c := &StreamConfig{}
+	c.Kind = StreamKind(r.read(2))
+	c.Affine.Dims = int(r.read(2))
+	flags := r.read(7)
+	c.Write = flags&flagWrite != 0
+	c.Atomic = flags&flagAtomic != 0
+	c.Reduction = flags&flagReduction != 0
+	c.AssocOnly = flags&flagAssoc != 0
+	c.Nested = flags&flagNested != 0
+	c.SyncFree = flags&flagSyncFree != 0
+	hasCompute := flags&flagHasCompute != 0
+	nDeps := int(r.read(4))
+
+	c.ID.Core = int(r.read(6))
+	c.ID.Sid = int(r.read(4))
+	c.PageTableAddr = r.read(addrBits)
+	c.Length = r.read(addrBits)
+	c.ReduceInit = r.read(64)
+
+	switch c.Kind {
+	case KindAffine:
+		c.Affine.Base = r.read(addrBits)
+		for d := 0; d < MaxDims; d++ {
+			c.Affine.Strides[d] = signed48(r.read(addrBits))
+		}
+		for d := 0; d < MaxDims; d++ {
+			c.Affine.Lens[d] = r.read(addrBits)
+		}
+		c.Affine.ElemSize = int(r.read(8))
+	case KindIndirect:
+		c.Ind.BaseStream.Core = int(r.read(6))
+		c.Ind.BaseStream.Sid = int(r.read(4))
+		c.Ind.Base = r.read(addrBits)
+		c.Ind.Offset = signed48(r.read(addrBits))
+		c.Ind.ElemSize = int(r.read(8))
+	case KindPointerChase:
+		c.Ptr.Start = r.read(addrBits)
+		c.Ptr.NextOffset = signed48(r.read(addrBits))
+		c.Ptr.ElemSize = int(r.read(8))
+	default:
+		return nil, fmt.Errorf("isa: bad kind %d in encoding", c.Kind)
+	}
+
+	for i := 0; i < nDeps; i++ {
+		var d StreamID
+		d.Core = int(r.read(6))
+		d.Sid = int(r.read(4))
+		c.ValueDeps = append(c.ValueDeps, d)
+	}
+
+	if hasCompute {
+		cs := &ComputeSpec{}
+		cs.Type = ComputeType(r.read(4))
+		cs.Op = ScalarOp(r.read(4))
+		cs.FuncID = r.read(addrBits)
+		cs.RetSize = sizeFromLog2(r.read(3))
+		cs.FuncOps = int(r.read(16))
+		cs.Vector = r.read(1) == 1
+		nArgs := int(r.read(4))
+		for i := 0; i < nArgs; i++ {
+			var a ComputeArg
+			a.Kind = ArgKind(r.read(2))
+			a.Stream.Core = int(r.read(6))
+			a.Stream.Sid = int(r.read(4))
+			a.Const = r.read(64)
+			a.Size = sizeFromLog2(r.read(3))
+			cs.Args = append(cs.Args, a)
+		}
+		c.Compute = cs
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// EncodedBytes returns the configuration's encoded size in bytes — the
+// payload charged when a s_cfg or migrate message crosses the NoC.
+func EncodedBytes(c *StreamConfig) int { return len(Encode(c)) }

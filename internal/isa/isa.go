@@ -1,0 +1,340 @@
+// Package isa defines the near-stream computing ISA extension of §III:
+// stream kinds and patterns (affine, indirect, pointer-chasing,
+// multi-operand via value dependences), compute types (load, store,
+// read-modify-write, reduction), the stream instruction set
+// (s_cfg_begin/input/end, s_load, s_store, s_atomic, s_step, s_end), and
+// the Table IV configuration encoding.
+package isa
+
+import "fmt"
+
+// StreamKind is the address-pattern dimension of the §II-A taxonomy.
+type StreamKind int
+
+const (
+	// KindAffine is A[i] / A[i,j] / A[i,j,k] (up to 3-D, Table IV).
+	KindAffine StreamKind = iota
+	// KindIndirect is B[A[i]] — address depends on another stream's data.
+	KindIndirect
+	// KindPointerChase is p = p.next.
+	KindPointerChase
+)
+
+// String names the kind.
+func (k StreamKind) String() string {
+	switch k {
+	case KindAffine:
+		return "affine"
+	case KindIndirect:
+		return "indirect"
+	case KindPointerChase:
+		return "ptr-chase"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ComputeType is the compute-pattern dimension of the §II-A taxonomy.
+type ComputeType int
+
+const (
+	// ComputeNone is a plain access stream (address generation only).
+	ComputeNone ComputeType = iota
+	// ComputeLoad couples computation with a load stream and returns the
+	// (usually narrower) result: r = f(*S).
+	ComputeLoad
+	// ComputeStore computes the stored value near the store stream:
+	// *S = f(...).
+	ComputeStore
+	// ComputeRMW updates data in place, atomically for s_atomic streams:
+	// *S = f(*S).
+	ComputeRMW
+	// ComputeReduce accumulates over a load stream: acc = f(acc, *S).
+	ComputeReduce
+)
+
+// String names the compute type.
+func (c ComputeType) String() string {
+	switch c {
+	case ComputeNone:
+		return "none"
+	case ComputeLoad:
+		return "load"
+	case ComputeStore:
+		return "store"
+	case ComputeRMW:
+		return "rmw"
+	case ComputeReduce:
+		return "reduce"
+	default:
+		return fmt.Sprintf("compute(%d)", int(c))
+	}
+}
+
+// ScalarOp is a simple operation executable directly on the SE's scalar PE
+// (encoded in the Cmp.type field of Table IV); OpFunc designates a general
+// near-stream function run on an SCC via the fptr field.
+type ScalarOp int
+
+const (
+	OpNone ScalarOp = iota
+	OpAdd
+	OpMul
+	OpMin
+	OpMax
+	OpAnd
+	OpOr
+	OpCAS // compare-exchange (bfs-style visited flags)
+	OpSub
+	OpFunc // general function via fptr, executed on an SCC
+)
+
+// String names the op.
+func (o ScalarOp) String() string {
+	names := []string{"none", "add", "mul", "min", "max", "and", "or", "cas", "sub", "func"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// MaxDims is the affine pattern dimensionality limit (Table IV: 3×).
+const MaxDims = 3
+
+// MaxComputeArgs is the operand limit (Table IV: 8×, required for 3-D
+// stencils).
+const MaxComputeArgs = 8
+
+// AffinePattern is a canonical up-to-3-D affine address pattern. Iteration
+// i maps through the dimensions innermost-first: idx0 = i % Lens[0],
+// idx1 = (i / Lens[0]) % Lens[1], ...
+type AffinePattern struct {
+	Base     uint64
+	Strides  [MaxDims]int64
+	Lens     [MaxDims]uint64
+	Dims     int
+	ElemSize int
+}
+
+// TotalIters returns the trip count of the whole pattern.
+func (p AffinePattern) TotalIters() uint64 {
+	total := uint64(1)
+	for d := 0; d < p.Dims; d++ {
+		total *= p.Lens[d]
+	}
+	return total
+}
+
+// Address returns the address of iteration i.
+func (p AffinePattern) Address(i uint64) uint64 {
+	addr := int64(p.Base)
+	rem := i
+	for d := 0; d < p.Dims; d++ {
+		idx := rem % p.Lens[d]
+		rem /= p.Lens[d]
+		addr += int64(idx) * p.Strides[d]
+	}
+	return uint64(addr)
+}
+
+// FootprintBytes conservatively estimates the bytes touched (used by the
+// SE_core offload policy: streams larger than the private cache offload
+// directly).
+func (p AffinePattern) FootprintBytes() uint64 {
+	lo, hi := p.Address(0), p.Address(0)
+	// The extreme addresses occur at the corner iterations; with positive
+	// or negative strides per dim, evaluate all corners.
+	corners := 1 << uint(p.Dims)
+	for c := 0; c < corners; c++ {
+		var i uint64
+		mult := uint64(1)
+		for d := 0; d < p.Dims; d++ {
+			if c&(1<<uint(d)) != 0 {
+				i += (p.Lens[d] - 1) * mult
+			}
+			mult *= p.Lens[d]
+		}
+		a := p.Address(i)
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	return hi - lo + uint64(p.ElemSize)
+}
+
+// IndirectPattern is B[A[i]]: the base stream supplies indices, this
+// pattern turns them into addresses Base + index*ElemSize (+Offset).
+type IndirectPattern struct {
+	Base       uint64
+	ElemSize   int
+	Offset     int64
+	BaseStream StreamID // the index-producing stream
+}
+
+// Address maps an index value from the base stream to a memory address.
+func (p IndirectPattern) Address(index uint64) uint64 {
+	return uint64(int64(p.Base) + int64(index)*int64(p.ElemSize) + p.Offset)
+}
+
+// PointerChasePattern is p = *(p+NextOffset) until nil or Len reached.
+type PointerChasePattern struct {
+	Start      uint64
+	NextOffset int64
+	ElemSize   int
+}
+
+// StreamID names a stream architecturally: the owning hardware context
+// (core id, Table IV cid, 6 bits) and the per-core stream id (sid,
+// 4 bits).
+type StreamID struct {
+	Core int
+	Sid  int
+}
+
+// String formats the id.
+func (s StreamID) String() string { return fmt.Sprintf("c%d.s%d", s.Core, s.Sid) }
+
+// ArgKind distinguishes compute argument sources.
+type ArgKind int
+
+const (
+	// ArgStream reads the same-iteration element of another stream.
+	ArgStream ArgKind = iota
+	// ArgConst is a loop-invariant value provided at configuration.
+	ArgConst
+	// ArgSelf is the accumulator (reductions).
+	ArgSelf
+)
+
+// ComputeArg is one operand of a near-stream computation.
+type ComputeArg struct {
+	Kind   ArgKind
+	Stream StreamID // for ArgStream
+	Const  uint64   // for ArgConst
+	Size   int      // element size in bytes (power of two, Table IV)
+}
+
+// ComputeSpec describes the computation associated with a stream
+// (Table IV "Cmp." record).
+type ComputeSpec struct {
+	Type ComputeType
+	// Op is the scalar operation; OpFunc means a general near-stream
+	// function (FuncID stands in for the fptr).
+	Op     ScalarOp
+	FuncID uint64
+	Args   []ComputeArg
+	// RetSize is the result size in bytes (power of two). For
+	// ComputeLoad this is what crosses the network instead of the full
+	// element — the §II-B traffic reduction.
+	RetSize int
+	// FuncOps estimates the micro-ops of one instance of a general
+	// near-stream function (drives SCC occupancy); 0 for scalar ops.
+	FuncOps int
+	// Vector marks SIMD computation (needs the SCM, not the scalar PE).
+	Vector bool
+}
+
+// StreamConfig is a complete stream configuration (what the s_cfg_begin /
+// s_cfg_input / s_cfg_end sequence transfers, Table IV).
+type StreamConfig struct {
+	ID   StreamID
+	Kind StreamKind
+
+	Affine AffinePattern       // KindAffine
+	Ind    IndirectPattern     // KindIndirect
+	Ptr    PointerChasePattern // KindPointerChase
+
+	// Length is the known trip count (0 = data-dependent; terminated by
+	// s_end or a nil pointer).
+	Length uint64
+	// PageTableAddr is the ptbl field (SE_L3 TLB walks, Table IV).
+	PageTableAddr uint64
+
+	// Write marks store/atomic streams; Atomic additionally requires
+	// atomicity (s_atomic).
+	Write  bool
+	Atomic bool
+
+	// Compute is the associated near-stream computation (nil for
+	// address-only streams).
+	Compute *ComputeSpec
+
+	// ValueDeps are streams whose same-iteration data this stream's
+	// computation consumes (multi-operand patterns, Figure 4b).
+	ValueDeps []StreamID
+	// Reduction marks an accumulating stream (value dependence on self).
+	Reduction bool
+	// ReduceInit is the accumulator's initial value.
+	ReduceInit uint64
+	// AssocOnly marks an associative reduction eligible for the §IV-C
+	// indirect partial-reduction scheme.
+	AssocOnly bool
+
+	// Nested marks an inner-loop stream instantiated per outer iteration
+	// (Figure 4d).
+	Nested bool
+	// SyncFree marks streams under a s_sync_free pragma (§V).
+	SyncFree bool
+}
+
+// Validate checks structural invariants.
+func (c *StreamConfig) Validate() error {
+	if c.ID.Sid < 0 || c.ID.Sid >= 16 {
+		return fmt.Errorf("isa: sid %d outside 4-bit range", c.ID.Sid)
+	}
+	if c.ID.Core < 0 || c.ID.Core >= 64 {
+		return fmt.Errorf("isa: cid %d outside 6-bit range", c.ID.Core)
+	}
+	switch c.Kind {
+	case KindAffine:
+		if c.Affine.Dims < 1 || c.Affine.Dims > MaxDims {
+			return fmt.Errorf("isa: affine dims %d outside 1..%d", c.Affine.Dims, MaxDims)
+		}
+		for d := 0; d < c.Affine.Dims; d++ {
+			if c.Affine.Lens[d] == 0 {
+				return fmt.Errorf("isa: affine dim %d has zero length", d)
+			}
+		}
+	case KindIndirect, KindPointerChase:
+	default:
+		return fmt.Errorf("isa: unknown stream kind %d", c.Kind)
+	}
+	if c.Compute != nil {
+		if len(c.Compute.Args) > MaxComputeArgs {
+			return fmt.Errorf("isa: %d compute args exceed limit %d", len(c.Compute.Args), MaxComputeArgs)
+		}
+		if c.Compute.RetSize < 0 || (c.Compute.RetSize&(c.Compute.RetSize-1)) != 0 && c.Compute.RetSize != 0 {
+			return fmt.Errorf("isa: ret size %d not a power of two", c.Compute.RetSize)
+		}
+	}
+	if c.Reduction && c.Kind == KindIndirect && !c.AssocOnly {
+		return fmt.Errorf("isa: indirect reductions must be associative (§IV-C)")
+	}
+	return nil
+}
+
+// Mnemonic is one stream instruction of the ISA extension.
+type Mnemonic int
+
+const (
+	SCfgBegin Mnemonic = iota
+	SCfgInput
+	SCfgEnd
+	SLoad
+	SStore
+	SAtomic
+	SStep
+	SEnd
+)
+
+// String returns the assembly mnemonic.
+func (m Mnemonic) String() string {
+	names := []string{"s_cfg_begin", "s_cfg_input", "s_cfg_end", "s_load", "s_store", "s_atomic", "s_step", "s_end"}
+	if int(m) < len(names) {
+		return names[m]
+	}
+	return fmt.Sprintf("s_op(%d)", int(m))
+}

@@ -1,0 +1,263 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAffineAddress1D(t *testing.T) {
+	p := AffinePattern{Base: 1000, Strides: [3]int64{8}, Lens: [3]uint64{10}, Dims: 1, ElemSize: 8}
+	if p.TotalIters() != 10 {
+		t.Fatalf("iters = %d", p.TotalIters())
+	}
+	for i := uint64(0); i < 10; i++ {
+		if got := p.Address(i); got != 1000+i*8 {
+			t.Fatalf("addr(%d) = %d", i, got)
+		}
+	}
+}
+
+func TestAffineAddress2D(t *testing.T) {
+	// A[j][i]: row stride 1024, col stride 8, 4 rows × 16 cols.
+	p := AffinePattern{Base: 0, Strides: [3]int64{8, 1024}, Lens: [3]uint64{16, 4}, Dims: 2, ElemSize: 8}
+	if p.TotalIters() != 64 {
+		t.Fatalf("iters = %d", p.TotalIters())
+	}
+	if p.Address(0) != 0 || p.Address(1) != 8 || p.Address(16) != 1024 || p.Address(17) != 1032 {
+		t.Fatal("2D addressing wrong")
+	}
+}
+
+func TestAffineNegativeStride(t *testing.T) {
+	p := AffinePattern{Base: 800, Strides: [3]int64{-8}, Lens: [3]uint64{10}, Dims: 1, ElemSize: 8}
+	if p.Address(9) != 800-72 {
+		t.Fatalf("addr(9) = %d", p.Address(9))
+	}
+	if fp := p.FootprintBytes(); fp != 72+8 {
+		t.Fatalf("footprint = %d, want 80", fp)
+	}
+}
+
+func TestAffineFootprint(t *testing.T) {
+	p := AffinePattern{Base: 0, Strides: [3]int64{8}, Lens: [3]uint64{100}, Dims: 1, ElemSize: 8}
+	if fp := p.FootprintBytes(); fp != 800 {
+		t.Fatalf("footprint = %d, want 800", fp)
+	}
+}
+
+func TestIndirectAddress(t *testing.T) {
+	p := IndirectPattern{Base: 4096, ElemSize: 4}
+	if p.Address(10) != 4096+40 {
+		t.Fatalf("indirect addr = %d", p.Address(10))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &StreamConfig{
+		ID:   StreamID{Core: 3, Sid: 2},
+		Kind: KindAffine,
+		Affine: AffinePattern{
+			Base: 100, Strides: [3]int64{8}, Lens: [3]uint64{10}, Dims: 1, ElemSize: 8,
+		},
+		Length: 10,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := *good
+	bad.ID.Sid = 16
+	if bad.Validate() == nil {
+		t.Fatal("sid 16 accepted (4-bit field)")
+	}
+	bad = *good
+	bad.ID.Core = 64
+	if bad.Validate() == nil {
+		t.Fatal("cid 64 accepted (6-bit field)")
+	}
+	bad = *good
+	bad.Affine.Dims = 4
+	if bad.Validate() == nil {
+		t.Fatal("4-D affine accepted (3-D limit)")
+	}
+	bad = *good
+	bad.Kind = KindIndirect
+	bad.Reduction = true
+	if bad.Validate() == nil {
+		t.Fatal("non-associative indirect reduction accepted (§IV-C)")
+	}
+	bad.AssocOnly = true
+	if err := bad.Validate(); err != nil {
+		t.Fatalf("associative indirect reduction rejected: %v", err)
+	}
+}
+
+func TestEncodeDecodeAffineRoundTrip(t *testing.T) {
+	c := &StreamConfig{
+		ID:   StreamID{Core: 5, Sid: 7},
+		Kind: KindAffine,
+		Affine: AffinePattern{
+			Base:     0x1234_5678_9abc,
+			Strides:  [3]int64{8, -1024, 65536},
+			Lens:     [3]uint64{16, 4, 2},
+			Dims:     3,
+			ElemSize: 8,
+		},
+		Length:        128,
+		PageTableAddr: 0xdead_0000,
+		Write:         true,
+		SyncFree:      true,
+	}
+	got, err := Decode(Encode(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", c, got)
+	}
+}
+
+func TestEncodeDecodeIndirectWithCompute(t *testing.T) {
+	c := &StreamConfig{
+		ID:   StreamID{Core: 63, Sid: 15},
+		Kind: KindIndirect,
+		Ind: IndirectPattern{
+			Base: 0x8000_0000, ElemSize: 4, Offset: -16,
+			BaseStream: StreamID{Core: 63, Sid: 1},
+		},
+		Atomic: true,
+		Write:  true,
+		Compute: &ComputeSpec{
+			Type:    ComputeRMW,
+			Op:      OpAdd,
+			RetSize: 4,
+			Args: []ComputeArg{
+				{Kind: ArgStream, Stream: StreamID{Core: 63, Sid: 1}, Size: 4},
+				{Kind: ArgConst, Const: 42, Size: 8},
+			},
+		},
+		ValueDeps: []StreamID{{Core: 63, Sid: 1}},
+	}
+	got, err := Decode(Encode(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", c, got)
+	}
+}
+
+func TestEncodeDecodePointerChaseReduction(t *testing.T) {
+	c := &StreamConfig{
+		ID:   StreamID{Core: 0, Sid: 0},
+		Kind: KindPointerChase,
+		Ptr:  PointerChasePattern{Start: 0x1000, NextOffset: 8, ElemSize: 16},
+		Compute: &ComputeSpec{
+			Type: ComputeReduce, Op: OpAdd, RetSize: 8, FuncOps: 4,
+			Args: []ComputeArg{{Kind: ArgSelf, Size: 8}},
+		},
+		Reduction:  true,
+		AssocOnly:  true,
+		ReduceInit: 0xffff_ffff_ffff_ffff,
+	}
+	got, err := Decode(Encode(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", c, got)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	c := &StreamConfig{
+		ID: StreamID{Core: 1, Sid: 1}, Kind: KindAffine,
+		Affine: AffinePattern{Strides: [3]int64{8}, Lens: [3]uint64{4}, Dims: 1, ElemSize: 8},
+	}
+	buf := Encode(c)
+	if _, err := Decode(buf[:len(buf)/2]); err == nil {
+		t.Fatal("truncated configuration decoded without error")
+	}
+}
+
+func TestEncodedSizeReasonable(t *testing.T) {
+	// Table IV: the affine record is ~450 bits ≈ 57 B; with header and
+	// reduce-init our encoding should stay within ~1.5× of that.
+	c := &StreamConfig{
+		ID: StreamID{Core: 1, Sid: 1}, Kind: KindAffine,
+		Affine: AffinePattern{Strides: [3]int64{8}, Lens: [3]uint64{4}, Dims: 1, ElemSize: 8},
+	}
+	n := EncodedBytes(c)
+	if n < 40 || n > 96 {
+		t.Fatalf("affine config encodes to %d bytes; Table IV expects ~57", n)
+	}
+}
+
+func TestSigned48RoundTripProperty(t *testing.T) {
+	f := func(raw int32) bool {
+		v := int64(raw) // any 32-bit value fits in 48 bits
+		w := &bitWriter{}
+		w.write(uint64(v), 48)
+		r := &bitReader{buf: w.buf}
+		return signed48(r.read(48)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitWriterReaderProperty(t *testing.T) {
+	// Property: any sequence of (value, width) fields round-trips.
+	f := func(vals []uint16, widths []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(widths) == 0 {
+			widths = []uint8{7}
+		}
+		w := &bitWriter{}
+		var want []uint64
+		for i, v := range vals {
+			width := uint(widths[i%len(widths)]%16) + 1
+			masked := uint64(v) & (1<<width - 1)
+			w.write(masked, width)
+			want = append(want, masked)
+		}
+		r := &bitReader{buf: w.buf}
+		for i := range vals {
+			width := uint(widths[i%len(widths)]%16) + 1
+			if r.read(width) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestMnemonics(t *testing.T) {
+	if SLoad.String() != "s_load" || SCfgBegin.String() != "s_cfg_begin" || SEnd.String() != "s_end" {
+		t.Fatal("mnemonics changed")
+	}
+}
+
+func TestKindAndComputeStrings(t *testing.T) {
+	if KindAffine.String() != "affine" || KindIndirect.String() != "indirect" || KindPointerChase.String() != "ptr-chase" {
+		t.Fatal("kind names wrong")
+	}
+	if ComputeReduce.String() != "reduce" || ComputeRMW.String() != "rmw" {
+		t.Fatal("compute names wrong")
+	}
+	if OpCAS.String() != "cas" || OpFunc.String() != "func" {
+		t.Fatal("op names wrong")
+	}
+}

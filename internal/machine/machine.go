@@ -1,0 +1,153 @@
+// Package machine assembles the full simulated system of Table V: the
+// event engine, the W×H mesh, the DRAM controllers, the three-level cache
+// hierarchy with directory coherence, per-tile TLBs, and the address space
+// with huge-page support. The near-stream runtime (internal/core) and the
+// experiment harness build on a Machine.
+package machine
+
+import (
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+)
+
+// Config sizes a machine.
+type Config struct {
+	// MeshWidth/MeshHeight give the tile grid (8×8 in the paper; tests
+	// and CI-scale experiments use 4×4).
+	MeshWidth, MeshHeight int
+	// Cores is how many tiles run worker threads (≤ tiles; the rest only
+	// contribute L3 banks). 0 means all.
+	Cores int
+	// CoreType selects the core model.
+	CoreType cpu.Config
+	// Cache configures the hierarchy (DefaultConfig for Table V).
+	Cache cache.Config
+	// NoC configures the mesh.
+	NoC noc.Config
+	// Mem configures DRAM.
+	Mem mem.Config
+	// UseHugePages backs allocations with physically contiguous huge
+	// pages (the §IV-A assumption range-sync relies on).
+	UseHugePages bool
+	// EnablePrefetchers turns on the Bingo + stride prefetchers (the
+	// Base system only, §VI).
+	EnablePrefetchers bool
+	// Seed feeds every deterministic RNG.
+	Seed uint64
+}
+
+// Default returns the paper's 8×8 OOO8 machine.
+func Default() Config {
+	ncfg := noc.DefaultConfig()
+	return Config{
+		MeshWidth: 8, MeshHeight: 8,
+		CoreType:     cpu.OOO8(),
+		Cache:        cache.DefaultConfig(),
+		NoC:          ncfg,
+		Mem:          mem.DefaultConfig(),
+		UseHugePages: true,
+		Seed:         1,
+	}
+}
+
+// CI returns a reduced 4×4 machine for tests and CI-scale experiments.
+func CI() Config {
+	cfg := Default()
+	cfg.MeshWidth, cfg.MeshHeight = 4, 4
+	cfg.NoC.Width, cfg.NoC.Height = 4, 4
+	return cfg
+}
+
+// Machine is an assembled system.
+type Machine struct {
+	Cfg    Config
+	Engine *sim.Engine
+	Net    *noc.Network
+	Dram   *mem.Memory
+	Hier   *cache.Hierarchy
+	AS     *tlb.AddressSpace
+	// TLBs are the per-tile L2 TLBs (2k-entry, Table V); SE_L3 TLBs are
+	// separate 1k-entry ones.
+	TLBs    []*tlb.TLB
+	SETLBs  []*tlb.TLB
+	PFUnits []*prefetch.Unit
+	Stats   *stats.Set
+}
+
+// New assembles a machine.
+func New(cfg Config) *Machine {
+	if cfg.MeshWidth <= 0 || cfg.MeshHeight <= 0 {
+		panic("machine: bad mesh")
+	}
+	cfg.NoC.Width, cfg.NoC.Height = cfg.MeshWidth, cfg.MeshHeight
+	if cfg.Cores == 0 {
+		cfg.Cores = cfg.MeshWidth * cfg.MeshHeight
+	}
+	engine := sim.NewEngine()
+	net := noc.New(engine, cfg.NoC)
+	dram := mem.New(engine, cfg.Mem)
+	hier := cache.New(engine, net, dram, cfg.Cache)
+	m := &Machine{
+		Cfg:    cfg,
+		Engine: engine,
+		Net:    net,
+		Dram:   dram,
+		Hier:   hier,
+		AS:     tlb.NewAddressSpace(cfg.UseHugePages, cfg.Seed),
+		Stats:  stats.NewSet(),
+	}
+	for i := 0; i < net.Nodes(); i++ {
+		m.TLBs = append(m.TLBs, tlb.New(tlb.Config{
+			Entries: 2048, Ways: 16, HitLatency: 1, WalkLatency: 30,
+		}))
+		m.SETLBs = append(m.SETLBs, tlb.New(tlb.Config{
+			Entries: 1024, Ways: 16, HitLatency: 8, WalkLatency: 30,
+		}))
+	}
+	if cfg.EnablePrefetchers {
+		for i := 0; i < net.Nodes(); i++ {
+			m.PFUnits = append(m.PFUnits, prefetch.NewUnit(hier.Tile(i)))
+		}
+		hier.PrefetchHook = func(tile int, addr uint64, pc uint64, hit bool) {
+			m.PFUnits[tile].Observe(addr, pc)
+		}
+	}
+	return m
+}
+
+// Tiles returns the mesh node count.
+func (m *Machine) Tiles() int { return m.Net.Nodes() }
+
+// Cores returns the worker-core count.
+func (m *Machine) Cores() int { return m.Cfg.Cores }
+
+// Translate maps a virtual to a physical address (functional; the TLB
+// latency models charge their own cycles).
+func (m *Machine) Translate(va uint64) uint64 { return m.AS.Translate(va) }
+
+// HomeBank returns the L3 bank of a virtual address.
+func (m *Machine) HomeBank(va uint64) int { return m.Hier.HomeBank(m.Translate(va)) }
+
+// CollectStats merges every component's counters into one set.
+func (m *Machine) CollectStats() *stats.Set {
+	out := stats.NewSet()
+	out.Merge(m.Stats)
+	out.Merge(m.Hier.Stats)
+	out.Merge(m.Dram.Stats)
+	for _, t := range m.TLBs {
+		out.Merge(t.Stats)
+	}
+	for _, t := range m.SETLBs {
+		out.Merge(t.Stats)
+	}
+	out.Add("noc.bytehops.data", m.Net.Traffic.ByteHops(stats.TrafficData))
+	out.Add("noc.bytehops.control", m.Net.Traffic.ByteHops(stats.TrafficControl))
+	out.Add("noc.bytehops.offloaded", m.Net.Traffic.ByteHops(stats.TrafficOffload))
+	return out
+}

@@ -1,0 +1,121 @@
+// Package mem models main memory: four corner DDR4-3200 controllers, each
+// with a fixed access latency and a 25.6 GB/s bandwidth queue (12.8 bytes
+// per 2 GHz core cycle), per Table V. The model is intentionally simple —
+// the evaluation workloads are sized to live in the LLC, which is the whole
+// point of near-cache computing — but it bounds streaming bandwidth and adds
+// realistic latency to cold misses.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config describes the memory system.
+type Config struct {
+	// Controllers is the number of memory controllers (4 corners).
+	Controllers int
+	// AccessLatency is the fixed DRAM access latency in core cycles.
+	AccessLatency sim.Time
+	// BytesPerCycleX10 is the per-controller bandwidth in tenths of a
+	// byte per cycle (128 = 12.8 B/cycle = 25.6 GB/s at 2 GHz).
+	BytesPerCycleX10 int
+	// InterleaveBytes is the address-interleave granularity across
+	// controllers (one cache line).
+	InterleaveBytes uint64
+}
+
+// DefaultConfig returns the Table V memory system.
+func DefaultConfig() Config {
+	return Config{
+		Controllers:      4,
+		AccessLatency:    100, // ~50 ns at 2 GHz
+		BytesPerCycleX10: 128,
+		InterleaveBytes:  64,
+	}
+}
+
+// Memory is the set of DRAM controllers.
+type Memory struct {
+	cfg    Config
+	engine *sim.Engine
+	// nextFree is the earliest cycle each controller's data bus is idle.
+	nextFree []sim.Time
+	Stats    *stats.Set
+}
+
+// New builds the memory system.
+func New(engine *sim.Engine, cfg Config) *Memory {
+	if cfg.Controllers <= 0 {
+		panic("mem: need at least one controller")
+	}
+	if cfg.BytesPerCycleX10 <= 0 {
+		panic("mem: bandwidth must be positive")
+	}
+	if cfg.InterleaveBytes == 0 {
+		panic("mem: interleave must be positive")
+	}
+	return &Memory{
+		cfg:      cfg,
+		engine:   engine,
+		nextFree: make([]sim.Time, cfg.Controllers),
+		Stats:    stats.NewSet(),
+	}
+}
+
+// Config returns the memory configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// ControllerFor maps a physical address to its controller index.
+func (m *Memory) ControllerFor(addr uint64) int {
+	return int((addr / m.cfg.InterleaveBytes) % uint64(m.cfg.Controllers))
+}
+
+// Access issues a DRAM read or write of bytes at addr. onDone (may be nil)
+// runs when the data is available. It returns the completion time.
+func (m *Memory) Access(addr uint64, bytes int, write bool, onDone func()) sim.Time {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("mem: access of %d bytes", bytes))
+	}
+	ctrl := m.ControllerFor(addr)
+	now := m.engine.Now()
+	start := now
+	if m.nextFree[ctrl] > start {
+		start = m.nextFree[ctrl]
+	}
+	// Bus occupancy: ceil(bytes / (BytesPerCycleX10/10)).
+	occupancy := sim.Time((bytes*10 + m.cfg.BytesPerCycleX10 - 1) / m.cfg.BytesPerCycleX10)
+	if occupancy < 1 {
+		occupancy = 1
+	}
+	m.nextFree[ctrl] = start + occupancy
+	done := start + occupancy + m.cfg.AccessLatency
+	if write {
+		m.Stats.Inc("dram.writes")
+	} else {
+		m.Stats.Inc("dram.reads")
+	}
+	m.Stats.Add("dram.bytes", uint64(bytes))
+	if onDone != nil {
+		m.engine.ScheduleAt(done, onDone)
+	}
+	return done
+}
+
+// CornerNodes returns the mesh node ids of the four controller attachment
+// points for a W×H mesh, in controller-index order. With fewer than four
+// controllers the first Controllers corners are used.
+func CornerNodes(width, height, controllers int) []int {
+	corners := []int{
+		0,                    // top-left
+		width - 1,            // top-right
+		(height - 1) * width, // bottom-left
+		height*width - 1,     // bottom-right
+	}
+	if controllers > len(corners) {
+		panic("mem: more controllers than mesh corners")
+	}
+	return corners[:controllers]
+}

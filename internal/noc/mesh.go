@@ -1,0 +1,273 @@
+// Package noc models the on-chip interconnect: a W×H mesh with X-Y
+// dimension-order routing, 256-bit single-cycle links, a multi-stage router
+// pipeline, link contention, and multicast — matching the Garnet
+// configuration of Table V. Every delivered message is charged bytes×hops
+// into a stats.Traffic accumulator, which is the unit Figures 1b, 12 and 15
+// report.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config describes a mesh network.
+type Config struct {
+	// Width and Height give the mesh dimensions (8×8 in the paper).
+	Width, Height int
+	// LinkBytesPerCycle is the link width; Table V uses 256-bit links,
+	// i.e. 32 bytes per cycle.
+	LinkBytesPerCycle int
+	// LinkLatency is the cycles to traverse one link.
+	LinkLatency sim.Time
+	// RouterLatency is the pipeline depth of each router (5 in Table V).
+	RouterLatency sim.Time
+	// HeaderBytes is added to every message's payload for flit headers.
+	HeaderBytes int
+	// ModelContention enables per-link serialization and queueing; when
+	// false the mesh is a pure latency model (used by the ideal-system
+	// studies of Figure 1b).
+	ModelContention bool
+}
+
+// DefaultConfig returns the Table V mesh: 8×8, 256-bit 1-cycle links,
+// 5-stage routers.
+func DefaultConfig() Config {
+	return Config{
+		Width:             8,
+		Height:            8,
+		LinkBytesPerCycle: 32,
+		LinkLatency:       1,
+		RouterLatency:     5,
+		HeaderBytes:       8,
+		ModelContention:   true,
+	}
+}
+
+// Message is one network transfer. The zero Dst/Src is node 0; callers set
+// all fields.
+type Message struct {
+	Src, Dst int
+	// Bytes is the payload size; the network adds Config.HeaderBytes.
+	Bytes int
+	Class stats.TrafficClass
+	// OnDeliver runs at the destination when the message arrives. It may
+	// be nil for fire-and-forget accounting.
+	OnDeliver func()
+}
+
+// link identifies a directed mesh link by its endpoints.
+type link struct {
+	from, to int
+}
+
+// Network is the mesh interconnect.
+type Network struct {
+	cfg     Config
+	engine  *sim.Engine
+	Traffic stats.Traffic
+	// nextFree tracks when each directed link can accept the next
+	// message (message-granularity wormhole approximation).
+	nextFree map[link]sim.Time
+	// busyCycles accumulates per-link occupancy for the utilization
+	// metric of Figure 12.
+	busyCycles map[link]uint64
+	// Delivered counts total messages for sanity checks.
+	Delivered uint64
+}
+
+// New builds a network on the given engine.
+func New(engine *sim.Engine, cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("noc: mesh dimensions must be positive")
+	}
+	if cfg.LinkBytesPerCycle <= 0 {
+		panic("noc: link width must be positive")
+	}
+	return &Network{cfg: cfg, engine: engine,
+		nextFree: make(map[link]sim.Time), busyCycles: make(map[link]uint64)}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Nodes returns the number of mesh nodes.
+func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
+
+// Coord converts a node id to (x, y).
+func (n *Network) Coord(id int) (x, y int) {
+	n.check(id)
+	return id % n.cfg.Width, id / n.cfg.Width
+}
+
+// NodeAt converts (x, y) to a node id.
+func (n *Network) NodeAt(x, y int) int {
+	if x < 0 || x >= n.cfg.Width || y < 0 || y >= n.cfg.Height {
+		panic(fmt.Sprintf("noc: coordinate (%d,%d) outside %dx%d mesh", x, y, n.cfg.Width, n.cfg.Height))
+	}
+	return y*n.cfg.Width + x
+}
+
+func (n *Network) check(id int) {
+	if id < 0 || id >= n.Nodes() {
+		panic(fmt.Sprintf("noc: node %d outside %dx%d mesh", id, n.cfg.Width, n.cfg.Height))
+	}
+}
+
+// HopCount returns the X-Y route length between two nodes.
+func (n *Network) HopCount(src, dst int) int {
+	sx, sy := n.Coord(src)
+	dx, dy := n.Coord(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// route returns the X-Y path of node ids from src to dst inclusive.
+func (n *Network) route(src, dst int) []int {
+	sx, sy := n.Coord(src)
+	dx, dy := n.Coord(dst)
+	path := []int{src}
+	x, y := sx, sy
+	for x != dx {
+		if x < dx {
+			x++
+		} else {
+			x--
+		}
+		path = append(path, n.NodeAt(x, y))
+	}
+	for y != dy {
+		if y < dy {
+			y++
+		} else {
+			y--
+		}
+		path = append(path, n.NodeAt(x, y))
+	}
+	return path
+}
+
+// serializationCycles returns the cycles to push a message through one link.
+func (n *Network) serializationCycles(bytes int) sim.Time {
+	total := bytes + n.cfg.HeaderBytes
+	c := (total + n.cfg.LinkBytesPerCycle - 1) / n.cfg.LinkBytesPerCycle
+	if c < 1 {
+		c = 1
+	}
+	return sim.Time(c)
+}
+
+// Send routes a message, charges traffic, and schedules OnDeliver at the
+// arrival time. Local (src==dst) messages are delivered after the router
+// latency with no link traffic.
+func (n *Network) Send(m *Message) {
+	n.check(m.Src)
+	n.check(m.Dst)
+	hops := n.HopCount(m.Src, m.Dst)
+	n.Traffic.Record(m.Class, m.Bytes+n.cfg.HeaderBytes, hops)
+	arrive := n.deliveryTime(m.Src, m.Dst, m.Bytes)
+	n.scheduleDelivery(arrive, m.OnDeliver)
+}
+
+// deliveryTime computes the arrival time of a message sent now, advancing
+// link reservations when contention modelling is on.
+func (n *Network) deliveryTime(src, dst, bytes int) sim.Time {
+	now := n.engine.Now()
+	if src == dst {
+		return now + n.cfg.RouterLatency
+	}
+	ser := n.serializationCycles(bytes)
+	t := now + n.cfg.RouterLatency // injection router
+	if !n.cfg.ModelContention {
+		hops := sim.Time(n.HopCount(src, dst))
+		return t + hops*(n.cfg.LinkLatency+n.cfg.RouterLatency) + ser - 1
+	}
+	path := n.route(src, dst)
+	for i := 0; i+1 < len(path); i++ {
+		l := link{from: path[i], to: path[i+1]}
+		start := t
+		if free := n.nextFree[l]; free > start {
+			start = free
+		}
+		n.nextFree[l] = start + ser
+		n.busyCycles[l] += uint64(ser)
+		t = start + ser - 1 + n.cfg.LinkLatency + n.cfg.RouterLatency
+	}
+	return t
+}
+
+// Utilization returns the average fraction of link-cycles occupied so far
+// (Figure 12's companion metric). Zero before any traffic or time.
+func (n *Network) Utilization() float64 {
+	now := uint64(n.engine.Now())
+	if now == 0 {
+		return 0
+	}
+	// Directed links in a W×H mesh: horizontal 2*(W-1)*H, vertical
+	// 2*(H-1)*W.
+	links := 2*(n.cfg.Width-1)*n.cfg.Height + 2*(n.cfg.Height-1)*n.cfg.Width
+	if links == 0 {
+		return 0
+	}
+	var busy uint64
+	for _, c := range n.busyCycles {
+		busy += c
+	}
+	return float64(busy) / float64(uint64(links)*now)
+}
+
+func (n *Network) scheduleDelivery(at sim.Time, fn func()) {
+	n.engine.ScheduleAt(at, func() {
+		n.Delivered++
+		if fn != nil {
+			fn()
+		}
+	})
+}
+
+// Multicast sends one payload to several destinations along a shared X-Y
+// tree: links common to multiple destinations are charged once, modelling
+// the router multicast support of Table V. OnDeliver (if non-nil) runs once
+// per destination.
+func (n *Network) Multicast(src int, dsts []int, bytes int, class stats.TrafficClass, onDeliver func(dst int)) {
+	n.check(src)
+	if len(dsts) == 0 {
+		return
+	}
+	uniqueLinks := make(map[link]bool)
+	for _, d := range dsts {
+		n.check(d)
+		path := n.route(src, d)
+		for i := 0; i+1 < len(path); i++ {
+			uniqueLinks[link{path[i], path[i+1]}] = true
+		}
+	}
+	n.Traffic.Record(class, bytes+n.cfg.HeaderBytes, len(uniqueLinks))
+	for _, d := range dsts {
+		d := d
+		arrive := n.deliveryTime(src, d, bytes)
+		n.scheduleDelivery(arrive, func() {
+			if onDeliver != nil {
+				onDeliver(d)
+			}
+		})
+	}
+}
+
+// Latency estimates (without sending) the uncontended latency between two
+// nodes for a message of the given payload size.
+func (n *Network) Latency(src, dst, bytes int) sim.Time {
+	hops := sim.Time(n.HopCount(src, dst))
+	if hops == 0 {
+		return n.cfg.RouterLatency
+	}
+	return n.cfg.RouterLatency + hops*(n.cfg.LinkLatency+n.cfg.RouterLatency) + n.serializationCycles(bytes) - 1
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

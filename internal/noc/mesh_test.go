@@ -1,0 +1,244 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func testNet(w, h int) (*sim.Engine, *Network) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	return e, New(e, cfg)
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	_, n := testNet(8, 8)
+	for id := 0; id < n.Nodes(); id++ {
+		x, y := n.Coord(id)
+		if n.NodeAt(x, y) != id {
+			t.Fatalf("coord round trip failed for %d", id)
+		}
+	}
+}
+
+func TestHopCount(t *testing.T) {
+	_, n := testNet(8, 8)
+	cases := []struct {
+		src, dst, want int
+	}{
+		{0, 0, 0},
+		{0, 7, 7},
+		{0, 63, 14},
+		{n.NodeAt(3, 4), n.NodeAt(5, 1), 2 + 3},
+	}
+	for _, c := range cases {
+		if got := n.HopCount(c.src, c.dst); got != c.want {
+			t.Errorf("HopCount(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestHopCountSymmetric(t *testing.T) {
+	_, n := testNet(8, 8)
+	f := func(a, b uint8) bool {
+		s, d := int(a)%64, int(b)%64
+		return n.HopCount(s, d) == n.HopCount(d, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteIsXY(t *testing.T) {
+	_, n := testNet(8, 8)
+	src, dst := n.NodeAt(1, 1), n.NodeAt(4, 6)
+	path := n.route(src, dst)
+	if len(path) != n.HopCount(src, dst)+1 {
+		t.Fatalf("path length %d, want %d", len(path), n.HopCount(src, dst)+1)
+	}
+	// X must be fully routed before Y moves.
+	yMoved := false
+	for i := 1; i < len(path); i++ {
+		px, py := n.Coord(path[i-1])
+		cx, cy := n.Coord(path[i])
+		if cy != py {
+			yMoved = true
+		}
+		if cx != px && yMoved {
+			t.Fatal("X movement after Y movement: not X-Y routing")
+		}
+	}
+}
+
+func TestSendDeliversAndCharges(t *testing.T) {
+	e, n := testNet(8, 8)
+	delivered := false
+	var at sim.Time
+	n.Send(&Message{Src: 0, Dst: 63, Bytes: 64, Class: stats.TrafficData, OnDeliver: func() {
+		delivered = true
+		at = e.Now()
+	}})
+	e.Run()
+	if !delivered {
+		t.Fatal("message not delivered")
+	}
+	if at == 0 {
+		t.Fatal("delivery at time 0 is impossible")
+	}
+	wantBH := uint64(64+n.Config().HeaderBytes) * 14
+	if got := n.Traffic.ByteHops(stats.TrafficData); got != wantBH {
+		t.Fatalf("byte-hops = %d, want %d", got, wantBH)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	e, n := testNet(4, 4)
+	var at sim.Time
+	n.Send(&Message{Src: 5, Dst: 5, Bytes: 64, Class: stats.TrafficData, OnDeliver: func() { at = e.Now() }})
+	e.Run()
+	if at != n.Config().RouterLatency {
+		t.Fatalf("local delivery at %d, want router latency %d", at, n.Config().RouterLatency)
+	}
+	if n.Traffic.ByteHops(stats.TrafficData) != 0 {
+		t.Fatal("local messages must not be charged link traffic")
+	}
+}
+
+func TestContentionSerializes(t *testing.T) {
+	e, n := testNet(8, 1)
+	// Two max-size messages over the same links: the second must arrive
+	// later than the first.
+	var first, second sim.Time
+	n.Send(&Message{Src: 0, Dst: 7, Bytes: 64, Class: stats.TrafficData, OnDeliver: func() { first = e.Now() }})
+	n.Send(&Message{Src: 0, Dst: 7, Bytes: 64, Class: stats.TrafficData, OnDeliver: func() { second = e.Now() }})
+	e.Run()
+	if second <= first {
+		t.Fatalf("contention not modelled: first=%d second=%d", first, second)
+	}
+}
+
+func TestNoContentionModeMatchesLatency(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.ModelContention = false
+	n := New(e, cfg)
+	var at sim.Time
+	n.Send(&Message{Src: 0, Dst: 63, Bytes: 64, Class: stats.TrafficData, OnDeliver: func() { at = e.Now() }})
+	e.Run()
+	if want := n.Latency(0, 63, 64); at != want {
+		t.Fatalf("uncontended arrival %d, want Latency() = %d", at, want)
+	}
+}
+
+func TestMulticastSharedLinksChargedOnce(t *testing.T) {
+	e, n := testNet(8, 8)
+	// From (0,0) to (7,0) and (7,1): X path is shared for 7 hops, then the
+	// second branch takes 1 extra Y hop → 8 unique links, not 15.
+	dsts := []int{n.NodeAt(7, 0), n.NodeAt(7, 1)}
+	count := 0
+	n.Multicast(0, dsts, 8, stats.TrafficControl, func(dst int) { count++ })
+	e.Run()
+	if count != 2 {
+		t.Fatalf("multicast delivered %d times, want 2", count)
+	}
+	wantBH := uint64(8+n.Config().HeaderBytes) * 8
+	if got := n.Traffic.ByteHops(stats.TrafficControl); got != wantBH {
+		t.Fatalf("multicast byte-hops = %d, want %d (shared prefix charged once)", got, wantBH)
+	}
+}
+
+func TestMulticastEmpty(t *testing.T) {
+	e, n := testNet(4, 4)
+	n.Multicast(0, nil, 8, stats.TrafficControl, nil)
+	e.Run()
+	if n.Traffic.Total() != 0 {
+		t.Fatal("empty multicast should be free")
+	}
+}
+
+func TestLatencyMonotonicInDistance(t *testing.T) {
+	_, n := testNet(8, 8)
+	prev := sim.Time(0)
+	for d := 0; d < 8; d++ {
+		l := n.Latency(0, n.NodeAt(d, 0), 64)
+		if l < prev {
+			t.Fatalf("latency not monotone at distance %d", d)
+		}
+		prev = l
+	}
+}
+
+func TestSerializationRoundsUp(t *testing.T) {
+	_, n := testNet(2, 1)
+	// 64B payload + 8B header = 72B over 32B/cycle links = 3 cycles.
+	if got := n.serializationCycles(64); got != 3 {
+		t.Fatalf("serialization(64B) = %d cycles, want 3", got)
+	}
+	if got := n.serializationCycles(0); got != 1 {
+		t.Fatalf("serialization(0B) = %d cycles, want 1 (header)", got)
+	}
+}
+
+func TestBadNodePanics(t *testing.T) {
+	_, n := testNet(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range node should panic")
+		}
+	}()
+	n.HopCount(0, 4)
+}
+
+func TestTrafficByHopsProperty(t *testing.T) {
+	// Property: total byte-hops equals sum over messages of
+	// (bytes+header)×hops, independent of contention or timing.
+	f := func(pairs []uint16) bool {
+		e, n := testNet(8, 8)
+		var want uint64
+		for _, p := range pairs {
+			src := int(p) % 64
+			dst := int(p>>6) % 64
+			bytes := int(p%5)*16 + 8
+			want += uint64(bytes+n.Config().HeaderBytes) * uint64(n.HopCount(src, dst))
+			n.Send(&Message{Src: src, Dst: dst, Bytes: bytes, Class: stats.TrafficData})
+		}
+		e.Run()
+		return n.Traffic.ByteHops(stats.TrafficData) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	e, n := testNet(4, 4)
+	if n.Utilization() != 0 {
+		t.Fatal("idle network should report zero utilization")
+	}
+	for i := 0; i < 200; i++ {
+		n.Send(&Message{Src: i % 16, Dst: (i * 7) % 16, Bytes: 64, Class: stats.TrafficData})
+	}
+	e.Run()
+	u := n.Utilization()
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization %v outside (0,1]", u)
+	}
+}
+
+func TestUtilizationGrowsWithLoad(t *testing.T) {
+	run := func(msgs int) float64 {
+		e, n := testNet(4, 4)
+		for i := 0; i < msgs; i++ {
+			n.Send(&Message{Src: 0, Dst: 15, Bytes: 64, Class: stats.TrafficData})
+		}
+		e.Run()
+		return n.Utilization()
+	}
+	if run(100) <= run(2) {
+		t.Fatal("more traffic should mean higher utilization")
+	}
+}

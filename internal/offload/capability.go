@@ -1,0 +1,205 @@
+// Package offload encodes the qualitative capability comparison of
+// sub-thread near-data approaches: Table I (approach properties), Table II
+// (address × compute pattern support) and Table III (stream-ISA
+// capabilities). The predicates double as documentation for which runtime
+// mode (internal/core) each baseline uses per pattern.
+package offload
+
+import "fmt"
+
+// Approach is one sub-thread near-data technique.
+type Approach int
+
+const (
+	ActiveRouting Approach = iota
+	Livia
+	OmniCompute
+	SnackNoC
+	PIMEnabled
+	NearStream
+)
+
+// String names the approach like Table I.
+func (a Approach) String() string {
+	return [...]string{"Active-Routing", "Livia", "Omni-Compute", "SnackNoC", "PIM-Enabled", "Near-Stream"}[a]
+}
+
+// AllApproaches lists Table I's columns.
+func AllApproaches() []Approach {
+	return []Approach{ActiveRouting, Livia, OmniCompute, SnackNoC, PIMEnabled, NearStream}
+}
+
+// Properties summarizes Table I's rows.
+type Properties struct {
+	DataLevel       string
+	Transparent     bool
+	LoopAutonomous  bool
+	PatternsCovered int // of 16 (Table II cells)
+	WorkloadsServed int // of 14 (Table VI)
+}
+
+// PropertiesOf returns Table I's row for an approach.
+func PropertiesOf(a Approach) Properties {
+	switch a {
+	case ActiveRouting:
+		return Properties{"HMC", false, true, 3, 2}
+	case Livia:
+		return Properties{"LLC/MC", false, true, 8, 5}
+	case OmniCompute:
+		return Properties{"LLC", true, false, 9, 10}
+	case SnackNoC:
+		return Properties{"NoC", false, false, 8, 5}
+	case PIMEnabled:
+		return Properties{"Mem", false, false, 6, 6}
+	case NearStream:
+		return Properties{"LLC", true, true, 16, 14}
+	default:
+		panic("offload: unknown approach")
+	}
+}
+
+// AddrPattern and CmpPattern index Table II.
+type AddrPattern int
+
+const (
+	AddrAffine AddrPattern = iota
+	AddrIndirect
+	AddrPtrChase
+	AddrMultiOp
+)
+
+// String names the pattern.
+func (p AddrPattern) String() string {
+	return [...]string{"affine", "indirect", "ptr-chase", "multi-op"}[p]
+}
+
+// CmpPattern is the compute dimension.
+type CmpPattern int
+
+const (
+	CmpLoad CmpPattern = iota
+	CmpStore
+	CmpRMW
+	CmpReduce
+)
+
+// String names the pattern.
+func (p CmpPattern) String() string {
+	return [...]string{"load", "store", "rmw", "reduce"}[p]
+}
+
+// Support grades one Table II cell.
+type Support int
+
+const (
+	// None: unsupported.
+	None Support = iota
+	// Partial: only through fine-grain (high-overhead) offloading —
+	// the underlined entries of Table II.
+	Partial
+	// Full: autonomous support.
+	Full
+)
+
+// String renders the grade.
+func (s Support) String() string {
+	return [...]string{"-", "partial", "full"}[s]
+}
+
+// Supports returns the Table II cell for (approach, address, compute).
+func Supports(a Approach, ap AddrPattern, cp CmpPattern) Support {
+	switch a {
+	case NearStream:
+		return Full // all 16 cells
+	case OmniCompute:
+		// Iteration-granularity chains: loads/stores/RMW partially, no
+		// reductions (fine-grain offloading cannot accumulate).
+		if cp == CmpReduce {
+			return None
+		}
+		if ap == AddrPtrChase {
+			return None
+		}
+		return Partial
+	case Livia:
+		// Single-line functions, chained: no multi-operand; no "load"
+		// pattern (it can only modify data or send back a final value);
+		// indirect loses autonomy (partial), and indirect reductions are
+		// not chainable.
+		if ap == AddrMultiOp || cp == CmpLoad {
+			return None
+		}
+		if ap == AddrIndirect {
+			if cp == CmpReduce {
+				return None
+			}
+			return Partial
+		}
+		return Full
+	case SnackNoC:
+		if ap == AddrIndirect || ap == AddrPtrChase {
+			return None
+		}
+		return Partial // iteration granularity only
+	case PIMEnabled:
+		if cp == CmpReduce || ap == AddrMultiOp || ap == AddrPtrChase {
+			return None
+		}
+		return Partial // instruction-level only
+	case ActiveRouting:
+		if cp != CmpReduce {
+			return None
+		}
+		if ap == AddrPtrChase {
+			return None
+		}
+		return Full
+	default:
+		panic("offload: unknown approach")
+	}
+}
+
+// CountSupported returns how many of the 16 Table II cells an approach
+// covers at least partially.
+func CountSupported(a Approach) int {
+	n := 0
+	for ap := AddrAffine; ap <= AddrMultiOp; ap++ {
+		for cp := CmpLoad; cp <= CmpReduce; cp++ {
+			if Supports(a, ap, cp) != None {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// StreamISA is one row of Table III.
+type StreamISA struct {
+	Name        string
+	AddrPattern string
+	NearData    string
+}
+
+// StreamISATable returns Table III.
+func StreamISATable() []StreamISA {
+	return []StreamISA{
+		{"Stream-Specialized Processor", "affine, indirect, ptr", "no"},
+		{"Stream-Semantic Register", "affine", "no"},
+		{"Unlimited Vector Extension", "affine, indirect", "no"},
+		{"Prodigy", "affine, indirect", "no"},
+		{"Stream Floating", "affine, indirect, ptr", "address only"},
+		{"Near-Stream Computing (this work)", "affine, indirect, ptr", "address + compute"},
+	}
+}
+
+// Check validates the internal consistency of the tables (used by tests
+// and the Table I renderer).
+func Check() error {
+	for _, a := range AllApproaches() {
+		want := PropertiesOf(a).PatternsCovered
+		if got := CountSupported(a); got != want {
+			return fmt.Errorf("offload: %v covers %d patterns, Table I says %d", a, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package offload
+
+import "testing"
+
+func TestTableIConsistency(t *testing.T) {
+	if err := Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearStreamCoversEverything(t *testing.T) {
+	for ap := AddrAffine; ap <= AddrMultiOp; ap++ {
+		for cp := CmpLoad; cp <= CmpReduce; cp++ {
+			if Supports(NearStream, ap, cp) != Full {
+				t.Fatalf("near-stream must fully support %v/%v", ap, cp)
+			}
+		}
+	}
+	if CountSupported(NearStream) != 16 {
+		t.Fatal("near-stream must cover 16/16 (Table I)")
+	}
+}
+
+func TestOmniCannotReduce(t *testing.T) {
+	for ap := AddrAffine; ap <= AddrMultiOp; ap++ {
+		if Supports(OmniCompute, ap, CmpReduce) != None {
+			t.Fatal("Omni-Compute cannot offload reductions (§VI)")
+		}
+	}
+}
+
+func TestLiviaNoMultiOp(t *testing.T) {
+	for cp := CmpLoad; cp <= CmpReduce; cp++ {
+		if Supports(Livia, AddrMultiOp, cp) != None {
+			t.Fatal("Livia has no multi-operand functions (§II-C)")
+		}
+	}
+}
+
+func TestOnlyTransparentAutonomous(t *testing.T) {
+	for _, a := range AllApproaches() {
+		p := PropertiesOf(a)
+		if p.Transparent && p.LoopAutonomous && a != NearStream {
+			t.Fatalf("%v claims transparent+autonomous; Table I reserves that for near-stream", a)
+		}
+	}
+}
+
+func TestStreamISATableShape(t *testing.T) {
+	rows := StreamISATable()
+	if len(rows) != 6 {
+		t.Fatalf("Table III has %d rows, want 6", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.NearData != "address + compute" {
+		t.Fatal("this work's row must claim address + compute")
+	}
+}

@@ -1,0 +1,143 @@
+// Package sim provides the discrete-event simulation engine that every
+// other timing model in this repository is built on. The engine is
+// deliberately single-threaded: events fire in (time, sequence) order, so a
+// simulation with a fixed seed is bit-for-bit deterministic, which the test
+// suite relies on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in core clock cycles.
+type Time uint64
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxUint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type scheduled struct {
+	at    Time
+	seq   uint64
+	fn    Event
+	index int
+}
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	s := x.(*scheduled)
+	s.index = len(*h)
+	*h = append(*h, s)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// Engine is a deterministic discrete-event scheduler.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// Executed counts events that have fired, mostly for tests and
+	// runaway-simulation guards.
+	Executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn delay cycles from now. A zero delay runs fn after all
+// events already scheduled for the current cycle (FIFO within a cycle).
+func (e *Engine) Schedule(delay Time, fn Event) {
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time at. Scheduling in the past panics:
+// it always indicates a model bug rather than a recoverable condition.
+func (e *Engine) ScheduleAt(at Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &scheduled{at: at, seq: e.seq, fn: fn})
+}
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes Run and RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single next event, advancing time to it. It reports false
+// when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 || e.stopped {
+		return false
+	}
+	s := heap.Pop(&e.queue).(*scheduled)
+	e.now = s.at
+	e.Executed++
+	s.fn()
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called. It returns the
+// final simulation time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= limit. Events beyond the limit
+// stay queued. Time advances to min(limit, last event). It returns true if
+// the queue drained (no work remains at or before any time).
+func (e *Engine) RunUntil(limit Time) bool {
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > limit {
+			e.now = limit
+			return false
+		}
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return len(e.queue) == 0
+}

@@ -1,0 +1,211 @@
+// Package stats collects simulation statistics: named counters, traffic
+// accounting by message class, and the derived metrics (speedup, energy
+// efficiency, offload fractions) the experiment harness reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Set is a bag of named uint64 counters. It is not goroutine-safe; the
+// simulator is single-threaded by design.
+type Set struct {
+	counters map[string]uint64
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set { return &Set{counters: make(map[string]uint64)} }
+
+// Add increments counter name by v.
+func (s *Set) Add(name string, v uint64) { s.counters[name] += v }
+
+// Inc increments counter name by one.
+func (s *Set) Inc(name string) { s.counters[name]++ }
+
+// Get returns the value of counter name (zero when never touched).
+func (s *Set) Get(name string) uint64 { return s.counters[name] }
+
+// Max raises counter name to v when v is larger.
+func (s *Set) Max(name string, v uint64) {
+	if v > s.counters[name] {
+		s.counters[name] = v
+	}
+}
+
+// Names returns the sorted counter names.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds every counter in other into s.
+func (s *Set) Merge(other *Set) {
+	for n, v := range other.counters {
+		s.counters[n] += v
+	}
+}
+
+// String formats all counters, one per line, sorted by name.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&b, "%-40s %d\n", n, s.counters[n])
+	}
+	return b.String()
+}
+
+// TrafficClass labels NoC messages for the Figure 12 breakdown.
+type TrafficClass int
+
+const (
+	// TrafficData is non-offloaded data accesses and writebacks.
+	TrafficData TrafficClass = iota
+	// TrafficControl is coherence and prefetch control messages.
+	TrafficControl
+	// TrafficOffload is near-data data+coordination traffic (credits,
+	// ranges, commits, forwarded stream data, migrations).
+	TrafficOffload
+	numTrafficClasses
+)
+
+// String names the class like the paper's Figure 12 legend.
+func (c TrafficClass) String() string {
+	switch c {
+	case TrafficData:
+		return "data"
+	case TrafficControl:
+		return "control"
+	case TrafficOffload:
+		return "offloaded"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Traffic accumulates bytes×hops per class — the unit of Figures 1b, 12
+// and 15.
+type Traffic struct {
+	byteHops [numTrafficClasses]uint64
+	messages [numTrafficClasses]uint64
+}
+
+// Record charges a message of size bytes travelling hops mesh links.
+func (t *Traffic) Record(class TrafficClass, bytes, hops int) {
+	if class < 0 || class >= numTrafficClasses {
+		panic(fmt.Sprintf("stats: bad traffic class %d", class))
+	}
+	t.byteHops[class] += uint64(bytes) * uint64(hops)
+	t.messages[class]++
+}
+
+// ByteHops returns the accumulated bytes×hops for a class.
+func (t *Traffic) ByteHops(class TrafficClass) uint64 { return t.byteHops[class] }
+
+// Messages returns the message count for a class.
+func (t *Traffic) Messages(class TrafficClass) uint64 { return t.messages[class] }
+
+// Total returns bytes×hops summed over all classes.
+func (t *Traffic) Total() uint64 {
+	var sum uint64
+	for _, v := range t.byteHops {
+		sum += v
+	}
+	return sum
+}
+
+// Merge adds other's accumulation into t.
+func (t *Traffic) Merge(other *Traffic) {
+	for i := range t.byteHops {
+		t.byteHops[i] += other.byteHops[i]
+		t.messages[i] += other.messages[i]
+	}
+}
+
+// Histogram is a simple fixed-bucket histogram for latency distributions.
+type Histogram struct {
+	BucketWidth uint64
+	buckets     []uint64
+	count       uint64
+	sum         uint64
+	max         uint64
+}
+
+// NewHistogram returns a histogram with the given bucket width and count;
+// values beyond the last bucket land in it.
+func NewHistogram(bucketWidth uint64, buckets int) *Histogram {
+	if bucketWidth == 0 || buckets <= 0 {
+		panic("stats: histogram needs positive bucket width and count")
+	}
+	return &Histogram{BucketWidth: bucketWidth, buckets: make([]uint64, buckets)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	idx := v / h.BucketWidth
+	if idx >= uint64(len(h.buckets)) {
+		idx = uint64(len(h.buckets)) - 1
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean (zero when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound for the p-th percentile (0 < p <= 100)
+// at bucket granularity.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(float64(h.count) * p / 100.0)
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			return (uint64(i) + 1) * h.BucketWidth
+		}
+	}
+	return uint64(len(h.buckets)) * h.BucketWidth
+}
+
+// GeoMean returns the geometric mean of xs; it is the aggregate the paper
+// uses for cross-workload speedups. Non-positive inputs panic.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

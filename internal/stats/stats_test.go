@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	s.Add("a", 4)
+	s.Add("b", 2)
+	if s.Get("a") != 5 {
+		t.Fatalf("a = %d, want 5", s.Get("a"))
+	}
+	if s.Get("missing") != 0 {
+		t.Fatal("missing counter should read zero")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSetMax(t *testing.T) {
+	s := NewSet()
+	s.Max("m", 10)
+	s.Max("m", 5)
+	s.Max("m", 20)
+	if s.Get("m") != 20 {
+		t.Fatalf("max = %d, want 20", s.Get("m"))
+	}
+}
+
+func TestSetMerge(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Fatalf("merge wrong: x=%d y=%d", a.Get("x"), a.Get("y"))
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	var tr Traffic
+	tr.Record(TrafficData, 64, 3)
+	tr.Record(TrafficData, 8, 2)
+	tr.Record(TrafficOffload, 16, 4)
+	if got := tr.ByteHops(TrafficData); got != 64*3+8*2 {
+		t.Fatalf("data byte-hops = %d", got)
+	}
+	if got := tr.ByteHops(TrafficOffload); got != 64 {
+		t.Fatalf("offload byte-hops = %d", got)
+	}
+	if tr.Messages(TrafficData) != 2 {
+		t.Fatalf("data messages = %d", tr.Messages(TrafficData))
+	}
+	if tr.Total() != 64*3+8*2+64 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+}
+
+func TestTrafficMerge(t *testing.T) {
+	var a, b Traffic
+	a.Record(TrafficControl, 8, 1)
+	b.Record(TrafficControl, 8, 2)
+	a.Merge(&b)
+	if a.ByteHops(TrafficControl) != 24 {
+		t.Fatalf("merged control = %d", a.ByteHops(TrafficControl))
+	}
+}
+
+func TestTrafficClassString(t *testing.T) {
+	if TrafficData.String() != "data" || TrafficControl.String() != "control" || TrafficOffload.String() != "offloaded" {
+		t.Fatal("traffic class names changed; Figure 12 legend depends on them")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 10)
+	for _, v := range []uint64{1, 5, 15, 25, 95, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	wantMean := float64(1+5+15+25+95+1000) / 6
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+	// 50th percentile upper bound: 3rd of 6 samples is 15 → bucket [10,20).
+	if p := h.Percentile(50); p != 20 {
+		t.Fatalf("p50 = %d, want 20", p)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(1, 4)
+	h.Observe(100)
+	if h.Percentile(100) != 4 {
+		t.Fatalf("overflow sample should land in last bucket, p100=%d", h.Percentile(100))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) should be 0")
+	}
+}
+
+func TestGeoMeanProperty(t *testing.T) {
+	// Property: geomean lies between min and max of positive inputs.
+	f := func(raw []uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			xs = append(xs, float64(v)+1) // ensure positive
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMeanNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean with 0 should panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}

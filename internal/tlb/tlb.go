@@ -1,0 +1,228 @@
+// Package tlb models address translation: page tables with 4 KB base and
+// 2 MB huge pages, an allocating address space, and set-associative TLBs
+// (L1 D/I, L2, and the SE_L3-colocated TLB of Table V).
+//
+// Range-based synchronization (§IV-B of the paper) assumes per-data-
+// structure physical contiguity via huge pages; the AddressSpace allocator
+// reproduces that: huge-page allocations are physically contiguous, while
+// base-page allocations are deliberately scattered so tests can exercise
+// the conservative fallback.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Page sizes.
+const (
+	BasePageBits = 12 // 4 KB
+	HugePageBits = 21 // 2 MB
+	BasePageSize = 1 << BasePageBits
+	HugePageSize = 1 << HugePageBits
+)
+
+// PageTable maps virtual to physical pages at both granularities. Huge
+// mappings take priority over base mappings.
+type PageTable struct {
+	base map[uint64]uint64 // base VPN -> base PPN
+	huge map[uint64]uint64 // huge VPN -> huge PPN
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{base: make(map[uint64]uint64), huge: make(map[uint64]uint64)}
+}
+
+// MapBase installs a 4 KB mapping.
+func (pt *PageTable) MapBase(vpn, ppn uint64) { pt.base[vpn] = ppn }
+
+// MapHuge installs a 2 MB mapping.
+func (pt *PageTable) MapHuge(vpn, ppn uint64) { pt.huge[vpn] = ppn }
+
+// Translate resolves a virtual address. ok is false for unmapped addresses.
+// huge reports whether the translation came from a huge-page entry.
+func (pt *PageTable) Translate(va uint64) (pa uint64, huge, ok bool) {
+	hvpn := va >> HugePageBits
+	if hppn, found := pt.huge[hvpn]; found {
+		return hppn<<HugePageBits | va&(HugePageSize-1), true, true
+	}
+	bvpn := va >> BasePageBits
+	if bppn, found := pt.base[bvpn]; found {
+		return bppn<<BasePageBits | va&(BasePageSize-1), false, true
+	}
+	return 0, false, false
+}
+
+// AddressSpace allocates virtual regions and backs them with physical
+// memory. With UseHugePages set, each allocation is physically contiguous
+// (the paper's §IV-A assumption); otherwise base pages are scattered
+// pseudo-randomly.
+type AddressSpace struct {
+	PT           *PageTable
+	UseHugePages bool
+	nextVA       uint64
+	nextPA       uint64
+	rng          *sim.Rand
+}
+
+// NewAddressSpace returns a fresh address space. Virtual addresses start
+// above zero so that nil-like addresses stay invalid.
+func NewAddressSpace(useHuge bool, seed uint64) *AddressSpace {
+	return &AddressSpace{
+		PT:           NewPageTable(),
+		UseHugePages: useHuge,
+		nextVA:       HugePageSize, // keep page 0 unmapped
+		nextPA:       HugePageSize,
+		rng:          sim.NewRand(seed),
+	}
+}
+
+// Alloc reserves size bytes and returns the virtual base address. The
+// region is aligned to (and padded to) the page size in use.
+func (as *AddressSpace) Alloc(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	if as.UseHugePages {
+		va := align(as.nextVA, HugePageSize)
+		pa := align(as.nextPA, HugePageSize)
+		pages := (size + HugePageSize - 1) / HugePageSize
+		for i := uint64(0); i < pages; i++ {
+			as.PT.MapHuge(va>>HugePageBits+i, pa>>HugePageBits+i)
+		}
+		as.nextVA = va + pages*HugePageSize
+		as.nextPA = pa + pages*HugePageSize
+		return va
+	}
+	va := align(as.nextVA, BasePageSize)
+	pages := (size + BasePageSize - 1) / BasePageSize
+	for i := uint64(0); i < pages; i++ {
+		// Scatter physical pages: hash the page index into a sparse PPN
+		// space. Deterministic, collision-free by construction (sequence
+		// counter mixed with a random stride within a private region).
+		pa := align(as.nextPA, BasePageSize)
+		as.nextPA = pa + BasePageSize*(1+as.rng.Uint64n(7))
+		as.PT.MapBase(va>>BasePageBits+i, pa>>BasePageBits)
+	}
+	as.nextVA = va + pages*BasePageSize
+	return va
+}
+
+// Translate resolves va, panicking on unmapped addresses: workloads only
+// touch allocated memory, so a miss is a generator bug.
+func (as *AddressSpace) Translate(va uint64) uint64 {
+	pa, _, ok := as.PT.Translate(va)
+	if !ok {
+		panic(fmt.Sprintf("tlb: access to unmapped address %#x", va))
+	}
+	return pa
+}
+
+// entry is one TLB entry.
+type entry struct {
+	vpn   uint64
+	valid bool
+	huge  bool
+	lru   uint64
+}
+
+// Config describes a TLB.
+type Config struct {
+	Entries     int
+	Ways        int
+	HitLatency  sim.Time
+	WalkLatency sim.Time // added on a miss (page-walk cost)
+}
+
+// TLB is a set-associative translation cache. It caches the *existence* of
+// a translation (the page table supplies the bits); what the timing model
+// needs is hit/miss latency and shootdown behaviour.
+type TLB struct {
+	cfg   Config
+	sets  int
+	data  [][]entry
+	clock uint64
+	Stats *stats.Set
+}
+
+// New builds a TLB. Entries must divide evenly into ways.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("tlb: bad geometry %d entries / %d ways", cfg.Entries, cfg.Ways))
+	}
+	sets := cfg.Entries / cfg.Ways
+	data := make([][]entry, sets)
+	for i := range data {
+		data[i] = make([]entry, cfg.Ways)
+	}
+	return &TLB{cfg: cfg, sets: sets, data: data, Stats: stats.NewSet()}
+}
+
+func (t *TLB) setFor(vpn uint64) int { return int(vpn % uint64(t.sets)) }
+
+// Lookup translates va with pt, returning the access latency and whether it
+// hit. Misses walk the page table and install the entry.
+func (t *TLB) Lookup(va uint64, pt *PageTable) (lat sim.Time, hit bool) {
+	_, huge, ok := pt.Translate(va)
+	if !ok {
+		panic(fmt.Sprintf("tlb: lookup of unmapped address %#x", va))
+	}
+	vpn := va >> BasePageBits
+	if huge {
+		vpn = va >> HugePageBits
+	}
+	t.clock++
+	set := t.data[t.setFor(vpn)]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn && set[i].huge == huge {
+			set[i].lru = t.clock
+			t.Stats.Inc("tlb.hits")
+			return t.cfg.HitLatency, true
+		}
+	}
+	t.Stats.Inc("tlb.misses")
+	// Install, evicting LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = entry{vpn: vpn, valid: true, huge: huge, lru: t.clock}
+	return t.cfg.HitLatency + t.cfg.WalkLatency, false
+}
+
+// Shootdown invalidates every entry covering va. The SE_L3 TLB participates
+// in shootdowns per §IV-B.
+func (t *TLB) Shootdown(va uint64) {
+	for _, vpn := range []uint64{va >> BasePageBits, va >> HugePageBits} {
+		set := t.data[t.setFor(vpn)]
+		for i := range set {
+			if set[i].valid && set[i].vpn == vpn {
+				set[i].valid = false
+				t.Stats.Inc("tlb.shootdowns")
+			}
+		}
+	}
+}
+
+// Flush invalidates the whole TLB (context switch).
+func (t *TLB) Flush() {
+	for _, set := range t.data {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+	t.Stats.Inc("tlb.flushes")
+}
+
+func align(x, a uint64) uint64 {
+	return (x + a - 1) / a * a
+}

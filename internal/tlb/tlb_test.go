@@ -1,0 +1,182 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageTableBase(t *testing.T) {
+	pt := NewPageTable()
+	pt.MapBase(5, 9)
+	pa, huge, ok := pt.Translate(5<<BasePageBits | 123)
+	if !ok || huge {
+		t.Fatal("base translation failed")
+	}
+	if pa != 9<<BasePageBits|123 {
+		t.Fatalf("pa = %#x", pa)
+	}
+}
+
+func TestPageTableHuge(t *testing.T) {
+	pt := NewPageTable()
+	pt.MapHuge(3, 7)
+	va := uint64(3)<<HugePageBits | 0x12345
+	pa, huge, ok := pt.Translate(va)
+	if !ok || !huge {
+		t.Fatal("huge translation failed")
+	}
+	if pa != 7<<HugePageBits|0x12345 {
+		t.Fatalf("pa = %#x", pa)
+	}
+}
+
+func TestPageTableUnmapped(t *testing.T) {
+	pt := NewPageTable()
+	if _, _, ok := pt.Translate(0x1234); ok {
+		t.Fatal("unmapped address translated")
+	}
+}
+
+func TestHugeAllocContiguous(t *testing.T) {
+	as := NewAddressSpace(true, 1)
+	va := as.Alloc(3 * HugePageSize)
+	base := as.Translate(va)
+	for off := uint64(0); off < 3*HugePageSize; off += 4096 {
+		if as.Translate(va+off) != base+off {
+			t.Fatalf("huge alloc not physically contiguous at offset %#x", off)
+		}
+	}
+}
+
+func TestBasePageAllocScattered(t *testing.T) {
+	as := NewAddressSpace(false, 1)
+	va := as.Alloc(16 * BasePageSize)
+	contiguous := true
+	base := as.Translate(va)
+	for off := uint64(0); off < 16*BasePageSize; off += BasePageSize {
+		if as.Translate(va+off) != base+off {
+			contiguous = false
+		}
+	}
+	if contiguous {
+		t.Fatal("base-page allocation unexpectedly contiguous; scatter broken")
+	}
+}
+
+func TestAllocationsDisjointProperty(t *testing.T) {
+	// Property: distinct allocations never share a physical page.
+	f := func(sizes []uint16) bool {
+		as := NewAddressSpace(true, 2)
+		seen := map[uint64]bool{}
+		for _, s := range sizes {
+			size := uint64(s) + 1
+			va := as.Alloc(size)
+			for off := uint64(0); off < size; off += BasePageSize {
+				ppn := as.Translate(va+off) >> BasePageBits
+				if seen[ppn] {
+					return false
+				}
+				seen[ppn] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslateUnmappedPanics(t *testing.T) {
+	as := NewAddressSpace(true, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("translate of unmapped address should panic")
+		}
+	}()
+	as.Translate(0)
+}
+
+func testTLB() *TLB {
+	return New(Config{Entries: 8, Ways: 2, HitLatency: 1, WalkLatency: 20})
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tl := testTLB()
+	pt := NewPageTable()
+	pt.MapBase(1, 1)
+	lat, hit := tl.Lookup(1<<BasePageBits, pt)
+	if hit || lat != 21 {
+		t.Fatalf("first lookup: hit=%v lat=%d, want miss/21", hit, lat)
+	}
+	lat, hit = tl.Lookup(1<<BasePageBits|100, pt)
+	if !hit || lat != 1 {
+		t.Fatalf("second lookup: hit=%v lat=%d, want hit/1", hit, lat)
+	}
+	if tl.Stats.Get("tlb.hits") != 1 || tl.Stats.Get("tlb.misses") != 1 {
+		t.Fatalf("stats: %s", tl.Stats)
+	}
+}
+
+func TestTLBHugeCoversWholePage(t *testing.T) {
+	tl := testTLB()
+	pt := NewPageTable()
+	pt.MapHuge(0, 1)
+	tl.Lookup(100, pt)
+	// A different 4KB page inside the same huge page must hit.
+	if _, hit := tl.Lookup(5*BasePageSize, pt); !hit {
+		t.Fatal("huge-page entry should cover all contained base pages")
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	tl := New(Config{Entries: 2, Ways: 2, HitLatency: 1, WalkLatency: 20})
+	pt := NewPageTable()
+	for i := uint64(0); i < 3; i++ {
+		pt.MapBase(i*2, i) // same set (set count is 1)
+	}
+	tl.Lookup(0, pt)
+	tl.Lookup(2<<BasePageBits, pt)
+	tl.Lookup(4<<BasePageBits, pt) // evicts vpn 0 (LRU)
+	if _, hit := tl.Lookup(0, pt); hit {
+		t.Fatal("LRU entry should have been evicted")
+	}
+	if _, hit := tl.Lookup(4<<BasePageBits, pt); !hit {
+		t.Fatal("recent entry evicted")
+	}
+}
+
+func TestTLBShootdown(t *testing.T) {
+	tl := testTLB()
+	pt := NewPageTable()
+	pt.MapBase(1, 1)
+	tl.Lookup(1<<BasePageBits, pt)
+	tl.Shootdown(1 << BasePageBits)
+	if _, hit := tl.Lookup(1<<BasePageBits, pt); hit {
+		t.Fatal("shootdown did not invalidate")
+	}
+	if tl.Stats.Get("tlb.shootdowns") == 0 {
+		t.Fatal("shootdown not counted")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tl := testTLB()
+	pt := NewPageTable()
+	pt.MapBase(1, 1)
+	pt.MapBase(2, 2)
+	tl.Lookup(1<<BasePageBits, pt)
+	tl.Lookup(2<<BasePageBits, pt)
+	tl.Flush()
+	if _, hit := tl.Lookup(1<<BasePageBits, pt); hit {
+		t.Fatal("flush did not invalidate")
+	}
+}
+
+func TestTLBBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry should panic")
+		}
+	}()
+	New(Config{Entries: 7, Ways: 2})
+}
