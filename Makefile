@@ -1,0 +1,36 @@
+# Build/verification entry points. Tier 1 is the repo's must-stay-green
+# gate; tier 2 adds vet and the race detector over the parallel
+# experiment runner (slower: simulations run under -race).
+
+GO ?= go
+
+.PHONY: build vet test test-race test-short bench tier1 tier2 all
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Race runs simulate 2-4x slower; the harness package alone needs more
+# than go test's default 10m package timeout on small machines.
+test-race:
+	$(GO) test -race -timeout 60m ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# tier1: the seed gate — must always pass.
+tier1: build test
+
+# tier2: vet + race over the full suite (exercises the runner pool's
+# concurrency); run before merging runner/harness changes.
+tier2: vet test-race

@@ -24,6 +24,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -76,8 +77,16 @@ type Machine = machine.Machine
 // lock type, …).
 type Params = core.Params
 
-// Config selects scale, core type and parameter tweaks for harness runs.
+// Config selects scale, core type, parameter overrides and parallelism
+// (Jobs) for harness runs.
 type Config = harness.Config
+
+// Overrides declaratively adjusts runtime parameters for sensitivity
+// studies (see runner.Int/U64/Bool for setting fields).
+type Overrides = runner.Overrides
+
+// Job canonically describes one (workload, system, config) measurement.
+type Job = runner.Job
 
 // Result is one (workload, system) measurement.
 type Result = harness.Result
@@ -121,35 +130,68 @@ func RunKernel(k *Kernel, sys System, cfg Config, kparams map[string]uint64, ini
 	return core.Run(m, k, sys, core.DefaultParams(m.Tiles()), kparams, d)
 }
 
+// Experiment renders figures against one shared, parallel, memoizing
+// runner pool: a measurement requested by several figures (every figure's
+// (workload, Base) denominator, the default point of each sensitivity
+// sweep) simulates exactly once per Experiment. cfg.Jobs bounds the
+// concurrency (0 = GOMAXPROCS); output is byte-identical at any value.
+type Experiment struct {
+	exp *harness.Exp
+}
+
+// NewExperiment builds an experiment context for a configuration.
+func NewExperiment(cfg Config) *Experiment {
+	return &Experiment{exp: harness.NewExp(cfg)}
+}
+
+// OnProgress registers a per-job progress callback (set before the first
+// Figure call; invoked serially as jobs finish).
+func (e *Experiment) OnProgress(fn func(runner.Progress)) {
+	e.exp.Pool().OnProgress = fn
+}
+
+// CacheStats reports how many simulations actually ran and how many job
+// requests were served from the memo cache.
+func (e *Experiment) CacheStats() (executed, hits uint64) {
+	return e.exp.Pool().Executed(), e.exp.Pool().Hits()
+}
+
 // Figure regenerates one paper figure by number ("1a", "1b", "9" … "17").
 // subset restricts the workloads (nil = all 14).
-func Figure(id string, cfg Config, subset []string) (*Table, error) {
+func (e *Experiment) Figure(id string, subset []string) (*Table, error) {
 	switch id {
 	case "1a":
-		return harness.Fig1a(cfg, subset)
+		return e.exp.Fig1a(subset)
 	case "1b":
-		return harness.Fig1b(cfg, subset)
+		return e.exp.Fig1b(subset)
 	case "9":
-		return harness.Fig9(cfg, subset)
+		return e.exp.Fig9(subset)
 	case "10":
-		return harness.Fig10(cfg, subset)
+		return e.exp.Fig10(subset)
 	case "11":
-		return harness.Fig11(cfg, subset)
+		return e.exp.Fig11(subset)
 	case "12":
-		return harness.Fig12(cfg, subset)
+		return e.exp.Fig12(subset)
 	case "13":
-		return harness.Fig13(cfg, subset)
+		return e.exp.Fig13(subset)
 	case "14":
-		return harness.Fig14(cfg, subset)
+		return e.exp.Fig14(subset)
 	case "15":
-		return harness.Fig15(cfg, subset)
+		return e.exp.Fig15(subset)
 	case "16":
-		return harness.Fig16(cfg, subset)
+		return e.exp.Fig16(subset)
 	case "17":
-		return harness.Fig17(cfg, subset)
+		return e.exp.Fig17(subset)
 	default:
 		return nil, fmt.Errorf("nearstream: unknown figure %q", id)
 	}
+}
+
+// Figure regenerates one paper figure with a fresh single-figure
+// Experiment. Rendering several figures? Share an Experiment so common
+// measurements are memoized across them.
+func Figure(id string, cfg Config, subset []string) (*Table, error) {
+	return NewExperiment(cfg).Figure(id, subset)
 }
 
 // StaticTable renders the qualitative tables ("1", "2", "4", "5", "area").

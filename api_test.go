@@ -68,6 +68,31 @@ func TestFigureUnknownID(t *testing.T) {
 	if _, err := StaticTable("99"); err == nil {
 		t.Fatal("unknown table accepted")
 	}
+	if _, err := NewExperiment(DefaultConfig()).Figure("99", nil); err == nil {
+		t.Fatal("unknown figure accepted by Experiment")
+	}
+}
+
+func TestExperimentMemoizesAcrossFigures(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Jobs = 2
+	exp := NewExperiment(cfg)
+	tab1, err := exp.Figure("11", []string{"histogram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same measurement requested again renders from the cache.
+	tab2, err := exp.Figure("11", []string{"histogram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab1.String() != tab2.String() {
+		t.Fatal("re-rendered figure differs")
+	}
+	executed, hits := exp.CacheStats()
+	if executed != 1 || hits != 1 {
+		t.Fatalf("executed=%d hits=%d, want 1/1", executed, hits)
+	}
 }
 
 func TestStaticTablesViaAPI(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/runner"
 )
 
 // benchSubset spans the taxonomy: multi-operand store (pathfinder), affine
@@ -169,4 +170,30 @@ func BenchmarkWorkloadNS(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMatrix compares serial vs pooled execution of a 4-workload ×
+// 3-system matrix: the experiment runner's throughput number. Each
+// iteration uses a fresh pool so memoization cannot mask execution cost;
+// the pooled/serial wall-clock ratio tracks how well the runner converts
+// cores into figure throughput.
+func BenchmarkMatrix(b *testing.B) {
+	cfg := benchCfg()
+	var jobs []runner.Job
+	for _, w := range benchSubset {
+		for _, sys := range []System{Base, NS, NSDecouple} {
+			jobs = append(jobs, cfg.Job(w, sys))
+		}
+	}
+	run := func(b *testing.B, workers int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if _, err := runner.NewPool(workers).Run(jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(jobs)), "jobs/matrix")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("pooled", func(b *testing.B) { run(b, 0) })
 }

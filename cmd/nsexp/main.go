@@ -5,7 +5,15 @@
 //	nsexp -fig 9                 # one figure, all 14 workloads
 //	nsexp -fig 12 -quick         # a taxonomy-spanning 4-workload subset
 //	nsexp -table 1               # a static table
-//	nsexp -all -quick            # everything
+//	nsexp -all -quick            # everything, sharing baseline runs
+//	nsexp -all -quick -j 4       # ... across 4 simulation workers
+//	nsexp -fig 9 -progress       # per-job progress on stderr
+//
+// All figures of one invocation render through a single memoizing job
+// pool: a measurement several figures need (every figure's
+// (workload, Base) denominator, each sweep's default point) simulates
+// exactly once. -j N bounds the concurrent simulations (0 = GOMAXPROCS);
+// output is byte-identical for every N.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"strings"
 
 	nearstream "repro"
+	"repro/internal/runner"
 	"repro/internal/workloads"
 )
 
@@ -24,18 +33,21 @@ var quickSet = []string{"pathfinder", "histogram", "pr_pull", "hash_join"}
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "figure id: 1a 1b 9 10 11 12 13 14 15 16 17")
-		table  = flag.String("table", "", "static table id: 1 2 4 5 area")
-		all    = flag.Bool("all", false, "run every figure and table")
-		quick  = flag.Bool("quick", false, "use a 4-workload taxonomy-spanning subset")
-		scale  = flag.String("scale", "ci", "ci or paper")
-		coreTy = flag.String("core", "OOO8", "IO4, OOO4 or OOO8")
-		wl     = flag.String("workloads", "", "comma-separated workload subset")
+		fig      = flag.String("fig", "", "figure id: 1a 1b 9 10 11 12 13 14 15 16 17")
+		table    = flag.String("table", "", "static table id: 1 2 4 5 area")
+		all      = flag.Bool("all", false, "run every figure and table")
+		quick    = flag.Bool("quick", false, "use a 4-workload taxonomy-spanning subset")
+		scale    = flag.String("scale", "ci", "ci or paper")
+		coreTy   = flag.String("core", "OOO8", "IO4, OOO4 or OOO8")
+		wl       = flag.String("workloads", "", "comma-separated workload subset")
+		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report per-job progress on stderr")
 	)
 	flag.Parse()
 
 	cfg := nearstream.DefaultConfig()
 	cfg.CoreType = *coreTy
+	cfg.Jobs = *jobs
 	if *scale == "paper" {
 		cfg.Scale = workloads.ScalePaper
 	}
@@ -45,6 +57,21 @@ func main() {
 	}
 	if *wl != "" {
 		subset = strings.Split(*wl, ",")
+	}
+
+	exp := nearstream.NewExperiment(cfg)
+	if *progress {
+		exp.OnProgress(func(ev runner.Progress) {
+			from := "sim"
+			if ev.Cached {
+				from = "cache"
+			}
+			status := ""
+			if ev.Err != nil {
+				status = " FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-5s %s%s\n", ev.Done, ev.Total, from, ev.Key, status)
+		})
 	}
 
 	show := func(t *nearstream.Table, err error) {
@@ -57,7 +84,7 @@ func main() {
 
 	switch {
 	case *fig != "":
-		show(nearstream.Figure(*fig, cfg, subset))
+		show(exp.Figure(*fig, subset))
 	case *table != "":
 		show(nearstream.StaticTable(*table))
 	case *all:
@@ -65,10 +92,14 @@ func main() {
 			show(nearstream.StaticTable(id))
 		}
 		for _, id := range []string{"1a", "1b", "9", "10", "11", "12", "13", "14", "15", "16", "17"} {
-			show(nearstream.Figure(id, cfg, subset))
+			show(exp.Figure(id, subset))
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *progress {
+		executed, hits := exp.CacheStats()
+		fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache\n", executed, hits)
 	}
 }

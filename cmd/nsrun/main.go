@@ -1,9 +1,12 @@
-// Command nsrun simulates one Table VI workload on one design point and
-// prints the headline statistics.
+// Command nsrun simulates Table VI workloads on design points and prints
+// the headline statistics. With one workload and one system it prints the
+// full stat block; comma-separated lists run as a parallel matrix
+// (bounded by -j) with one summary line per measurement.
 //
 // Usage:
 //
 //	nsrun -workload histogram -system NS -scale ci -core OOO8
+//	nsrun -workload histogram,pathfinder -system Base,NS,NS_decouple -j 4
 //	nsrun -list
 package main
 
@@ -11,20 +14,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	nearstream "repro"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		wname   = flag.String("workload", "histogram", "workload name (see -list)")
-		sysName = flag.String("system", "NS", "system: Base INST SINGLE NS_core NS_no_comp NS NS_no_sync NS_decouple")
-		scale   = flag.String("scale", "ci", "ci or paper")
-		coreTy  = flag.String("core", "OOO8", "IO4, OOO4 or OOO8")
-		seed    = flag.Uint64("seed", 1, "input seed")
-		list    = flag.Bool("list", false, "list workloads and systems")
+		wname    = flag.String("workload", "histogram", "workload name(s), comma-separated (see -list)")
+		sysName  = flag.String("system", "NS", "system(s), comma-separated: Base INST SINGLE NS_core NS_no_comp NS NS_no_sync NS_decouple")
+		scale    = flag.String("scale", "ci", "ci or paper")
+		coreTy   = flag.String("core", "OOO8", "IO4, OOO4 or OOO8")
+		seed     = flag.Uint64("seed", 1, "input seed")
+		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report per-job progress on stderr")
+		list     = flag.Bool("list", false, "list workloads and systems")
 	)
 	flag.Parse()
 
@@ -41,17 +48,21 @@ func main() {
 		return
 	}
 
-	var sys core.System
-	found := false
-	for _, s := range nearstream.Systems() {
-		if s.String() == *sysName {
-			sys, found = s, true
+	var systems []core.System
+	for _, name := range strings.Split(*sysName, ",") {
+		found := false
+		for _, s := range nearstream.Systems() {
+			if s.String() == name {
+				systems, found = append(systems, s), true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown system %q (try -list)\n", name)
+			os.Exit(2)
 		}
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown system %q (try -list)\n", *sysName)
-		os.Exit(2)
-	}
+	wnames := strings.Split(*wname, ",")
+
 	cfg := nearstream.DefaultConfig()
 	cfg.CoreType = *coreTy
 	cfg.Seed = *seed
@@ -59,11 +70,43 @@ func main() {
 		cfg.Scale = workloads.ScalePaper
 	}
 
-	res, err := nearstream.RunWorkload(*wname, sys, cfg)
+	var jobList []runner.Job
+	for _, w := range wnames {
+		for _, sys := range systems {
+			jobList = append(jobList, cfg.Job(w, sys))
+		}
+	}
+
+	pool := runner.NewPool(*jobs)
+	if *progress {
+		pool.OnProgress = func(ev runner.Progress) {
+			status := ""
+			if ev.Err != nil {
+				status = " FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s%s\n", ev.Done, ev.Total, ev.Key, status)
+		}
+	}
+	results, err := pool.Run(jobList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	if len(results) == 1 {
+		printFull(results[0])
+		return
+	}
+	fmt.Printf("%-12s %-12s %12s %12s %12s %14s %12s\n",
+		"workload", "system", "cycles", "micro-ops", "offloaded", "traffic(B*hops)", "energy(J)")
+	for _, r := range results {
+		fmt.Printf("%-12s %-12s %12d %12d %12d %14d %12.6f\n",
+			r.Workload, r.System, r.Cycles, r.TotalOps, r.OffloadedOps,
+			r.TotalTraffic(), r.Energy.Total())
+	}
+}
+
+func printFull(res *nearstream.Result) {
 	fmt.Printf("workload        %s\n", res.Workload)
 	fmt.Printf("system          %s\n", res.System)
 	fmt.Printf("cycles          %d\n", res.Cycles)

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestFigureOutputDeterministicAcrossWorkers is the headline guarantee of
+// the experiment runner: every figure renders byte-identically at -j 1
+// and -j 4, because each simulation is a self-contained single-threaded
+// engine and figures consume pool results in declaration order. The
+// subset spans the taxonomy (multi-operand store, pointer-chase reduce,
+// indirect atomic via Fig 16's bfs_push), and the figure list covers
+// plain system sweeps (Fig 9) and both override directions (Fig 15
+// ranges, Fig 16 locks).
+func TestFigureOutputDeterministicAcrossWorkers(t *testing.T) {
+	cfg1 := DefaultConfig()
+	cfg1.Jobs = 1
+	cfg4 := DefaultConfig()
+	cfg4.Jobs = 4
+	e1, e4 := NewExp(cfg1), NewExp(cfg4)
+	if e1.Pool().Workers() != 1 || e4.Pool().Workers() != 4 {
+		t.Fatalf("worker counts %d/%d, want 1/4", e1.Pool().Workers(), e4.Pool().Workers())
+	}
+	for _, fc := range []struct {
+		id     string
+		subset []string
+		render func(*Exp, []string) (*Table, error)
+	}{
+		{"9", []string{"pathfinder", "hash_join"}, (*Exp).Fig9},
+		{"15", []string{"pathfinder"}, (*Exp).Fig15},
+		{"16", []string{"bfs_push"}, (*Exp).Fig16},
+	} {
+		serial, err := fc.render(e1, fc.subset)
+		if err != nil {
+			t.Fatalf("fig %s -j1: %v", fc.id, err)
+		}
+		parallel, err := fc.render(e4, fc.subset)
+		if err != nil {
+			t.Fatalf("fig %s -j4: %v", fc.id, err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("fig %s differs between -j1 and -j4:\n--- j1 ---\n%s--- j4 ---\n%s",
+				fc.id, serial, parallel)
+		}
+	}
+}
+
+// TestMemoCacheSharesJobsAcrossFigures pins the memoization contract:
+// across Figures 9, 12 and 10 rendered through one Exp, every shared
+// measurement — in particular each (workload, Base) denominator —
+// simulates exactly once.
+func TestMemoCacheSharesJobsAcrossFigures(t *testing.T) {
+	subset := []string{"pathfinder", "hash_join"}
+	cfg := DefaultConfig()
+	cfg.Jobs = 4
+	e := NewExp(cfg)
+
+	// Figure 9: per workload, Base + the 7 evaluated systems = 16 fresh.
+	if _, err := e.Fig9(subset); err != nil {
+		t.Fatal(err)
+	}
+	if ex, h := e.Pool().Executed(), e.Pool().Hits(); ex != 16 || h != 0 {
+		t.Fatalf("after Fig9: executed=%d hits=%d, want 16/0", ex, h)
+	}
+
+	// Figure 12 requests the same (workload, system) matrix: everything —
+	// including each (workload, Base) — must come from the cache.
+	if _, err := e.Fig12(subset); err != nil {
+		t.Fatal(err)
+	}
+	if ex, h := e.Pool().Executed(), e.Pool().Hits(); ex != 16 || h != 16 {
+		t.Fatalf("after Fig12: executed=%d hits=%d, want 16/16 (no re-simulation)", ex, h)
+	}
+
+	// Figure 10 adds the IO4/OOO4 core types (2 × 2 workloads ×
+	// Base/NS/NS_decouple = 12 fresh); its OOO8 leg (6 jobs) is cached.
+	if _, err := e.Fig10(subset); err != nil {
+		t.Fatal(err)
+	}
+	if ex, h := e.Pool().Executed(), e.Pool().Hits(); ex != 28 || h != 22 {
+		t.Fatalf("after Fig10: executed=%d hits=%d, want 28/22", ex, h)
+	}
+}

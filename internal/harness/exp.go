@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// Exp renders figures against one shared memoizing runner.Pool, so a
+// measurement requested by several figures (every figure's
+// (workload, Base) denominator, the default point of each sensitivity
+// sweep) simulates exactly once per Exp. Rendering the whole evaluation
+// through a single Exp is what makes `nsexp -all` both parallel and
+// strictly cheaper than the old serial per-figure loops.
+type Exp struct {
+	cfg  Config
+	pool *runner.Pool
+}
+
+// NewExp builds an experiment context for a configuration; the worker
+// count comes from cfg.Jobs (0 = GOMAXPROCS).
+func NewExp(cfg Config) *Exp {
+	return &Exp{cfg: cfg, pool: runner.NewPool(cfg.Jobs)}
+}
+
+// Config returns the experiment's base configuration.
+func (e *Exp) Config() Config { return e.cfg }
+
+// Pool exposes the underlying pool (progress callbacks, cache stats).
+func (e *Exp) Pool() *runner.Pool { return e.pool }
+
+// job describes one measurement under the base configuration.
+func (e *Exp) job(wname string, sys core.System) runner.Job {
+	return e.cfg.Job(wname, sys)
+}
+
+// run executes a declared job set and returns results in job order.
+func (e *Exp) run(jobs []runner.Job) ([]*Result, error) {
+	return e.pool.Run(jobs)
+}

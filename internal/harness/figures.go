@@ -11,6 +11,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/offload"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -25,7 +26,8 @@ func wlist(subset []string) []string {
 
 // Fig1a reports the fraction of dynamic micro-ops associable with streams,
 // split by compute type (Figure 1a).
-func Fig1a(cfg Config, subset []string) (*Table, error) {
+func (e *Exp) Fig1a(subset []string) (*Table, error) {
+	cfg := e.cfg
 	t := &Table{
 		Title: "Figure 1a: stream-associable dynamic micro-ops (fraction of total)",
 		Cols:  []string{"load/reduce", "store/rmw", "core", "config"},
@@ -109,7 +111,8 @@ func outerTripOf(w *workloads.Workload) uint64 {
 // systems: no private caches, perfect byte-granularity private caches, and
 // perfect near-LLC computation (Figure 1b). Values are normalized to
 // No-Priv$.
-func Fig1b(cfg Config, subset []string) (*Table, error) {
+func (e *Exp) Fig1b(subset []string) (*Table, error) {
+	cfg := e.cfg
 	t := &Table{
 		Title: "Figure 1b: ideal data traffic normalized to No-Priv$",
 		Cols:  []string{"No-Priv$", "Perf-Priv$", "Perf-Near-LLC"},
@@ -233,29 +236,38 @@ func evalSystems() []core.System {
 }
 
 // Fig9 reports speedup over the Base core for every system (Figure 9).
-func Fig9(cfg Config, subset []string) (*Table, error) {
+// Like every figure below, it declares its full job matrix up front and
+// consumes the pool's memoized results in declaration order, so rendering
+// is parallel across jobs yet byte-identical at any worker count.
+func (e *Exp) Fig9(subset []string) (*Table, error) {
 	sysList := evalSystems()
-	t := &Table{Title: fmt.Sprintf("Figure 9: speedup over Base %s", cfg.CoreType)}
+	names := wlist(subset)
+	t := &Table{Title: fmt.Sprintf("Figure 9: speedup over Base %s", e.cfg.CoreType)}
 	for _, s := range sysList {
 		t.Cols = append(t.Cols, s.String())
 	}
-	per := make([][]float64, len(sysList))
-	for _, name := range wlist(subset) {
-		base, err := RunOne(name, core.Base, cfg)
-		if err != nil {
-			return nil, err
+	var jobs []runner.Job
+	for _, name := range names {
+		jobs = append(jobs, e.job(name, core.Base))
+		for _, sys := range sysList {
+			jobs = append(jobs, e.job(name, sys))
 		}
-		row := make([]float64, 0, len(sysList))
-		for i, sys := range sysList {
-			r, err := RunOne(name, sys, cfg)
-			if err != nil {
-				return nil, err
-			}
-			sp := float64(base.Cycles) / float64(r.Cycles)
-			row = append(row, sp)
+	}
+	res, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	per := make([][]float64, len(sysList))
+	for w, name := range names {
+		row := res[w*(1+len(sysList)) : (w+1)*(1+len(sysList))]
+		base := row[0]
+		cells := make([]float64, 0, len(sysList))
+		for i := range sysList {
+			sp := float64(base.Cycles) / float64(row[1+i].Cycles)
+			cells = append(cells, sp)
 			per[i] = append(per[i], sp)
 		}
-		t.AddRow(name, row...)
+		t.AddRow(name, cells...)
 	}
 	gm := make([]float64, len(sysList))
 	for i := range sysList {
@@ -268,29 +280,32 @@ func Fig9(cfg Config, subset []string) (*Table, error) {
 
 // Fig10 reports the energy/performance tradeoff per core type (Figure 10):
 // speedup over that core's Base, and energy normalized to it.
-func Fig10(cfg Config, subset []string) (*Table, error) {
+func (e *Exp) Fig10(subset []string) (*Table, error) {
+	coreTypes := []string{"IO4", "OOO4", "OOO8"}
+	names := wlist(subset)
 	t := &Table{
 		Title: "Figure 10: speedup and normalized energy per core type",
 		Cols:  []string{"NS speedup", "NS energy", "NSdec speedup", "NSdec energy"},
 		Note:  "paper: NS/NS_decouple reach 2.85x/3.52x energy efficiency on OOO8",
 	}
-	for _, ct := range []string{"IO4", "OOO4", "OOO8"} {
-		c := cfg
+	var jobs []runner.Job
+	for _, ct := range coreTypes {
+		c := e.cfg
 		c.CoreType = ct
+		for _, name := range names {
+			jobs = append(jobs, c.Job(name, core.Base), c.Job(name, core.NS),
+				c.Job(name, core.NSDecouple))
+		}
+	}
+	res, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, ct := range coreTypes {
 		var sp, en, spD, enD []float64
-		for _, name := range wlist(subset) {
-			base, err := RunOne(name, core.Base, c)
-			if err != nil {
-				return nil, err
-			}
-			ns, err := RunOne(name, core.NS, c)
-			if err != nil {
-				return nil, err
-			}
-			dec, err := RunOne(name, core.NSDecouple, c)
-			if err != nil {
-				return nil, err
-			}
+		for w := range names {
+			r := res[(i*len(names)+w)*3:]
+			base, ns, dec := r[0], r[1], r[2]
 			sp = append(sp, float64(base.Cycles)/float64(ns.Cycles))
 			en = append(en, ns.Energy.Total()/base.Energy.Total())
 			spD = append(spD, float64(base.Cycles)/float64(dec.Cycles))
@@ -303,17 +318,23 @@ func Fig10(cfg Config, subset []string) (*Table, error) {
 
 // Fig11 reports the stream-associable fraction and the actually-offloaded
 // fraction of dynamic ops under NS (Figure 11).
-func Fig11(cfg Config, subset []string) (*Table, error) {
+func (e *Exp) Fig11(subset []string) (*Table, error) {
+	names := wlist(subset)
 	t := &Table{
 		Title: "Figure 11: streamable vs offloaded micro-op fraction (NS)",
 		Cols:  []string{"streamable", "offloaded"},
 		Note:  "paper: on average 93% of stream-associable ops offload",
 	}
-	for _, name := range wlist(subset) {
-		r, err := RunOne(name, core.NS, cfg)
-		if err != nil {
-			return nil, err
-		}
+	jobs := make([]runner.Job, 0, len(names))
+	for _, name := range names {
+		jobs = append(jobs, e.job(name, core.NS))
+	}
+	res, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		r := res[i]
 		tot := float64(r.TotalOps)
 		if tot == 0 {
 			tot = 1
@@ -325,20 +346,28 @@ func Fig11(cfg Config, subset []string) (*Table, error) {
 
 // Fig12 reports NoC traffic by class, normalized to Base's total
 // (Figure 12).
-func Fig12(cfg Config, subset []string) (*Table, error) {
+func (e *Exp) Fig12(subset []string) (*Table, error) {
 	sysList := append([]core.System{core.Base}, evalSystems()...)
+	names := wlist(subset)
 	t := &Table{Title: "Figure 12: NoC traffic (bytes-hops) normalized to Base, by class"}
 	for _, s := range sysList {
 		t.Cols = append(t.Cols, s.String()+"/data", s.String()+"/ctl", s.String()+"/off")
 	}
-	for _, name := range wlist(subset) {
+	var jobs []runner.Job
+	for _, name := range names {
+		for _, sys := range sysList {
+			jobs = append(jobs, e.job(name, sys))
+		}
+	}
+	res, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for w, name := range names {
 		var cells []float64
 		var baseTotal float64
-		for i, sys := range sysList {
-			r, err := RunOne(name, sys, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for i := range sysList {
+			r := res[w*len(sysList)+i]
 			if i == 0 {
 				baseTotal = float64(r.TotalTraffic())
 				if baseTotal == 0 {
@@ -356,30 +385,35 @@ func Fig12(cfg Config, subset []string) (*Table, error) {
 
 // Fig13 sweeps the SE_L3→SCM issue latency (Figure 13: 1/4/16 cycles),
 // reporting geomean cycles normalized to NS at 1 cycle.
-func Fig13(cfg Config, subset []string) (*Table, error) {
+func (e *Exp) Fig13(subset []string) (*Table, error) {
 	lats := []uint64{1, 4, 16}
+	sysList := []core.System{core.NS, core.NSNoSync, core.NSDecouple}
+	names := wlist(subset)
 	t := &Table{Title: "Figure 13: sensitivity to SCM issue latency (relative performance)"}
 	for _, l := range lats {
 		t.Cols = append(t.Cols, fmt.Sprintf("%dcyc", l))
 	}
-	var ref float64
-	for _, sys := range []core.System{core.NS, core.NSNoSync, core.NSDecouple} {
-		var cells []float64
+	var jobs []runner.Job
+	for _, sys := range sysList {
 		for _, lat := range lats {
-			c := cfg
-			prev := cfg.Tweak
-			c.Tweak = func(p *core.Params) {
-				if prev != nil {
-					prev(p)
-				}
-				p.SCMIssueLatency = lat
+			c := e.cfg
+			c.Overrides.SCMIssueLatency = runner.U64(lat)
+			for _, name := range names {
+				jobs = append(jobs, c.Job(name, sys))
 			}
+		}
+	}
+	res, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var ref float64
+	for si, sys := range sysList {
+		var cells []float64
+		for li := range lats {
 			var cyc []float64
-			for _, name := range wlist(subset) {
-				r, err := RunOne(name, sys, c)
-				if err != nil {
-					return nil, err
-				}
+			for w := range names {
+				r := res[(si*len(lats)+li)*len(names)+w]
 				cyc = append(cyc, float64(r.Cycles))
 			}
 			cells = append(cells, geoMean(cyc))
@@ -397,22 +431,30 @@ func Fig13(cfg Config, subset []string) (*Table, error) {
 }
 
 // Fig14 sweeps the SCC ROB size (Figure 14).
-func Fig14(cfg Config, subset []string) (*Table, error) {
+func (e *Exp) Fig14(subset []string) (*Table, error) {
 	robs := []int{8, 16, 32, 64, 128}
+	names := wlist(subset)
 	t := &Table{Title: "Figure 14: sensitivity to SCC ROB entries (perf vs 64)"}
 	for _, r := range robs {
 		t.Cols = append(t.Cols, fmt.Sprintf("%d", r))
 	}
-	for _, name := range wlist(subset) {
+	var jobs []runner.Job
+	for _, name := range names {
+		for _, rob := range robs {
+			c := e.cfg
+			c.Overrides.SCCROB = runner.Int(rob)
+			jobs = append(jobs, c.Job(name, core.NSDecouple))
+		}
+	}
+	res, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for w, name := range names {
 		var cells []float64
 		var ref float64
-		for _, rob := range robs {
-			c := cfg
-			c.Tweak = func(p *core.Params) { p.SCCROB = rob }
-			r, err := RunOne(name, core.NSDecouple, c)
-			if err != nil {
-				return nil, err
-			}
+		for i, rob := range robs {
+			r := res[w*len(robs)+i]
 			if rob == 64 {
 				ref = float64(r.Cycles)
 			}
@@ -432,7 +474,7 @@ func Fig14(cfg Config, subset []string) (*Table, error) {
 
 // Fig15 compares affine range generation at SE_core (default) vs sent from
 // SE_L3 (Figure 15), on the affine workloads under NS.
-func Fig15(cfg Config, subset []string) (*Table, error) {
+func (e *Exp) Fig15(subset []string) (*Table, error) {
 	if len(subset) == 0 {
 		subset = []string{"pathfinder", "srad", "hotspot", "hotspot3d", "histogram"}
 	}
@@ -441,19 +483,19 @@ func Fig15(cfg Config, subset []string) (*Table, error) {
 		Cols:  []string{"speedup", "traffic ratio"},
 		Note:  "paper: core generation saves 15% traffic, +5% performance",
 	}
+	cCore, cL3 := e.cfg, e.cfg
+	cCore.Overrides.AffineRangesAtCore = runner.Bool(true)
+	cL3.Overrides.AffineRangesAtCore = runner.Bool(false)
+	var jobs []runner.Job
 	for _, name := range subset {
-		cCore := cfg
-		cCore.Tweak = func(p *core.Params) { p.AffineRangesAtCore = true }
-		cL3 := cfg
-		cL3.Tweak = func(p *core.Params) { p.AffineRangesAtCore = false }
-		atCore, err := RunOne(name, core.NS, cCore)
-		if err != nil {
-			return nil, err
-		}
-		atL3, err := RunOne(name, core.NS, cL3)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, cCore.Job(name, core.NS), cL3.Job(name, core.NS))
+	}
+	res, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range subset {
+		atCore, atL3 := res[2*i], res[2*i+1]
 		t.AddRow(name,
 			float64(atL3.Cycles)/float64(atCore.Cycles),
 			float64(atCore.TotalTraffic())/float64(atL3.TotalTraffic()))
@@ -463,7 +505,7 @@ func Fig15(cfg Config, subset []string) (*Table, error) {
 
 // Fig16 compares exclusive and MRSW atomic locking on the atomic
 // workloads (Figure 16), reporting MRSW speedup and conflict reduction.
-func Fig16(cfg Config, subset []string) (*Table, error) {
+func (e *Exp) Fig16(subset []string) (*Table, error) {
 	if len(subset) == 0 {
 		subset = []string{"bfs_push", "pr_push", "sssp"}
 	}
@@ -472,19 +514,19 @@ func Fig16(cfg Config, subset []string) (*Table, error) {
 		Cols:  []string{"mrsw speedup", "conflict ratio"},
 		Note:  "paper: MRSW removes ~97% of bfs_push/sssp contention, 1.29x speedup",
 	}
+	cEx, cMr := e.cfg, e.cfg
+	cEx.Overrides.MRSWLock = runner.Bool(false)
+	cMr.Overrides.MRSWLock = runner.Bool(true)
+	var jobs []runner.Job
 	for _, name := range subset {
-		cEx := cfg
-		cEx.Tweak = func(p *core.Params) { p.MRSWLock = false }
-		cMr := cfg
-		cMr.Tweak = func(p *core.Params) { p.MRSWLock = true }
-		ex, err := RunOne(name, core.NS, cEx)
-		if err != nil {
-			return nil, err
-		}
-		mr, err := RunOne(name, core.NS, cMr)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, cEx.Job(name, core.NS), cMr.Job(name, core.NS))
+	}
+	res, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range subset {
+		ex, mr := res[2*i], res[2*i+1]
 		confRatio := 1.0
 		if ex.LockConflicts > 0 {
 			confRatio = float64(mr.LockConflicts) / float64(ex.LockConflicts)
@@ -495,25 +537,26 @@ func Fig16(cfg Config, subset []string) (*Table, error) {
 }
 
 // Fig17 measures the SE scalar PE's contribution (Figure 17).
-func Fig17(cfg Config, subset []string) (*Table, error) {
+func (e *Exp) Fig17(subset []string) (*Table, error) {
+	names := wlist(subset)
 	t := &Table{
 		Title: "Figure 17: scalar PE on/off (NS_decouple speedup with PE)",
 		Cols:  []string{"speedup"},
 		Note:  "paper: +2.5% overall; indirect/pointer workloads up to 1.1x",
 	}
-	for _, name := range wlist(subset) {
-		cOn := cfg
-		cOn.Tweak = func(p *core.Params) { p.ScalarPE = true }
-		cOff := cfg
-		cOff.Tweak = func(p *core.Params) { p.ScalarPE = false }
-		on, err := RunOne(name, core.NSDecouple, cOn)
-		if err != nil {
-			return nil, err
-		}
-		off, err := RunOne(name, core.NSDecouple, cOff)
-		if err != nil {
-			return nil, err
-		}
+	cOn, cOff := e.cfg, e.cfg
+	cOn.Overrides.ScalarPE = runner.Bool(true)
+	cOff.Overrides.ScalarPE = runner.Bool(false)
+	var jobs []runner.Job
+	for _, name := range names {
+		jobs = append(jobs, cOn.Job(name, core.NSDecouple), cOff.Job(name, core.NSDecouple))
+	}
+	res, err := e.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		on, off := res[2*i], res[2*i+1]
 		t.AddRow(name, float64(off.Cycles)/float64(on.Cycles))
 	}
 	return t, nil

@@ -9,11 +9,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/cpu"
-	"repro/internal/energy"
-	"repro/internal/ir"
 	"repro/internal/machine"
-	"repro/internal/sim"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -22,10 +19,16 @@ import (
 type Config struct {
 	Scale    workloads.Scale
 	CoreType string // "IO4", "OOO4", "OOO8" (default)
-	// Tweak adjusts runtime parameters (sensitivity studies); may be nil.
-	Tweak func(*core.Params)
+	// Overrides adjusts runtime parameters declaratively (sensitivity
+	// studies); the zero value keeps the paper defaults.
+	Overrides runner.Overrides
 	// Seed feeds workload initialization.
 	Seed uint64
+	// Jobs bounds how many simulations run concurrently when rendering a
+	// figure (the -j flag); 0 means GOMAXPROCS. Figure output is
+	// byte-identical at any value: each simulation is a self-contained
+	// single-threaded engine and rows are assembled in declaration order.
+	Jobs int
 }
 
 // DefaultConfig returns the CI-scale OOO8 configuration.
@@ -33,95 +36,33 @@ func DefaultConfig() Config {
 	return Config{Scale: workloads.ScaleCI, CoreType: "OOO8", Seed: 1}
 }
 
-// coreConfigFor maps the name to a cpu configuration.
-func coreConfigFor(name string) cpu.Config {
-	switch name {
-	case "IO4":
-		return cpu.IO4()
-	case "OOO4":
-		return cpu.OOO4()
-	default:
-		return cpu.OOO8()
+// Job describes the measurement of one workload on one system under this
+// configuration.
+func (c Config) Job(wname string, sys core.System) runner.Job {
+	return runner.Job{
+		Workload:  wname,
+		System:    sys,
+		Scale:     c.Scale,
+		CoreType:  c.CoreType,
+		Seed:      c.Seed,
+		Overrides: c.Overrides,
 	}
 }
 
-// MachineConfig builds the machine for a scale: the paper's 8×8 Table V
-// system, or the CI system (4×4 mesh with caches scaled 1/16 so the
-// footprint ratios — and therefore the §IV-B offload decisions — match
-// the paper's at the reduced workload sizes).
+// MachineConfig builds the machine for a configuration's scale (see
+// runner.MachineConfig).
 func MachineConfig(cfg Config, prefetchers bool) machine.Config {
-	var mc machine.Config
-	if cfg.Scale == workloads.ScalePaper {
-		mc = machine.Default()
-	} else {
-		mc = machine.CI()
-		mc.Cache.L1.SizeBytes = 2 << 10
-		mc.Cache.L2.SizeBytes = 16 << 10
-		mc.Cache.L3Bank.SizeBytes = 64 << 10
-	}
-	mc.CoreType = coreConfigFor(cfg.CoreType)
-	mc.EnablePrefetchers = prefetchers
-	mc.Seed = cfg.Seed
-	return mc
+	return runner.MachineConfig(cfg.Job("", core.Base), prefetchers)
 }
 
 // Result is one (workload, system) measurement.
-type Result struct {
-	Workload string
-	System   core.System
-	Cycles   uint64
-	// TotalOps is the dynamic micro-op count (all categories).
-	TotalOps uint64
-	// StreamableOps and OffloadedOps drive Figure 11.
-	StreamableOps, OffloadedOps uint64
-	// Traffic in bytes×hops by class (Figure 12).
-	TrafficData, TrafficControl, TrafficOffload uint64
-	// Energy for Figure 10.
-	Energy energy.Breakdown
-	// LockAcquires/LockConflicts for Figure 16.
-	LockAcquires, LockConflicts uint64
-}
+type Result = runner.Result
 
-// TotalTraffic sums all classes.
-func (r *Result) TotalTraffic() uint64 {
-	return r.TrafficData + r.TrafficControl + r.TrafficOffload
-}
-
-// RunOne simulates one workload on one system: the kernel runs Iters
-// times on one machine (so iterations past the first observe a warm LLC,
-// as in the paper's simulate-to-completion runs).
+// RunOne simulates one workload on one system. It is the serial,
+// uncached entry point; figure rendering goes through an Exp's memoizing
+// pool instead.
 func RunOne(wname string, sys core.System, cfg Config) (*Result, error) {
-	w := workloads.Get(wname, cfg.Scale)
-	needPf := sys == core.Base
-	m := machine.New(MachineConfig(cfg, needPf))
-	d := ir.NewData(m.AS)
-	d.AllocArrays(w.Kernel)
-	w.Init(d, sim.NewRand(cfg.Seed^0x9e37))
-	params := core.DefaultParams(m.Tiles())
-	if cfg.Tweak != nil {
-		cfg.Tweak(&params)
-	}
-	out := &Result{Workload: wname, System: sys}
-	for it := 0; it < w.Iters; it++ {
-		res, err := core.Run(m, w.Kernel, sys, params, w.Params, d)
-		if err != nil {
-			return nil, fmt.Errorf("%s/%v: %w", wname, sys, err)
-		}
-		for _, n := range res.DynOps {
-			out.TotalOps += n
-		}
-		out.StreamableOps += res.DynOps[1] + res.DynOps[2] // mem + compute
-		out.OffloadedOps += res.OffloadedOps
-	}
-	out.Cycles = uint64(m.Engine.Now())
-	s := m.CollectStats()
-	out.TrafficData = s.Get("noc.bytehops.data")
-	out.TrafficControl = s.Get("noc.bytehops.control")
-	out.TrafficOffload = s.Get("noc.bytehops.offloaded")
-	out.LockAcquires = s.Get("lock.acquires")
-	out.LockConflicts = s.Get("lock.conflicts")
-	out.Energy = energy.Estimate(energy.ForCore(cfg.CoreType), s, out.TotalOps, out.Cycles)
-	return out, nil
+	return runner.Execute(cfg.Job(wname, sys))
 }
 
 // Table is a rendered experiment: named rows × named columns of values.

@@ -11,11 +11,23 @@ import (
 // load + indirect atomic, indirect reduce, pointer-chase reduce.
 var quick = []string{"pathfinder", "histogram", "pr_pull", "hash_join"}
 
+// sharedExp memoizes simulations across this package's tests, exactly as
+// one nsexp invocation shares a pool across figures. Results are
+// immutable and every simulation is deterministic for its job digest, so
+// sharing cannot couple test outcomes — it only stops tests from
+// re-simulating the measurements they have in common (the quick-set
+// matrix alone is requested by four different tests).
+var sharedExp = NewExp(DefaultConfig())
+
+// sharedRunOne is RunOne through the shared memo pool.
+func sharedRunOne(name string, sys core.System) (*Result, error) {
+	return sharedExp.Pool().RunOne(sharedExp.Config().Job(name, sys))
+}
+
 func TestRunOneAllQuickWorkloads(t *testing.T) {
-	cfg := DefaultConfig()
 	for _, name := range quick {
 		for _, sys := range []core.System{core.Base, core.NS, core.NSDecouple} {
-			r, err := RunOne(name, sys, cfg)
+			r, err := sharedRunOne(name, sys)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -30,7 +42,7 @@ func TestRunOneAllQuickWorkloads(t *testing.T) {
 }
 
 func TestFig1aFractionsSane(t *testing.T) {
-	tab, err := Fig1a(DefaultConfig(), quick)
+	tab, err := sharedExp.Fig1a(quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +58,7 @@ func TestFig1aFractionsSane(t *testing.T) {
 }
 
 func TestFig1bOrdering(t *testing.T) {
-	tab, err := Fig1b(DefaultConfig(), quick)
+	tab, err := sharedExp.Fig1b(quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +78,7 @@ func TestFig1bOrdering(t *testing.T) {
 }
 
 func TestFig9ShapeOnQuickSet(t *testing.T) {
-	tab, err := Fig9(DefaultConfig(), quick)
+	tab, err := sharedExp.Fig9(quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +106,7 @@ func TestFig9ShapeOnQuickSet(t *testing.T) {
 }
 
 func TestFig11OffloadFraction(t *testing.T) {
-	tab, err := Fig11(DefaultConfig(), quick)
+	tab, err := sharedExp.Fig11(quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +122,7 @@ func TestFig11OffloadFraction(t *testing.T) {
 }
 
 func TestFig12TrafficReduction(t *testing.T) {
-	tab, err := Fig12(DefaultConfig(), []string{"pathfinder", "pr_pull"})
+	tab, err := sharedExp.Fig12([]string{"pathfinder", "pr_pull"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +137,7 @@ func TestFig12TrafficReduction(t *testing.T) {
 }
 
 func TestFig16MRSWHelpsFailedCAS(t *testing.T) {
-	tab, err := Fig16(DefaultConfig(), []string{"bfs_push"})
+	tab, err := sharedExp.Fig16([]string{"bfs_push"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,18 +15,17 @@ func TestFullMatrixSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full workload matrix: skipped with -short")
 	}
-	cfg := DefaultConfig()
 	var nsWins, decoupleWins int
 	for _, name := range workloads.Names() {
-		base, err := RunOne(name, core.Base, cfg)
+		base, err := sharedRunOne(name, core.Base)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ns, err := RunOne(name, core.NS, cfg)
+		ns, err := sharedRunOne(name, core.NS)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dec, err := RunOne(name, core.NSDecouple, cfg)
+		dec, err := sharedRunOne(name, core.NSDecouple)
 		if err != nil {
 			t.Fatal(err)
 		}

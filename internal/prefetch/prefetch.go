@@ -38,8 +38,14 @@ type bingoEntry struct {
 // trigger.
 type Bingo struct {
 	cfg BingoConfig
-	// tracking holds regions currently being observed (open generations).
+	// tracking holds regions currently being observed (open generations);
+	// order remembers their opening sequence (with stale entries skipped
+	// lazily) so the capacity cap evicts oldest-first. Map iteration order
+	// must never pick the victim: it would make the PHT contents — and so
+	// the fired prefetches and the simulated cycle count — vary from run
+	// to run.
 	tracking map[uint64]*regionGen
+	order    []uint64
 	pht      []bingoEntry
 	tile     *cache.Tile
 	// Trained and Fired count learning and replay events.
@@ -79,8 +85,8 @@ func (b *Bingo) eventKey(pc, addr uint64) uint64 {
 
 // Observe feeds one demand access. On a region's first touch it looks up
 // the PHT and issues prefetches for the learned footprint; every touch
-// extends the open generation's footprint. Closing happens lazily via an
-// LRU-less cap on open generations.
+// extends the open generation's footprint. Closing happens lazily via a
+// FIFO cap on open generations.
 func (b *Bingo) Observe(addr, pc uint64) {
 	region := b.regionOf(addr)
 	gen, open := b.tracking[region]
@@ -101,11 +107,15 @@ func (b *Bingo) Observe(addr, pc uint64) {
 		}
 		gen = &regionGen{key: key}
 		b.tracking[region] = gen
-		// Cap open generations: close the oldest-ish (arbitrary map
-		// iteration is fine for a capacity cap) when too many are open.
+		b.order = append(b.order, region)
+		// Cap open generations: close the oldest still-open one. With
+		// >64 live regions the front live entry predates the region just
+		// appended, so no self-eviction check is needed.
 		if len(b.tracking) > 64 {
-			for r, g := range b.tracking {
-				if r != region {
+			for len(b.order) > 0 {
+				r := b.order[0]
+				b.order = b.order[1:]
+				if g, ok := b.tracking[r]; ok {
 					b.close(r, g)
 					break
 				}
@@ -123,11 +133,15 @@ func (b *Bingo) close(region uint64, g *regionGen) {
 	delete(b.tracking, region)
 }
 
-// Flush commits all open generations (end of kernel).
+// Flush commits all open generations (end of kernel) in opening order,
+// so colliding PHT slots settle identically on every run.
 func (b *Bingo) Flush() {
-	for r, g := range b.tracking {
-		b.close(r, g)
+	for _, r := range b.order {
+		if g, ok := b.tracking[r]; ok {
+			b.close(r, g)
+		}
 	}
+	b.order = b.order[:0]
 }
 
 // StrideConfig sizes the L2 stride prefetcher.

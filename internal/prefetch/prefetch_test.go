@@ -119,6 +119,38 @@ func TestBingoCapsOpenGenerations(t *testing.T) {
 	_ = tile
 }
 
+// TestBingoEvictionDeterministic pins the FIFO generation cap: the same
+// access trace must train the same PHT and fire the same prefetches on
+// every run. The trace deliberately opens far more than 64 regions (so
+// the cap evicts constantly), reuses colliding trigger keys, and then
+// replays — previously the victim came from map iteration order and the
+// fired count varied between identical runs (seen as run-to-run cycle
+// drift in the hash_join pointer chase).
+func TestBingoEvictionDeterministic(t *testing.T) {
+	trace := func() (trained, fired uint64) {
+		e, _, tile := testTile()
+		b := NewBingo(tile, DefaultBingoConfig())
+		r := sim.NewRand(7)
+		for i := 0; i < 4096; i++ {
+			b.Observe(r.Uint64n(512)*2048+r.Uint64n(32)*64, 0x100+r.Uint64n(4))
+			if i%64 == 0 {
+				e.Run()
+			}
+		}
+		b.Flush()
+		e.Run()
+		return b.Trained, b.Fired
+	}
+	t1, f1 := trace()
+	for i := 0; i < 4; i++ {
+		t2, f2 := trace()
+		if t1 != t2 || f1 != f2 {
+			t.Fatalf("run %d diverged: trained/fired %d/%d vs %d/%d",
+				i+2, t1, f1, t2, f2)
+		}
+	}
+}
+
 func TestUnitFeedsBoth(t *testing.T) {
 	e, h, tile := testTile()
 	u := NewUnit(tile)

@@ -1,0 +1,165 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// OptInt is an optional int override. The zero value is "not set".
+type OptInt struct {
+	Set bool
+	V   int
+}
+
+// OptU64 is an optional uint64 override. The zero value is "not set".
+type OptU64 struct {
+	Set bool
+	V   uint64
+}
+
+// OptBool is an optional bool override. The zero value is "not set".
+type OptBool struct {
+	Set bool
+	V   bool
+}
+
+// Int makes a set OptInt.
+func Int(v int) OptInt { return OptInt{Set: true, V: v} }
+
+// U64 makes a set OptU64.
+func U64(v uint64) OptU64 { return OptU64{Set: true, V: v} }
+
+// Bool makes a set OptBool.
+func Bool(v bool) OptBool { return OptBool{Set: true, V: v} }
+
+// Overrides is the declarative replacement for the old
+// `Tweak func(*core.Params)` closure: every runtime tunable a sensitivity
+// study sweeps is an optional field, so a job description is a plain
+// comparable value with a deterministic digest. Unset fields keep
+// core.DefaultParams' value.
+type Overrides struct {
+	RangeWindow          OptInt
+	CreditWindows        OptInt
+	SCCROB               OptInt
+	SCCCount             OptInt
+	FIFODepth            OptInt
+	SCMIssueLatency      OptU64
+	IndirectReduceMinLen OptU64
+	ContextSwitchAt      OptU64
+	ContextSwitchGap     OptU64
+	ScalarPE             OptBool
+	MRSWLock             OptBool
+	AffineRangesAtCore   OptBool
+}
+
+// Apply writes every set field into p.
+func (o Overrides) Apply(p *core.Params) {
+	if o.RangeWindow.Set {
+		p.RangeWindow = o.RangeWindow.V
+	}
+	if o.CreditWindows.Set {
+		p.CreditWindows = o.CreditWindows.V
+	}
+	if o.SCCROB.Set {
+		p.SCCROB = o.SCCROB.V
+	}
+	if o.SCCCount.Set {
+		p.SCCCount = o.SCCCount.V
+	}
+	if o.FIFODepth.Set {
+		p.FIFODepth = o.FIFODepth.V
+	}
+	if o.SCMIssueLatency.Set {
+		p.SCMIssueLatency = o.SCMIssueLatency.V
+	}
+	if o.IndirectReduceMinLen.Set {
+		p.IndirectReduceMinLen = o.IndirectReduceMinLen.V
+	}
+	if o.ContextSwitchAt.Set {
+		p.ContextSwitchAt = o.ContextSwitchAt.V
+	}
+	if o.ContextSwitchGap.Set {
+		p.ContextSwitchGap = o.ContextSwitchGap.V
+	}
+	if o.ScalarPE.Set {
+		p.ScalarPE = o.ScalarPE.V
+	}
+	if o.MRSWLock.Set {
+		p.MRSWLock = o.MRSWLock.V
+	}
+	if o.AffineRangesAtCore.Set {
+		p.AffineRangesAtCore = o.AffineRangesAtCore.V
+	}
+}
+
+// canon clears every set field whose value equals the default in def, so
+// "explicitly set to the default" and "unset" digest identically. This is
+// what lets a sensitivity sweep's default point (e.g. Figure 13's
+// 4-cycle SCM latency) share a memo entry with the plain runs of
+// Figures 9-12.
+func (o Overrides) canon(def core.Params) Overrides {
+	clrI := func(f *OptInt, d int) {
+		if f.Set && f.V == d {
+			*f = OptInt{}
+		}
+	}
+	clrU := func(f *OptU64, d uint64) {
+		if f.Set && f.V == d {
+			*f = OptU64{}
+		}
+	}
+	clrB := func(f *OptBool, d bool) {
+		if f.Set && f.V == d {
+			*f = OptBool{}
+		}
+	}
+	clrI(&o.RangeWindow, def.RangeWindow)
+	clrI(&o.CreditWindows, def.CreditWindows)
+	clrI(&o.SCCROB, def.SCCROB)
+	clrI(&o.SCCCount, def.SCCCount)
+	clrI(&o.FIFODepth, def.FIFODepth)
+	clrU(&o.SCMIssueLatency, def.SCMIssueLatency)
+	clrU(&o.IndirectReduceMinLen, def.IndirectReduceMinLen)
+	clrU(&o.ContextSwitchAt, def.ContextSwitchAt)
+	clrU(&o.ContextSwitchGap, def.ContextSwitchGap)
+	clrB(&o.ScalarPE, def.ScalarPE)
+	clrB(&o.MRSWLock, def.MRSWLock)
+	clrB(&o.AffineRangesAtCore, def.AffineRangesAtCore)
+	return o
+}
+
+// digest renders the set fields in a fixed order, e.g.
+// "scmlat=16,mrsw=false". Empty for all-defaults.
+func (o Overrides) digest() string {
+	var parts []string
+	addI := func(name string, f OptInt) {
+		if f.Set {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, f.V))
+		}
+	}
+	addU := func(name string, f OptU64) {
+		if f.Set {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, f.V))
+		}
+	}
+	addB := func(name string, f OptBool) {
+		if f.Set {
+			parts = append(parts, fmt.Sprintf("%s=%t", name, f.V))
+		}
+	}
+	addI("rwin", o.RangeWindow)
+	addI("credits", o.CreditWindows)
+	addI("sccrob", o.SCCROB)
+	addI("scccnt", o.SCCCount)
+	addI("fifo", o.FIFODepth)
+	addU("scmlat", o.SCMIssueLatency)
+	addU("irmin", o.IndirectReduceMinLen)
+	addU("ctxat", o.ContextSwitchAt)
+	addU("ctxgap", o.ContextSwitchGap)
+	addB("pe", o.ScalarPE)
+	addB("mrsw", o.MRSWLock)
+	addB("ranges@core", o.AffineRangesAtCore)
+	return strings.Join(parts, ",")
+}

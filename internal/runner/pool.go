@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Progress describes one finished job, for per-job reporting.
+type Progress struct {
+	Job    Job
+	Key    string
+	Cached bool // served from the memo cache (or a concurrent duplicate)
+	Err    error
+	// Done/Total count jobs within the current Run batch.
+	Done, Total int
+}
+
+// Pool executes jobs across worker goroutines with a memo cache keyed by
+// Job.Key(), so each distinct measurement simulates exactly once per Pool
+// lifetime no matter how many figures request it. Results are never
+// mutated after publication; callers treat them as read-only. A Pool is
+// safe for concurrent use.
+type Pool struct {
+	workers int
+	// OnProgress, when non-nil, is called after each job of a Run batch
+	// completes (serialized; set before the first Run).
+	OnProgress func(Progress)
+
+	mu       sync.Mutex
+	memo     map[string]*memoEntry
+	executed uint64
+	hits     uint64
+}
+
+// memoEntry is one cached measurement; done closes once res/err are final.
+type memoEntry struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// NewPool returns a pool running at most workers jobs concurrently;
+// workers <= 0 means GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, memo: make(map[string]*memoEntry)}
+}
+
+// Workers reports the concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Executed reports how many simulations actually ran.
+func (p *Pool) Executed() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.executed
+}
+
+// Hits reports how many requested jobs were served from the memo cache
+// (including duplicates within one batch).
+func (p *Pool) Hits() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits
+}
+
+// Run executes jobs and returns their results in job order. Duplicate and
+// previously-run jobs are served from the memo cache. On failure the error
+// of the earliest failing job (in declared order) is returned, making
+// error reporting independent of goroutine scheduling; results of
+// successful jobs are still filled in.
+func (p *Pool) Run(jobs []Job) ([]*Result, error) {
+	entries := make([]*memoEntry, len(jobs))
+	var fresh []*memoEntry
+	var freshIdx, cachedIdx []int
+
+	p.mu.Lock()
+	for i, j := range jobs {
+		k := j.Key()
+		if e, ok := p.memo[k]; ok {
+			entries[i] = e
+			cachedIdx = append(cachedIdx, i)
+			p.hits++
+			continue
+		}
+		e := &memoEntry{done: make(chan struct{})}
+		p.memo[k] = e
+		entries[i] = e
+		fresh = append(fresh, e)
+		freshIdx = append(freshIdx, i)
+	}
+	p.mu.Unlock()
+
+	// Progress is reported per job as it completes. Completion order is
+	// scheduling-dependent; only the reporting order varies, never a
+	// result (each job is a self-contained single-threaded simulation).
+	var progressMu sync.Mutex
+	done := 0
+	report := func(i int, cached bool, err error) {
+		if p.OnProgress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		p.OnProgress(Progress{Job: jobs[i], Key: jobs[i].Key(), Cached: cached,
+			Err: err, Done: done, Total: len(jobs)})
+		progressMu.Unlock()
+	}
+
+	// Execute the fresh jobs under the worker bound.
+	sem := make(chan struct{}, p.workers)
+	var wg sync.WaitGroup
+	for n := range fresh {
+		wg.Add(1)
+		go func(e *memoEntry, i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			e.res, e.err = execute(jobs[i])
+			p.mu.Lock()
+			p.executed++
+			p.mu.Unlock()
+			close(e.done)
+			report(i, false, e.err)
+		}(fresh[n], freshIdx[n])
+	}
+
+	// Cached entries may still be in flight (a duplicate within this
+	// batch, or a concurrent batch); wait before reporting them served.
+	for _, i := range cachedIdx {
+		<-entries[i].done
+		report(i, true, entries[i].err)
+	}
+	wg.Wait()
+
+	out := make([]*Result, len(jobs))
+	var firstErr error
+	for i, e := range entries {
+		out[i] = e.res
+		if e.err != nil && firstErr == nil {
+			firstErr = e.err
+		}
+	}
+	return out, firstErr
+}
+
+// execute wraps Execute, converting a panicking job (e.g. an unknown
+// workload name) into an error: inside the pool, one bad job must fail
+// that job, not crash the process from a worker goroutine.
+func execute(j Job) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("runner: job %s panicked: %v", j.Key(), r)
+		}
+	}()
+	return Execute(j)
+}
+
+// RunOne executes (or recalls) a single job.
+func (p *Pool) RunOne(j Job) (*Result, error) {
+	res, err := p.Run([]Job{j})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}

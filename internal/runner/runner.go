@@ -1,0 +1,149 @@
+// Package runner decouples experiment specification from execution. A Job
+// canonically describes one measurement — (workload, system, scale, core
+// type, seed, parameter overrides) — and a Pool executes batches of jobs
+// across worker goroutines with an in-process memo cache keyed by the job
+// digest, so a measurement shared by several figures (every figure's
+// (workload, Base) denominator, for instance) simulates exactly once per
+// process. Each simulation is a self-contained single-threaded sim.Engine,
+// so results are bit-for-bit identical at any worker count.
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Job canonically describes one measurement.
+type Job struct {
+	Workload string
+	System   core.System
+	// Scale selects workload/machine sizing (CI or paper).
+	Scale workloads.Scale
+	// CoreType is "IO4", "OOO4" or "OOO8" ("" defaults to OOO8).
+	CoreType string
+	// Seed feeds workload initialization.
+	Seed uint64
+	// Overrides are the declarative parameter tweaks (sensitivity
+	// sweeps); the zero value means paper defaults.
+	Overrides Overrides
+}
+
+// Key returns the job's deterministic digest: the memo-cache key. Override
+// fields set to their default value are canonicalized away, so a sweep's
+// default point shares its cache entry with plain runs.
+func (j Job) Key() string {
+	mc := MachineConfig(j, j.System == core.Base)
+	def := core.DefaultParams(mc.MeshWidth * mc.MeshHeight)
+	ov := j.Overrides.canon(def)
+	k := fmt.Sprintf("%s|%s|%s|%s|seed=%d",
+		j.Workload, j.System, j.Scale, coreTypeName(j.CoreType), j.Seed)
+	if d := ov.digest(); d != "" {
+		k += "|" + d
+	}
+	return k
+}
+
+// coreTypeName canonicalizes the default core type.
+func coreTypeName(name string) string {
+	if name == "IO4" || name == "OOO4" {
+		return name
+	}
+	return "OOO8"
+}
+
+// CoreConfigFor maps a core-type name to a cpu configuration.
+func CoreConfigFor(name string) cpu.Config {
+	switch name {
+	case "IO4":
+		return cpu.IO4()
+	case "OOO4":
+		return cpu.OOO4()
+	default:
+		return cpu.OOO8()
+	}
+}
+
+// MachineConfig builds the machine for a job's scale: the paper's 8×8
+// Table V system, or the CI system (4×4 mesh with caches scaled 1/16 so
+// the footprint ratios — and therefore the §IV-B offload decisions — match
+// the paper's at the reduced workload sizes).
+func MachineConfig(j Job, prefetchers bool) machine.Config {
+	var mc machine.Config
+	if j.Scale == workloads.ScalePaper {
+		mc = machine.Default()
+	} else {
+		mc = machine.CI()
+		mc.Cache.L1.SizeBytes = 2 << 10
+		mc.Cache.L2.SizeBytes = 16 << 10
+		mc.Cache.L3Bank.SizeBytes = 64 << 10
+	}
+	mc.CoreType = CoreConfigFor(j.CoreType)
+	mc.EnablePrefetchers = prefetchers
+	mc.Seed = j.Seed
+	return mc
+}
+
+// Result is one (workload, system) measurement.
+type Result struct {
+	Workload string
+	System   core.System
+	Cycles   uint64
+	// TotalOps is the dynamic micro-op count (all categories).
+	TotalOps uint64
+	// StreamableOps and OffloadedOps drive Figure 11.
+	StreamableOps, OffloadedOps uint64
+	// Traffic in bytes×hops by class (Figure 12).
+	TrafficData, TrafficControl, TrafficOffload uint64
+	// Energy for Figure 10.
+	Energy energy.Breakdown
+	// LockAcquires/LockConflicts for Figure 16.
+	LockAcquires, LockConflicts uint64
+}
+
+// TotalTraffic sums all classes.
+func (r *Result) TotalTraffic() uint64 {
+	return r.TrafficData + r.TrafficControl + r.TrafficOffload
+}
+
+// Execute simulates one job: the kernel runs Iters times on one machine
+// (so iterations past the first observe a warm LLC, as in the paper's
+// simulate-to-completion runs). Every Execute call builds a private
+// machine and data image, so concurrent calls are independent.
+func Execute(j Job) (*Result, error) {
+	w := workloads.Get(j.Workload, j.Scale)
+	needPf := j.System == core.Base
+	m := machine.New(MachineConfig(j, needPf))
+	d := ir.NewData(m.AS)
+	d.AllocArrays(w.Kernel)
+	w.Init(d, sim.NewRand(j.Seed^0x9e37))
+	params := core.DefaultParams(m.Tiles())
+	j.Overrides.Apply(&params)
+	out := &Result{Workload: j.Workload, System: j.System}
+	for it := 0; it < w.Iters; it++ {
+		res, err := core.Run(m, w.Kernel, j.System, params, w.Params, d)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%v: %w", j.Workload, j.System, err)
+		}
+		for _, n := range res.DynOps {
+			out.TotalOps += n
+		}
+		out.StreamableOps += res.DynOps[1] + res.DynOps[2] // mem + compute
+		out.OffloadedOps += res.OffloadedOps
+	}
+	out.Cycles = uint64(m.Engine.Now())
+	s := m.CollectStats()
+	out.TrafficData = s.Get("noc.bytehops.data")
+	out.TrafficControl = s.Get("noc.bytehops.control")
+	out.TrafficOffload = s.Get("noc.bytehops.offloaded")
+	out.LockAcquires = s.Get("lock.acquires")
+	out.LockConflicts = s.Get("lock.conflicts")
+	out.Energy = energy.Estimate(energy.ForCore(coreTypeName(j.CoreType)), s, out.TotalOps, out.Cycles)
+	return out, nil
+}

@@ -1,0 +1,182 @@
+package runner
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func job(wl string, sys core.System) Job {
+	return Job{Workload: wl, System: sys, Scale: workloads.ScaleCI, CoreType: "OOO8", Seed: 1}
+}
+
+func TestJobKeyCanonicalization(t *testing.T) {
+	plain := job("histogram", core.NS)
+	// Explicitly setting every override to its default must digest
+	// identically to not setting it at all.
+	dflt := plain
+	dflt.Overrides.SCMIssueLatency = U64(4)
+	dflt.Overrides.SCCROB = Int(64)
+	dflt.Overrides.MRSWLock = Bool(true)
+	if plain.Key() != dflt.Key() {
+		t.Fatalf("default-valued overrides changed the key:\n%s\n%s", plain.Key(), dflt.Key())
+	}
+	swept := plain
+	swept.Overrides.SCMIssueLatency = U64(16)
+	if swept.Key() == plain.Key() {
+		t.Fatal("non-default override did not change the key")
+	}
+	if !strings.Contains(swept.Key(), "scmlat=16") {
+		t.Fatalf("key %q does not name the override", swept.Key())
+	}
+	// The empty core type canonicalizes to OOO8.
+	anon := plain
+	anon.CoreType = ""
+	if anon.Key() != plain.Key() {
+		t.Fatalf("empty core type key %q != OOO8 key %q", anon.Key(), plain.Key())
+	}
+}
+
+func TestJobKeyDiscriminates(t *testing.T) {
+	base := job("histogram", core.NS)
+	for _, alt := range []Job{
+		job("pathfinder", core.NS),
+		job("histogram", core.Base),
+		{Workload: "histogram", System: core.NS, Scale: workloads.ScalePaper, CoreType: "OOO8", Seed: 1},
+		{Workload: "histogram", System: core.NS, Scale: workloads.ScaleCI, CoreType: "IO4", Seed: 1},
+		{Workload: "histogram", System: core.NS, Scale: workloads.ScaleCI, CoreType: "OOO8", Seed: 2},
+	} {
+		if alt.Key() == base.Key() {
+			t.Fatalf("distinct jobs share key %q", base.Key())
+		}
+	}
+}
+
+func TestOverridesApply(t *testing.T) {
+	p := core.DefaultParams(16)
+	var o Overrides
+	o.SCMIssueLatency = U64(16)
+	o.SCCROB = Int(8)
+	o.ScalarPE = Bool(false)
+	o.Apply(&p)
+	if p.SCMIssueLatency != 16 || p.SCCROB != 8 || p.ScalarPE {
+		t.Fatalf("overrides not applied: %+v", p)
+	}
+	// Unset fields keep the defaults.
+	if p.RangeWindow != 8 || !p.MRSWLock {
+		t.Fatalf("unset overrides clobbered defaults: %+v", p)
+	}
+}
+
+func TestPoolMemoizes(t *testing.T) {
+	p := NewPool(2)
+	jobs := []Job{
+		job("histogram", core.Base),
+		job("histogram", core.NS),
+		job("histogram", core.Base), // duplicate within the batch
+	}
+	res, err := p.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != res[2] {
+		t.Fatal("duplicate job did not share the memoized result")
+	}
+	if got := p.Executed(); got != 2 {
+		t.Fatalf("executed %d simulations, want 2", got)
+	}
+	if got := p.Hits(); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	// A second batch is served entirely from the cache.
+	res2, err := p.Run(jobs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2[0] != res[0] || res2[1] != res[1] {
+		t.Fatal("second batch not served from cache")
+	}
+	if got := p.Executed(); got != 2 {
+		t.Fatalf("cache miss on second batch: executed %d", got)
+	}
+}
+
+func TestPoolDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := []Job{
+		job("histogram", core.NS),
+		job("pathfinder", core.NSDecouple),
+	}
+	serial, err := NewPool(1).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewPool(4).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if *serial[i] != *parallel[i] {
+			t.Fatalf("job %d differs between -j 1 and -j 4:\n%+v\n%+v",
+				i, *serial[i], *parallel[i])
+		}
+	}
+}
+
+func TestPoolErrorIsEarliestInJobOrder(t *testing.T) {
+	p := NewPool(4)
+	// workloads.Get panics on unknown names; inside the pool that
+	// becomes the job's error (a worker goroutine panic would otherwise
+	// crash the process), and Run reports the earliest failure in
+	// declared job order regardless of scheduling.
+	res, err := p.Run([]Job{
+		job("histogram", core.NS),
+		job("zz_first_bad", core.NS),
+		job("zz_second_bad", core.NS),
+	})
+	if err == nil || !strings.Contains(err.Error(), "zz_first_bad") {
+		t.Fatalf("err = %v, want the first bad job's error", err)
+	}
+	if res[0] == nil || res[0].Cycles == 0 {
+		t.Fatal("successful job's result missing despite batch error")
+	}
+	if res[1] != nil || res[2] != nil {
+		t.Fatal("failed jobs returned non-nil results")
+	}
+}
+
+func TestPoolProgressCoversEveryJob(t *testing.T) {
+	p := NewPool(2)
+	var mu sync.Mutex
+	var events []Progress
+	p.OnProgress = func(ev Progress) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	jobs := []Job{
+		job("histogram", core.Base),
+		job("histogram", core.Base),
+		job("histogram", core.NS),
+	}
+	if _, err := p.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("progress reported %d jobs, want %d", len(events), len(jobs))
+	}
+	var cachedSeen bool
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != len(jobs) {
+			t.Fatalf("event %d has Done/Total %d/%d", i, ev.Done, ev.Total)
+		}
+		if ev.Cached {
+			cachedSeen = true
+		}
+	}
+	if !cachedSeen {
+		t.Fatal("duplicate job not reported as cached")
+	}
+}

@@ -102,7 +102,25 @@ func (e *Engine) ScheduleAt(at Time, fn Event) {
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Stop makes Run and RunUntil return after the current event completes.
+// The stop is one-shot and sticky: every later Step/Run/RunUntil call is
+// a no-op (time does not advance, events stay queued) until Reset, so a
+// stopped engine cannot be silently reused mid-simulation. Stopped
+// reports the state.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called (and Reset has not).
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Reset returns the engine to its initial state: time zero, empty queue,
+// stop flag and counters cleared. Pending events are discarded. It is the
+// only way to reuse an engine after Stop.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.Executed = 0
+	e.queue = e.queue[:0]
+}
 
 // Step fires the single next event, advancing time to it. It reports false
 // when the queue is empty.
@@ -126,8 +144,10 @@ func (e *Engine) Run() Time {
 }
 
 // RunUntil fires events with timestamps <= limit. Events beyond the limit
-// stay queued. Time advances to min(limit, last event). It returns true if
-// the queue drained (no work remains at or before any time).
+// stay queued. Time advances to min(limit, last event), except after Stop:
+// a stopped engine stays frozen at the stopping event's time and fires
+// nothing further (see Stop). It returns true if the queue drained (no
+// work remains at or before any time).
 func (e *Engine) RunUntil(limit Time) bool {
 	for len(e.queue) > 0 && !e.stopped {
 		if e.queue[0].at > limit {
@@ -136,7 +156,7 @@ func (e *Engine) RunUntil(limit Time) bool {
 		}
 		e.Step()
 	}
-	if e.now < limit {
+	if !e.stopped && e.now < limit {
 		e.now = limit
 	}
 	return len(e.queue) == 0

@@ -117,6 +117,74 @@ func TestStop(t *testing.T) {
 	}
 }
 
+func TestStopIsSticky(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() { count++; e.Stop() })
+	e.Schedule(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (stopped)", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+	// A stopped engine must not silently resume: Run, RunUntil and Step
+	// are all no-ops, with the second event still queued.
+	if e.Run(); count != 1 {
+		t.Fatal("Run resumed a stopped engine")
+	}
+	if e.RunUntil(100); count != 1 {
+		t.Fatal("RunUntil resumed a stopped engine")
+	}
+	if e.Step() {
+		t.Fatal("Step fired on a stopped engine")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want the unfired event kept", e.Pending())
+	}
+	if e.Now() != 1 {
+		t.Fatalf("time advanced to %d on a stopped engine", e.Now())
+	}
+}
+
+func TestStopThenRunUntilDoesNotAdvanceTime(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() { e.Stop() })
+	e.Schedule(50, func() {})
+	if e.RunUntil(100) {
+		t.Fatal("RunUntil reported drained with an event pending after Stop")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("now = %d, want 5 (stop freezes time)", e.Now())
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() { e.Stop() })
+	e.Schedule(9, func() { t.Error("discarded event fired") })
+	e.Run()
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Stopped() || e.Executed != 0 {
+		t.Fatalf("Reset left state: now=%d pending=%d stopped=%v executed=%d",
+			e.Now(), e.Pending(), e.Stopped(), e.Executed)
+	}
+	// The engine is fully reusable: ordering and FIFO semantics intact.
+	var order []int
+	e.Schedule(10, func() { order = append(order, 2) })
+	e.Schedule(5, func() { order = append(order, 1) })
+	if e.Run() != 10 {
+		t.Fatalf("run after Reset ended at %d", e.Now())
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order after Reset: %v", order)
+	}
+	if e.Executed != 2 {
+		t.Fatalf("Executed = %d after Reset+Run, want 2", e.Executed)
+	}
+}
+
 func TestSchedulePastPanics(t *testing.T) {
 	e := NewEngine()
 	e.Schedule(10, func() {

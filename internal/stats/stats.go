@@ -10,8 +10,9 @@ import (
 	"strings"
 )
 
-// Set is a bag of named uint64 counters. It is not goroutine-safe; the
-// simulator is single-threaded by design.
+// Set is a bag of named uint64 counters. The zero value is ready to use.
+// A Set is not goroutine-safe; each simulation is single-threaded by
+// design (concurrent simulations each own a private Set).
 type Set struct {
 	counters map[string]uint64
 }
@@ -19,17 +20,31 @@ type Set struct {
 // NewSet returns an empty counter set.
 func NewSet() *Set { return &Set{counters: make(map[string]uint64)} }
 
+// init lazily allocates the map so the zero-value Set is usable.
+func (s *Set) init() {
+	if s.counters == nil {
+		s.counters = make(map[string]uint64)
+	}
+}
+
 // Add increments counter name by v.
-func (s *Set) Add(name string, v uint64) { s.counters[name] += v }
+func (s *Set) Add(name string, v uint64) {
+	s.init()
+	s.counters[name] += v
+}
 
 // Inc increments counter name by one.
-func (s *Set) Inc(name string) { s.counters[name]++ }
+func (s *Set) Inc(name string) {
+	s.init()
+	s.counters[name]++
+}
 
 // Get returns the value of counter name (zero when never touched).
 func (s *Set) Get(name string) uint64 { return s.counters[name] }
 
 // Max raises counter name to v when v is larger.
 func (s *Set) Max(name string, v uint64) {
+	s.init()
 	if v > s.counters[name] {
 		s.counters[name] = v
 	}
@@ -47,6 +62,7 @@ func (s *Set) Names() []string {
 
 // Merge adds every counter in other into s.
 func (s *Set) Merge(other *Set) {
+	s.init()
 	for n, v := range other.counters {
 		s.counters[n] += v
 	}
@@ -174,9 +190,14 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest observed sample.
 func (h *Histogram) Max() uint64 { return h.max }
 
-// Percentile returns an upper bound for the p-th percentile (0 < p <= 100)
-// at bucket granularity.
+// Percentile returns an upper bound for the p-th percentile at bucket
+// granularity. p outside (0, 100] panics: it is always a caller bug, and
+// silently clamping (e.g. p=0 → "the 0th percentile is the first bucket")
+// would corrupt derived metrics.
 func (h *Histogram) Percentile(p float64) uint64 {
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("stats: Percentile(%v) outside (0, 100]", p))
+	}
 	if h.count == 0 {
 		return 0
 	}

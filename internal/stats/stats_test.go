@@ -23,6 +23,33 @@ func TestSetBasics(t *testing.T) {
 	}
 }
 
+func TestZeroValueSetUsable(t *testing.T) {
+	var s Set
+	s.Inc("a")
+	s.Add("a", 4)
+	s.Max("m", 7)
+	if s.Get("a") != 5 || s.Get("m") != 7 {
+		t.Fatalf("zero-value Set: a=%d m=%d", s.Get("a"), s.Get("m"))
+	}
+	var reader Set
+	if reader.Get("anything") != 0 {
+		t.Fatal("zero-value Get should read zero")
+	}
+	if n := reader.Names(); len(n) != 0 {
+		t.Fatalf("zero-value Names = %v", n)
+	}
+	var dst Set
+	dst.Merge(&s)
+	if dst.Get("a") != 5 {
+		t.Fatalf("zero-value Merge: a=%d", dst.Get("a"))
+	}
+	var maxOnly Set
+	maxOnly.Max("m", 3)
+	if maxOnly.Get("m") != 3 {
+		t.Fatalf("zero-value Max: m=%d", maxOnly.Get("m"))
+	}
+}
+
 func TestSetMax(t *testing.T) {
 	s := NewSet()
 	s.Max("m", 10)
@@ -105,6 +132,34 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	h.Observe(100)
 	if h.Percentile(100) != 4 {
 		t.Fatalf("overflow sample should land in last bucket, p100=%d", h.Percentile(100))
+	}
+}
+
+func TestPercentileRejectsBadP(t *testing.T) {
+	h := NewHistogram(10, 4)
+	h.Observe(5)
+	for _, p := range []float64{0, -1, 100.01, 200} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) did not panic", p)
+				}
+			}()
+			h.Percentile(p)
+		}()
+	}
+	// Boundary values stay valid.
+	if h.Percentile(100) == 0 {
+		t.Fatal("Percentile(100) should see the sample")
+	}
+	if h.Percentile(0.001) == 0 {
+		t.Fatal("tiny positive p should still return the first occupied bucket bound")
+	}
+	// Empty histograms report 0 for any valid p (even before validation
+	// could matter).
+	empty := NewHistogram(10, 4)
+	if empty.Percentile(50) != 0 {
+		t.Fatal("empty histogram percentile should be 0")
 	}
 }
 
