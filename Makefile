@@ -25,12 +25,25 @@ test-short:
 test-race:
 	$(GO) test -race -timeout 60m ./...
 
+# bench: regenerate the tracked BENCH_sim.json performance baseline.
+# Macro benchmarks (BenchmarkMatrix: whole figure pipelines) run once per
+# sub-benchmark; micro benchmarks (engine, cache bank, NoC, flatmap hot
+# paths) run with Go's auto benchtime for stable ns/op and allocs/op.
+# benchjson then times a full `nsexp -all -quick` regeneration and records
+# its wall-clock and output sha256 alongside the parsed results.
+BENCH_MICRO_PKGS = ./internal/sim ./internal/cache ./internal/noc ./internal/flatmap
+
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) build -o bin/nsexp ./cmd/nsexp
+	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=1x . | tee bench_macro.txt
+	$(GO) test -run=^$$ -bench=. -benchmem $(BENCH_MICRO_PKGS) | tee bench_micro.txt
+	$(GO) run ./cmd/benchjson -o BENCH_sim.json bench_macro.txt bench_micro.txt -- ./bin/nsexp -all -quick
 
 # tier1: the seed gate — must always pass.
 tier1: build test
 
-# tier2: vet + race over the full suite (exercises the runner pool's
-# concurrency); run before merging runner/harness changes.
+# tier2: vet + race over the full suite — including the pooled event
+# queue, lock pool, and flatmap tables, which must stay engine-local
+# (never shared across runner workers); run before merging
+# runner/harness or pooling changes.
 tier2: vet test-race

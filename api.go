@@ -159,32 +159,7 @@ func (e *Experiment) CacheStats() (executed, hits uint64) {
 // Figure regenerates one paper figure by number ("1a", "1b", "9" … "17").
 // subset restricts the workloads (nil = all 14).
 func (e *Experiment) Figure(id string, subset []string) (*Table, error) {
-	switch id {
-	case "1a":
-		return e.exp.Fig1a(subset)
-	case "1b":
-		return e.exp.Fig1b(subset)
-	case "9":
-		return e.exp.Fig9(subset)
-	case "10":
-		return e.exp.Fig10(subset)
-	case "11":
-		return e.exp.Fig11(subset)
-	case "12":
-		return e.exp.Fig12(subset)
-	case "13":
-		return e.exp.Fig13(subset)
-	case "14":
-		return e.exp.Fig14(subset)
-	case "15":
-		return e.exp.Fig15(subset)
-	case "16":
-		return e.exp.Fig16(subset)
-	case "17":
-		return e.exp.Fig17(subset)
-	default:
-		return nil, fmt.Errorf("nearstream: unknown figure %q", id)
-	}
+	return e.exp.Figure(id, subset)
 }
 
 // Figure regenerates one paper figure with a fresh single-figure
@@ -193,6 +168,9 @@ func (e *Experiment) Figure(id string, subset []string) (*Table, error) {
 func Figure(id string, cfg Config, subset []string) (*Table, error) {
 	return NewExperiment(cfg).Figure(id, subset)
 }
+
+// FigureIDs lists every figure id Figure accepts, in paper order.
+func FigureIDs() []string { return harness.FigureIDs() }
 
 // StaticTable renders the qualitative tables ("1", "2", "4", "5", "area").
 func StaticTable(id string) (*Table, error) {

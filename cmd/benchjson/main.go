@@ -1,0 +1,195 @@
+// Command benchjson turns `go test -bench` output into the tracked
+// BENCH_sim.json performance baseline.
+//
+// Usage:
+//
+//	benchjson -o BENCH_sim.json macro.txt micro.txt -- ./bin/nsexp -all -quick
+//
+// Positional arguments before "--" are files of `go test -bench -benchmem`
+// output (use "-" for stdin). The optional command after "--" is executed
+// with stdout captured; its wall-clock seconds and output sha256 are
+// recorded, so the baseline tracks end-to-end figure-regeneration time and
+// byte-level determinism alongside the micro-benchmarks.
+package main
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Wallclock records one timed end-to-end command run.
+type Wallclock struct {
+	Command      string  `json:"command"`
+	Seconds      float64 `json:"seconds"`
+	OutputSHA256 string  `json:"output_sha256"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Date       string      `json:"date"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Wallclock  *Wallclock  `json:"wallclock,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output file")
+	flag.Parse()
+
+	files, cmdline := splitArgs(flag.Args())
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, f := range files {
+		benches, err := parseFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benches...)
+	}
+	if len(cmdline) > 0 {
+		wc, err := timeCommand(cmdline)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Wallclock = wc
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// splitArgs separates input files from the optional timed command after "--".
+func splitArgs(args []string) (files, cmdline []string) {
+	for i, a := range args {
+		if a == "--" {
+			return args[:i], args[i+1:]
+		}
+	}
+	return args, nil
+}
+
+func parseFile(path string) ([]Benchmark, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return parseBench(r)
+}
+
+// parseBench scans `go test -bench` output: "pkg:" lines set the current
+// package; "BenchmarkX-N  iters  v unit  v unit ..." lines yield results.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX --- SKIP"
+		}
+		b := Benchmark{
+			Package:    pkg,
+			Name:       trimProcSuffix(fields[0]),
+			Iterations: iters,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				b.NsPerOp, _ = strconv.ParseFloat(v, 64)
+			case "B/op":
+				b.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				b.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS from a benchmark name.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// timeCommand runs cmdline, hashing stdout, and reports elapsed seconds.
+func timeCommand(cmdline []string) (*Wallclock, error) {
+	h := sha256.New()
+	cmd := exec.Command(cmdline[0], cmdline[1:]...)
+	cmd.Stdout = h
+	cmd.Stderr = os.Stderr
+	start := time.Now()
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("%s: %w", strings.Join(cmdline, " "), err)
+	}
+	return &Wallclock{
+		Command:      strings.Join(cmdline, " "),
+		Seconds:      time.Since(start).Seconds(),
+		OutputSHA256: hex.EncodeToString(h.Sum(nil)),
+	}, nil
+}

@@ -8,6 +8,8 @@
 //	nsexp -all -quick            # everything, sharing baseline runs
 //	nsexp -all -quick -j 4       # ... across 4 simulation workers
 //	nsexp -fig 9 -progress       # per-job progress on stderr
+//	nsexp -fig 9 -cpuprofile cpu.out -memprofile mem.out
+//	                             # profile the simulator itself (go tool pprof)
 //
 // All figures of one invocation render through a single memoizing job
 // pool: a measurement several figures need (every figure's
@@ -20,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	nearstream "repro"
@@ -31,7 +35,12 @@ import (
 // indirect reduce, pointer-chase reduce.
 var quickSet = []string{"pathfinder", "histogram", "pr_pull", "hash_join"}
 
+// main delegates to run so deferred profile writers flush before exit.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		fig      = flag.String("fig", "", "figure id: 1a 1b 9 10 11 12 13 14 15 16 17")
 		table    = flag.String("table", "", "static table id: 1 2 4 5 area")
@@ -42,8 +51,37 @@ func main() {
 		wl       = flag.String("workloads", "", "comma-separated workload subset")
 		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "report per-job progress on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	cfg := nearstream.DefaultConfig()
 	cfg.CoreType = *coreTy
@@ -74,32 +112,42 @@ func main() {
 		})
 	}
 
-	show := func(t *nearstream.Table, err error) {
+	show := func(t *nearstream.Table, err error) bool {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return false
 		}
 		fmt.Println(t)
+		return true
 	}
 
 	switch {
 	case *fig != "":
-		show(exp.Figure(*fig, subset))
+		if !show(exp.Figure(*fig, subset)) {
+			return 1
+		}
 	case *table != "":
-		show(nearstream.StaticTable(*table))
+		if !show(nearstream.StaticTable(*table)) {
+			return 1
+		}
 	case *all:
 		for _, id := range []string{"1", "2", "4", "5", "area"} {
-			show(nearstream.StaticTable(id))
+			if !show(nearstream.StaticTable(id)) {
+				return 1
+			}
 		}
-		for _, id := range []string{"1a", "1b", "9", "10", "11", "12", "13", "14", "15", "16", "17"} {
-			show(exp.Figure(id, subset))
+		for _, id := range nearstream.FigureIDs() {
+			if !show(exp.Figure(id, subset)) {
+				return 1
+			}
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if *progress {
 		executed, hits := exp.CacheStats()
 		fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache\n", executed, hits)
 	}
+	return 0
 }

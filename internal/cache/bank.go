@@ -1,20 +1,35 @@
 package cache
 
 import (
+	"repro/internal/flatmap"
 	"repro/internal/noc"
 	"repro/internal/stats"
 )
 
+// txnWork is one queued per-line transaction body.
+type txnWork func(release func())
+
 // Bank is one shared-L3 slice plus its full-map directory, the per-line
 // transaction serializer, and the line-lock unit used by streaming atomics
 // (§IV-C).
+//
+// The serializer and lock unit are deliberately map-free on their hot
+// paths: busy lines and their waiting transactions live in one
+// open-addressed table (presence = line busy), and lock state lives in a
+// pooled slice indexed through a second table, both sized from the cache
+// geometry at construction.
 type Bank struct {
-	id      int
-	h       *Hierarchy
-	array   *Array
-	busy    map[uint64]bool
-	pending map[uint64][]func()
-	locks   map[uint64]*lineLock
+	id    int
+	h     *Hierarchy
+	array *Array
+	// txns serializes transactions per line: a present entry means the
+	// line is busy, and holds the FIFO of waiting transaction bodies.
+	txns flatmap.Map[[]txnWork]
+	// locks indexes line -> lockPool slot; freed slots recycle through
+	// lockFree so steady-state locking allocates nothing.
+	locks    flatmap.Map[int32]
+	lockPool []lineLock
+	lockFree []int32
 }
 
 // ID returns the bank's mesh node id.
@@ -43,27 +58,34 @@ func (b *Bank) Probe(line uint64) *Line {
 }
 
 // submit serializes transactions per line: work runs when the line is
-// free and must call release exactly once.
-func (b *Bank) submit(line uint64, work func(release func())) {
-	if b.busy[line] {
-		b.pending[line] = append(b.pending[line], func() { b.submit(line, work) })
+// free and must call release exactly once. Waiting transactions queue in
+// FIFO order on the line's txns entry and are handed the line directly at
+// release, with no re-submission round trip.
+func (b *Bank) submit(line uint64, work txnWork) {
+	if q, busy := b.txns.Get(line); busy {
+		b.txns.Put(line, append(q, work))
 		return
 	}
-	b.busy[line] = true
+	b.txns.Put(line, nil)
+	b.runTxn(line, work)
+}
+
+// runTxn executes one transaction body holding the line; its release
+// continuation passes the line to the next queued body or frees it.
+func (b *Bank) runTxn(line uint64, work txnWork) {
 	released := false
 	work(func() {
 		if released {
 			panic("cache: double release of bank line")
 		}
 		released = true
-		delete(b.busy, line)
-		if q := b.pending[line]; len(q) > 0 {
-			b.pending[line] = q[1:]
-			if len(b.pending[line]) == 0 {
-				delete(b.pending, line)
-			}
-			q[0]()
+		q, _ := b.txns.Get(line)
+		if len(q) == 0 {
+			b.txns.Delete(line)
+			return
 		}
+		b.txns.Put(line, q[1:])
+		b.runTxn(line, q[0])
 	})
 }
 

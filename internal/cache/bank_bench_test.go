@@ -1,0 +1,56 @@
+package cache
+
+import "testing"
+
+// Cache hot-path benchmarks: demand-access churn through the tile MSHRs
+// and bank transaction serializer, and line-lock acquire/release. These
+// paths run once per simulated memory access, so allocs/op regressions
+// here slow every figure — review them like correctness failures.
+
+// BenchmarkTileAccessChurn drives a mix of L1 hits and L2/L3 misses
+// through a tile, draining the engine as it goes (the full submit /
+// coherence / MSHR path).
+func BenchmarkTileAccessChurn(b *testing.B) {
+	e, h := testMachine()
+	t := h.Tile(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A rotating working set larger than L1+L2 keeps the miss path and
+		// the bank serializer busy rather than degenerating to pure hits.
+		addr := uint64(i%512) * 64
+		t.Access(addr, i%7 == 0, 0, nil)
+		if i%64 == 63 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkBankSubmitSerialized measures the per-line transaction
+// serializer under same-line contention: each transaction queues behind
+// the previous one and releases immediately.
+func BenchmarkBankSubmitSerialized(b *testing.B) {
+	_, h := testMachine()
+	bank := h.Bank(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.submit(0, func(release func()) { release() })
+	}
+}
+
+// BenchmarkLockAcquireRelease measures uncontended line-lock churn across
+// a rotating set of lines: the pooled, string-free fast path.
+func BenchmarkLockAcquireRelease(b *testing.B) {
+	_, h := testMachine()
+	bank := h.Bank(0)
+	grantNop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := uint64(i%64) * 64
+		bank.AcquireLock(line, 1, true, LockMRSW, grantNop)
+		bank.ReleaseLock(line, 1, true, LockMRSW)
+	}
+}

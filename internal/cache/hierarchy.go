@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"repro/internal/flatmap"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sim"
@@ -104,13 +105,16 @@ func New(engine *sim.Engine, net *noc.Network, dram *mem.Memory, cfg Config) *Hi
 			l1: NewArray(cfg.L1, uint64(i)*2+1),
 			l2: NewArray(cfg.L2, uint64(i)*2+2),
 		})
-		h.banks = append(h.banks, &Bank{
+		b := &Bank{
 			id: i, h: h,
-			array:   NewArray(cfg.L3Bank, uint64(i)*2+3),
-			pending: make(map[uint64][]func()),
-			busy:    make(map[uint64]bool),
-			locks:   make(map[uint64]*lineLock),
-		})
+			array: NewArray(cfg.L3Bank, uint64(i)*2+3),
+		}
+		// Size the per-line tables from the geometry: concurrent
+		// transactions at one bank are bounded by the tiles' outstanding
+		// misses, a small multiple of the tile count.
+		b.txns = *flatmap.New[[]txnWork](4 * n)
+		b.locks = *flatmap.New[int32](n)
+		h.banks = append(h.banks, b)
 	}
 	return h
 }
@@ -146,8 +150,11 @@ type Tile struct {
 	id     int
 	h      *Hierarchy
 	l1, l2 *Array
-	// inflight merges concurrent misses to the same line.
-	inflight map[uint64][]func(Level)
+	// inflight merges concurrent misses to the same line: a present entry
+	// is an outstanding request, holding the completions waiting on it.
+	// Open-addressed: MSHR occupancy is bounded and churn-heavy, so the
+	// table stays warm and allocation-free.
+	inflight flatmap.Map[[]func(Level)]
 }
 
 // ID returns the tile's mesh node id.
@@ -287,21 +294,18 @@ const (
 // access when the response returns, merging concurrent same-line misses.
 func (t *Tile) requestLine(line uint64, kind reqKind, onDone func(Level)) {
 	h := t.h
-	if t.inflight == nil {
-		t.inflight = make(map[uint64][]func(Level))
-	}
 	// Merge only same-line GetS with GetS; writes restart the protocol (a
 	// merged read completion does not grant write permission). To stay
 	// simple and conservative, merge everything and re-check permission.
-	if q, ok := t.inflight[line]; ok {
-		t.inflight[line] = append(q, func(lv Level) {
+	if q, ok := t.inflight.Get(line); ok {
+		t.inflight.Put(line, append(q, func(lv Level) {
 			// Re-run the access: permissions may still be insufficient
 			// (e.g. read brought S, this needs M).
 			t.afterL1(line, kind != reqGetS, onDone)
-		})
+		}))
 		return
 	}
-	t.inflight[line] = nil
+	t.inflight.Put(line, nil)
 	bank := h.banks[h.HomeBank(line)]
 	h.net.Send(&noc.Message{
 		Src: t.id, Dst: bank.id, Bytes: CtrlBytes, Class: stats.TrafficControl,
@@ -358,8 +362,8 @@ func (t *Tile) completeFill(line uint64, kind reqKind, grant LineState, fromMem 
 		lv = ServedMem
 	}
 	finish(onDone, lv)
-	waiters := t.inflight[line]
-	delete(t.inflight, line)
+	waiters, _ := t.inflight.Get(line)
+	t.inflight.Delete(line)
 	for _, w := range waiters {
 		w(lv)
 	}
@@ -373,10 +377,8 @@ func (t *Tile) Prefetch(addr uint64) {
 	if t.l1.Peek(line) != nil || t.l2.Peek(line) != nil {
 		return
 	}
-	if t.inflight != nil {
-		if _, busy := t.inflight[line]; busy {
-			return
-		}
+	if t.inflight.Contains(line) {
+		return
 	}
 	t.h.Stats.Inc("prefetch.issued")
 	t.requestLine(line, reqGetS, nil)

@@ -7,19 +7,29 @@ func lockBank() *Bank {
 	return h.Bank(0)
 }
 
+// Holder keys are small integers (packed core/stream ids in production;
+// arbitrary distinct values here).
+const (
+	keyS1 = 1
+	keyS2 = 2
+	keyS3 = 3
+	keyW  = 10
+	keyR  = 20
+)
+
 func TestExclusiveLockSerializes(t *testing.T) {
 	b := lockBank()
-	got := []string{}
-	b.AcquireLock(0, "s1", false, LockExclusive, func() { got = append(got, "s1") })
-	b.AcquireLock(0, "s2", false, LockExclusive, func() { got = append(got, "s2") })
-	if len(got) != 1 || got[0] != "s1" {
+	got := []int{}
+	b.AcquireLock(0, keyS1, false, LockExclusive, func() { got = append(got, keyS1) })
+	b.AcquireLock(0, keyS2, false, LockExclusive, func() { got = append(got, keyS2) })
+	if len(got) != 1 || got[0] != keyS1 {
 		t.Fatalf("grants = %v, want only s1", got)
 	}
-	b.ReleaseLock(0, "s1", false, LockExclusive)
-	if len(got) != 2 || got[1] != "s2" {
+	b.ReleaseLock(0, keyS1, false, LockExclusive)
+	if len(got) != 2 || got[1] != keyS2 {
 		t.Fatalf("grants after release = %v", got)
 	}
-	b.ReleaseLock(0, "s2", false, LockExclusive)
+	b.ReleaseLock(0, keyS2, false, LockExclusive)
 	if b.LockHeld(0) {
 		t.Fatal("lock still held after all releases")
 	}
@@ -28,9 +38,9 @@ func TestExclusiveLockSerializes(t *testing.T) {
 func TestMRSWReadersShare(t *testing.T) {
 	b := lockBank()
 	granted := 0
-	b.AcquireLock(0, "s1", false, LockMRSW, func() { granted++ })
-	b.AcquireLock(0, "s2", false, LockMRSW, func() { granted++ })
-	b.AcquireLock(0, "s3", false, LockMRSW, func() { granted++ })
+	b.AcquireLock(0, keyS1, false, LockMRSW, func() { granted++ })
+	b.AcquireLock(0, keyS2, false, LockMRSW, func() { granted++ })
+	b.AcquireLock(0, keyS3, false, LockMRSW, func() { granted++ })
 	if granted != 3 {
 		t.Fatalf("only %d readers granted, want 3 concurrent", granted)
 	}
@@ -41,13 +51,13 @@ func TestMRSWReadersShare(t *testing.T) {
 
 func TestMRSWWriterExcludesReaders(t *testing.T) {
 	b := lockBank()
-	b.AcquireLock(0, "w", true, LockMRSW, func() {})
+	b.AcquireLock(0, keyW, true, LockMRSW, func() {})
 	readerIn := false
-	b.AcquireLock(0, "r", false, LockMRSW, func() { readerIn = true })
+	b.AcquireLock(0, keyR, false, LockMRSW, func() { readerIn = true })
 	if readerIn {
 		t.Fatal("reader admitted while writer holds lock")
 	}
-	b.ReleaseLock(0, "w", true, LockMRSW)
+	b.ReleaseLock(0, keyW, true, LockMRSW)
 	if !readerIn {
 		t.Fatal("reader not woken after writer release")
 	}
@@ -55,16 +65,16 @@ func TestMRSWWriterExcludesReaders(t *testing.T) {
 
 func TestMRSWWriterBlockedByOtherReaders(t *testing.T) {
 	b := lockBank()
-	b.AcquireLock(0, "r1", false, LockMRSW, func() {})
+	b.AcquireLock(0, keyR, false, LockMRSW, func() {})
 	writerIn := false
-	b.AcquireLock(0, "w", true, LockMRSW, func() { writerIn = true })
+	b.AcquireLock(0, keyW, true, LockMRSW, func() { writerIn = true })
 	if writerIn {
 		t.Fatal("writer admitted while another stream reads")
 	}
 	if b.h.Stats.Get("lock.conflicts") != 1 {
 		t.Fatalf("conflicts = %d, want 1", b.h.Stats.Get("lock.conflicts"))
 	}
-	b.ReleaseLock(0, "r1", false, LockMRSW)
+	b.ReleaseLock(0, keyR, false, LockMRSW)
 	if !writerIn {
 		t.Fatal("writer not woken")
 	}
@@ -75,18 +85,18 @@ func TestSameStreamAlwaysProceeds(t *testing.T) {
 	// they modify the same line — the SE_L3 orders them.
 	b := lockBank()
 	grants := 0
-	b.AcquireLock(0, "s1", true, LockMRSW, func() { grants++ })
-	b.AcquireLock(0, "s1", true, LockMRSW, func() { grants++ })
-	b.AcquireLock(0, "s1", false, LockMRSW, func() { grants++ })
+	b.AcquireLock(0, keyS1, true, LockMRSW, func() { grants++ })
+	b.AcquireLock(0, keyS1, true, LockMRSW, func() { grants++ })
+	b.AcquireLock(0, keyS1, false, LockMRSW, func() { grants++ })
 	if grants != 3 {
 		t.Fatalf("same-stream grants = %d, want 3", grants)
 	}
 	if b.h.Stats.Get("lock.conflicts") != 0 {
 		t.Fatal("same-stream re-entry counted as conflict")
 	}
-	b.ReleaseLock(0, "s1", true, LockMRSW)
-	b.ReleaseLock(0, "s1", true, LockMRSW)
-	b.ReleaseLock(0, "s1", false, LockMRSW)
+	b.ReleaseLock(0, keyS1, true, LockMRSW)
+	b.ReleaseLock(0, keyS1, true, LockMRSW)
+	b.ReleaseLock(0, keyS1, false, LockMRSW)
 	if b.LockHeld(0) {
 		t.Fatal("lock leaked")
 	}
@@ -95,8 +105,8 @@ func TestSameStreamAlwaysProceeds(t *testing.T) {
 func TestLocksIndependentPerLine(t *testing.T) {
 	b := lockBank()
 	aIn, bIn := false, false
-	b.AcquireLock(0, "s1", true, LockExclusive, func() { aIn = true })
-	b.AcquireLock(64, "s2", true, LockExclusive, func() { bIn = true })
+	b.AcquireLock(0, keyS1, true, LockExclusive, func() { aIn = true })
+	b.AcquireLock(64, keyS2, true, LockExclusive, func() { bIn = true })
 	if !aIn || !bIn {
 		t.Fatal("locks on different lines interfered")
 	}
@@ -109,22 +119,59 @@ func TestReleaseUnheldPanics(t *testing.T) {
 			t.Fatal("release of unheld lock should panic")
 		}
 	}()
-	b.ReleaseLock(0, "nobody", true, LockExclusive)
+	b.ReleaseLock(0, keyS1, true, LockExclusive)
 }
 
 func TestWaiterQueueFairDrain(t *testing.T) {
 	b := lockBank()
-	var order []string
-	b.AcquireLock(0, "a", true, LockExclusive, func() { order = append(order, "a") })
-	b.AcquireLock(0, "b", true, LockExclusive, func() { order = append(order, "b") })
-	b.AcquireLock(0, "c", true, LockExclusive, func() { order = append(order, "c") })
-	b.ReleaseLock(0, "a", true, LockExclusive)
-	b.ReleaseLock(0, "b", true, LockExclusive)
-	b.ReleaseLock(0, "c", true, LockExclusive)
-	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+	var order []int
+	b.AcquireLock(0, keyS1, true, LockExclusive, func() { order = append(order, keyS1) })
+	b.AcquireLock(0, keyS2, true, LockExclusive, func() { order = append(order, keyS2) })
+	b.AcquireLock(0, keyS3, true, LockExclusive, func() { order = append(order, keyS3) })
+	b.ReleaseLock(0, keyS1, true, LockExclusive)
+	b.ReleaseLock(0, keyS2, true, LockExclusive)
+	b.ReleaseLock(0, keyS3, true, LockExclusive)
+	if len(order) != 3 || order[0] != keyS1 || order[1] != keyS2 || order[2] != keyS3 {
 		t.Fatalf("grant order = %v", order)
 	}
 	if b.LockHeld(0) {
 		t.Fatal("lock leaked after drain")
+	}
+}
+
+// TestLockPoolRecycles pins the free-list contract: a line's lock slot is
+// reclaimed once idle and reused by later lock traffic, so a long run
+// holds at most as many pooled locks as its peak concurrency.
+func TestLockPoolRecycles(t *testing.T) {
+	b := lockBank()
+	for i := 0; i < 1000; i++ {
+		line := uint64(i) * 64
+		b.AcquireLock(line, keyS1, true, LockExclusive, func() {})
+		b.ReleaseLock(line, keyS1, true, LockExclusive)
+	}
+	if got := len(b.lockPool); got != 1 {
+		t.Fatalf("lock pool grew to %d entries for serial lock traffic, want 1", got)
+	}
+	if b.locks.Len() != 0 {
+		t.Fatalf("%d lock table entries leaked", b.locks.Len())
+	}
+}
+
+// TestLockSteadyStateNoAllocs pins the hot-path contract from the issue:
+// acquiring and releasing an uncontended lock allocates nothing once the
+// pool is warm (no string keys, no per-line lock objects).
+func TestLockSteadyStateNoAllocs(t *testing.T) {
+	b := lockBank()
+	grantNop := func() {}
+	b.AcquireLock(0, keyS1, true, LockExclusive, grantNop)
+	b.ReleaseLock(0, keyS1, true, LockExclusive)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.AcquireLock(64, keyS2, true, LockExclusive, grantNop)
+		b.ReleaseLock(64, keyS2, true, LockExclusive)
+	})
+	// Stats.Inc on the acquire path may allocate on first touch only; the
+	// steady state must be zero.
+	if allocs != 0 {
+		t.Fatalf("uncontended acquire/release allocates %.1f per op, want 0", allocs)
 	}
 }

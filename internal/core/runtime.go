@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/compiler"
 	"repro/internal/cpu"
+	"repro/internal/flatmap"
 	"repro/internal/ir"
 	"repro/internal/isa"
 	"repro/internal/machine"
@@ -55,11 +56,6 @@ type runShared struct {
 	sePages []map[uint64]bool // per-bank SE_L3 translation cache
 }
 
-// srcOp is one queued micro-op with an optional memory action.
-type srcOp struct {
-	op     *cpu.MicroOp
-	action func(done func())
-}
 
 // coreRun drives one core's partition.
 type coreRun struct {
@@ -80,15 +76,23 @@ type coreRun struct {
 	chains       []*chainStream
 	lastAcc      map[string]uint64
 
-	cursor  int
-	seq     uint64 // next sequence number (push order == fetch order)
-	queue   []srcOp
-	actions map[uint64]func(done func())
-	lastSeq map[ir.ValueRef]uint64
-	haveSeq map[ir.ValueRef]bool
+	cursor int
+	seq    uint64 // next sequence number (push order == fetch order)
+	// queue[qhead:] is the fetch backlog; the head index (instead of
+	// re-slicing the front) lets the drained slice be reused in place.
+	queue   []*cpu.MicroOp
+	qhead   int
+	actions flatmap.Map[func(done func())]
+	// lastSeq/haveSeq map IR values to the seq of their last emitted
+	// instance, dense by ValueRef (which indexes Kernel.Ops).
+	lastSeq []uint64
+	haveSeq []bool
+	// opFree pools micro-ops the core has finished with (cpu.OpRecycler):
+	// steady-state emission reuses op, Deps, and MemRef allocations.
+	opFree []*cpu.MicroOp
 
-	elemCount    map[int]int // elements of each stream seen in the trace
-	consumeCount map[int]int // responses consumed from remote streams
+	elemCount    []int // per-sid elements seen in the trace
+	consumeCount []int // per-sid responses consumed from remote streams
 
 	core           *cpu.Core
 	ranges         RangeTable
@@ -241,10 +245,12 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 			params: params, plan: plan, k: k, trace: tr,
 			modes: map[int]streamMode{}, remotes: map[int]*remoteStream{},
 			prefetch: map[int]*inCoreStream{},
-			actions:  map[uint64]func(done func()){},
-			lastSeq:  map[ir.ValueRef]uint64{}, haveSeq: map[ir.ValueRef]bool{},
-			elemCount: map[int]int{}, consumeCount: map[int]int{},
+			lastSeq:  make([]uint64, len(k.Ops)),
+			haveSeq:  make([]bool, len(k.Ops)),
 		}
+		nsid := cr.nextSidBound()
+		cr.elemCount = make([]int, nsid)
+		cr.consumeCount = make([]int, nsid)
 		cr.decideModes()
 		cr.buildStreams()
 		cr.core = cpu.NewCore(m.Engine, m.Cfg.CoreType, (*coreSource)(cr), cr.memFunc)
@@ -664,8 +670,8 @@ func (cr *coreRun) streamFinished() {
 // memFunc routes the core's memory micro-ops: registered actions (stream
 // FIFO reads, offload round trips) or ordinary hierarchy accesses.
 func (cr *coreRun) memFunc(seq uint64, ref cpu.MemRef, at sim.Time, done func()) {
-	if act, ok := cr.actions[seq]; ok {
-		delete(cr.actions, seq)
+	if act, ok := cr.actions.Get(seq); ok {
+		cr.actions.Delete(seq)
 		cr.m.Engine.ScheduleAt(at, func() { act(done) })
 		return
 	}

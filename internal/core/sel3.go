@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/cache"
 	"repro/internal/compiler"
 	"repro/internal/isa"
@@ -54,6 +52,11 @@ type remoteStream struct {
 	started  bool
 	inflight int
 
+	// advanceEv is the bound advance closure, allocated once: advance is
+	// re-queued per element, so a method value at every call site would
+	// allocate on the stream's hottest path.
+	advanceEv sim.Event
+
 	// lineDone caches per-line availability; linePend queues callbacks
 	// while a line access is outstanding; lineWritten coalesces store
 	// writebacks per line.
@@ -96,9 +99,10 @@ type lockedLine struct {
 }
 
 // lockKey identifies this stream as a lock holder (same-stream atomics
-// always proceed, §IV-C).
-func (rs *remoteStream) lockKey() string {
-	return fmt.Sprintf("c%d.s%d", rs.cr.coreID, rs.s.Sid)
+// always proceed, §IV-C): the core and stream ids packed into one small
+// non-negative integer, so lock acquire/release never formats strings.
+func (rs *remoteStream) lockKey() int {
+	return rs.cr.coreID<<16 | rs.s.Sid
 }
 
 func newRemoteStream(cr *coreRun, s *compiler.Stream, elems []streamElem) *remoteStream {
@@ -122,6 +126,7 @@ func newRemoteStream(cr *coreRun, s *compiler.Stream, elems []streamElem) *remot
 	if cr.pol.rangeSync {
 		rs.rangeArrived = make([]bool, rs.numWindows()+1)
 	}
+	rs.advanceEv = rs.advance
 	return rs
 }
 
@@ -226,7 +231,7 @@ func (rs *remoteStream) Resume() {
 	cfgBytes := isa.EncodedBytes(rs.cr.isaConfigOf(rs.s))
 	rs.cr.stat("ns.resumes", 1)
 	rs.cr.net().Send(&noc.Message{Src: rs.cr.coreID, Dst: bank, Bytes: cfgBytes,
-		Class: stats.TrafficOffload, OnDeliver: rs.advance})
+		Class: stats.TrafficOffload, OnDeliver: rs.advanceEv})
 }
 
 func (rs *remoteStream) drained() bool {
@@ -255,7 +260,7 @@ func (rs *remoteStream) advance() {
 		if rs.base != nil {
 			bi := min(i, len(rs.base.done)-1)
 			if bi >= 0 && !rs.base.done[bi] {
-				rs.base.elemReady(bi, rs.advance)
+				rs.base.elemReady(bi, rs.advanceEv)
 				return
 			}
 		}
@@ -263,7 +268,7 @@ func (rs *remoteStream) advance() {
 		for _, dep := range rs.deps {
 			di := min(i, len(dep.done)-1)
 			if di >= 0 && !dep.done[di] {
-				dep.elemReady(di, rs.advance)
+				dep.elemReady(di, rs.advanceEv)
 				blocked = true
 				break
 			}
@@ -508,7 +513,7 @@ func (rs *remoteStream) elemDone(i int, line uint64, bank int) {
 		rs.winProcessed = win + 1
 		rs.windowProcessed(win, bank)
 	}
-	rs.cr.m.Engine.Schedule(1, rs.advance)
+	rs.cr.m.Engine.Schedule(1, rs.advanceEv)
 	rs.checkDrain()
 	rs.maybeFinish()
 }

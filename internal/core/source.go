@@ -15,7 +15,9 @@ type coreSource coreRun
 // Next implements cpu.OpSource.
 func (s *coreSource) Next() (*cpu.MicroOp, cpu.FetchResult) {
 	cr := (*coreRun)(s)
-	for len(cr.queue) == 0 {
+	for cr.qhead >= len(cr.queue) {
+		cr.queue = cr.queue[:0]
+		cr.qhead = 0
 		if cr.cursor >= len(cr.trace.Entries) {
 			if !cr.endEmitted {
 				cr.emitEnd()
@@ -26,9 +28,36 @@ func (s *coreSource) Next() (*cpu.MicroOp, cpu.FetchResult) {
 		cr.emitEntry(&cr.trace.Entries[cr.cursor])
 		cr.cursor++
 	}
-	op := cr.queue[0].op
-	cr.queue = cr.queue[1:]
+	op := cr.queue[cr.qhead]
+	cr.queue[cr.qhead] = nil
+	cr.qhead++
 	return op, cpu.FetchOp
+}
+
+// Recycle implements cpu.OpRecycler: the core has finished reading op.
+func (s *coreSource) Recycle(op *cpu.MicroOp) {
+	cr := (*coreRun)(s)
+	cr.opFree = append(cr.opFree, op)
+}
+
+// newOp returns a micro-op of the given class from the free pool (keeping
+// a recycled op's Deps and MemRef allocations) or allocates a fresh one.
+func (cr *coreRun) newOp(class cpu.OpClass) *cpu.MicroOp {
+	n := len(cr.opFree) - 1
+	if n < 0 {
+		return &cpu.MicroOp{Class: class}
+	}
+	op := cr.opFree[n]
+	cr.opFree = cr.opFree[:n]
+	op.Class = class
+	op.Deps = op.Deps[:0]
+	op.ExtraLatency = 0
+	op.OnRetire = nil
+	op.OnIssue = nil
+	if op.Mem != nil {
+		*op.Mem = cpu.MemRef{}
+	}
+	return op
 }
 
 // push queues a micro-op, assigning its sequence number (queue order is
@@ -40,9 +69,9 @@ func (cr *coreRun) push(op *cpu.MicroOp, action func(done func())) uint64 {
 		if op.Mem == nil {
 			op.Mem = &cpu.MemRef{}
 		}
-		cr.actions[seq] = action
+		cr.actions.Put(seq, action)
 	}
-	cr.queue = append(cr.queue, srcOp{op: op})
+	cr.queue = append(cr.queue, op)
 	return seq
 }
 
@@ -55,7 +84,7 @@ func (cr *coreRun) emitEntry(ent *traceEntry) {
 			return // §V: the loop disappears from the core
 		}
 		for i := 0; i < loopOverheadOps; i++ {
-			cr.push(&cpu.MicroOp{Class: cpu.IntAlu}, nil)
+			cr.push(cr.newOp(cpu.IntAlu), nil)
 		}
 		return
 	}
@@ -88,9 +117,9 @@ func (cr *coreRun) emitEntry(ent *traceEntry) {
 			rs := cr.remotes[st.Sid]
 			if rs != nil && cr.pol.rangeSync && !cr.decoupledCore() && !rs.stepExempt {
 				// s_step: the core's in-order commit point for range-sync.
-				cr.push(&cpu.MicroOp{Class: cpu.IntAlu, OnRetire: func(sim.Time) {
-					rs.noteCoreStep(n + 1)
-				}}, nil)
+				step := cr.newOp(cpu.IntAlu)
+				step.OnRetire = func(sim.Time) { rs.noteCoreStep(n + 1) }
+				cr.push(step, nil)
 			}
 			// A later core consumer of this element must s_load it.
 			if rs != nil && rs.respAt != nil {
@@ -109,7 +138,7 @@ func (cr *coreRun) emitEntry(ent *traceEntry) {
 			cr.elemCount[st.Sid] = n + 1
 			// One offload request per iteration (Omni-Compute style).
 			act := cr.instRoundTrip(st, n)
-			cr.push(&cpu.MicroOp{Class: cpu.Load}, act)
+			cr.push(cr.newOp(cpu.Load), act)
 		}
 	case modePerElem:
 		if isAccess && (st.Write || st.Kind == isa.KindIndirect) {
@@ -117,9 +146,10 @@ func (cr *coreRun) emitEntry(ent *traceEntry) {
 			cr.offloadedDyn++
 			n := cr.elemCount[st.Sid]
 			cr.elemCount[st.Sid] = n + 1
-			deps := cr.memDeps(op)
+			mop := cr.newOp(cpu.Load)
+			cr.addMemDeps(mop, op)
 			act := cr.perElemRoundTrip(st, n)
-			seq := cr.push(&cpu.MicroOp{Class: cpu.Load, Deps: deps}, act)
+			seq := cr.push(mop, act)
 			cr.setSeq(id, seq)
 			return
 		}
@@ -146,7 +176,9 @@ func (cr *coreRun) emitPrefetchOrCore(id ir.ValueRef, ent *traceEntry, st *compi
 			if elem >= len(ics.elems) {
 				elem = len(ics.elems) - 1
 			}
-			seq := cr.push(&cpu.MicroOp{Class: cpu.Load, ExtraLatency: 1}, func(done func()) {
+			sl := cr.newOp(cpu.Load)
+			sl.ExtraLatency = 1
+			seq := cr.push(sl, func(done func()) {
 				ics.consume(elem, func(at sim.Time) {
 					cr.m.Engine.ScheduleAt(maxT(at, cr.m.Engine.Now()), done)
 				})
@@ -169,16 +201,10 @@ func maxT(a, b sim.Time) sim.Time {
 // emitCoreOp lowers one IR op to a core micro-op with dependences.
 func (cr *coreRun) emitCoreOp(id ir.ValueRef, ent *traceEntry) {
 	op := &cr.k.Ops[id]
-	var deps []uint64
-	addDep := func(r ir.ValueRef) { deps = append(deps, cr.resolveDep(r)...) }
-	mop := &cpu.MicroOp{}
+	mop := cr.newOp(cpu.IntAlu)
 	switch op.Kind {
 	case ir.OpLoad, ir.OpStore, ir.OpAtomic:
-		addDep(op.Val)
-		addDep(op.Expected)
-		addDep(op.Addr.Base)
-		addDep(op.Addr.IndexVal)
-		addDep(op.Addr.Pointer)
+		cr.addMemDeps(mop, op)
 		switch op.Kind {
 		case ir.OpLoad:
 			mop.Class = cpu.Load
@@ -187,46 +213,38 @@ func (cr *coreRun) emitCoreOp(id ir.ValueRef, ent *traceEntry) {
 		default:
 			mop.Class = cpu.Atomic
 		}
-		mop.Mem = &cpu.MemRef{Addr: ent.pa, Write: ent.write, PC: uint64(id)*8 + 0x4000}
+		mop.SetMem(cpu.MemRef{Addr: ent.pa, Write: ent.write, PC: uint64(id)*8 + 0x4000})
 	case ir.OpBin:
-		addDep(op.A)
-		addDep(op.B)
+		cr.addDep(mop, op.A)
+		cr.addDep(mop, op.B)
 		mop.Class = classOfBin(op)
 	case ir.OpSelect:
-		addDep(op.Cond)
-		addDep(op.A)
-		addDep(op.B)
-		mop.Class = cpu.IntAlu
+		cr.addDep(mop, op.Cond)
+		cr.addDep(mop, op.A)
+		cr.addDep(mop, op.B)
 	case ir.OpConvert:
-		addDep(op.A)
-		mop.Class = cpu.IntAlu
+		cr.addDep(mop, op.A)
 	case ir.OpIndex:
-		mop.Class = cpu.IntAlu
 	case ir.OpChaseVar:
 		// The chase variable carries the loop dependence: its value is
 		// the previous iteration's next pointer (or the start value).
 		l := &cr.k.Loops[op.Level]
-		addDep(l.NextVal)
-		addDep(l.StartVal)
-		mop.Class = cpu.IntAlu
+		cr.addDep(mop, l.NextVal)
+		cr.addDep(mop, l.StartVal)
 	case ir.OpReduce:
-		addDep(op.Val)
+		cr.addDep(mop, op.Val)
 		if prev, ok := cr.lastAcc[op.Acc]; ok {
-			deps = append(deps, prev)
+			mop.Deps = append(mop.Deps, prev)
 		}
 		mop.Class = classOfBin(op)
 	case ir.OpAccRead:
 		if prev, ok := cr.lastAcc[op.Acc]; ok {
-			deps = append(deps, prev)
+			mop.Deps = append(mop.Deps, prev)
 		}
-		mop.Class = cpu.IntAlu
-	default:
-		mop.Class = cpu.IntAlu
 	}
 	if op.Vector {
 		mop.Class = cpu.SIMD
 	}
-	mop.Deps = deps
 	seq := cr.push(mop, nil)
 	cr.setSeq(id, seq)
 	if op.Kind == ir.OpReduce {
@@ -237,13 +255,14 @@ func (cr *coreRun) emitCoreOp(id ir.ValueRef, ent *traceEntry) {
 	}
 }
 
-// memDeps resolves the operand deps of a memory op (for round-trip modes).
-func (cr *coreRun) memDeps(op *ir.Op) []uint64 {
-	var deps []uint64
-	for _, r := range []ir.ValueRef{op.Val, op.Expected, op.Addr.Base, op.Addr.IndexVal, op.Addr.Pointer} {
-		deps = append(deps, cr.resolveDep(r)...)
-	}
-	return deps
+// addMemDeps appends the operand deps of a memory op (address components
+// and stored/expected values) to mop.
+func (cr *coreRun) addMemDeps(mop *cpu.MicroOp, op *ir.Op) {
+	cr.addDep(mop, op.Val)
+	cr.addDep(mop, op.Expected)
+	cr.addDep(mop, op.Addr.Base)
+	cr.addDep(mop, op.Addr.IndexVal)
+	cr.addDep(mop, op.Addr.Pointer)
 }
 
 func classOfBin(op *ir.Op) cpu.OpClass {
@@ -266,14 +285,16 @@ func classOfBin(op *ir.Op) cpu.OpClass {
 	}
 }
 
-// resolveDep returns the dependence seqs for one IR operand: the last
-// emitted instance, or an s_load of a remote stream's response.
-func (cr *coreRun) resolveDep(r ir.ValueRef) []uint64 {
+// addDep appends the dependence seq of one IR operand to mop: the last
+// emitted instance, or a freshly emitted s_load of a remote stream's
+// response. Configuration values and fully offloaded producers add nothing.
+func (cr *coreRun) addDep(mop *cpu.MicroOp, r ir.ValueRef) {
 	if r == ir.NoValue {
-		return nil
+		return
 	}
 	if cr.haveSeq[r] {
-		return []uint64{cr.lastSeq[r]}
+		mop.Deps = append(mop.Deps, cr.lastSeq[r])
+		return
 	}
 	// Value produced by an offloaded stream: read it from the response
 	// FIFO (s_load).
@@ -286,15 +307,16 @@ func (cr *coreRun) resolveDep(r ir.ValueRef) []uint64 {
 				idx = len(rs.respAt) - 1
 			}
 			elem := idx
-			seq := cr.push(&cpu.MicroOp{Class: cpu.Load, ExtraLatency: 1}, func(done func()) {
+			sl := cr.newOp(cpu.Load)
+			sl.ExtraLatency = 1
+			seq := cr.push(sl, func(done func()) {
 				rs.respReady(elem, func(sim.Time) { done() })
 			})
 			cr.setSeq(r, seq)
 			cr.stat("ns.sload_remote", 1)
-			return []uint64{seq}
+			mop.Deps = append(mop.Deps, seq)
 		}
 	}
-	return nil // configuration value or fully offloaded producer
 }
 
 func (cr *coreRun) setSeq(id ir.ValueRef, seq uint64) {
@@ -307,10 +329,10 @@ func (cr *coreRun) setSeq(id ir.ValueRef, seq uint64) {
 func (cr *coreRun) emitEnd() {
 	cr.endEmitted = true
 	for range cr.remotes {
-		cr.push(&cpu.MicroOp{Class: cpu.IntAlu}, nil) // s_end
+		cr.push(cr.newOp(cpu.IntAlu), nil) // s_end
 	}
 	if cr.pendingStreams > 0 {
-		cr.push(&cpu.MicroOp{Class: cpu.Load}, func(done func()) {
+		cr.push(cr.newOp(cpu.Load), func(done func()) {
 			if cr.pendingStreams == 0 {
 				done()
 				return

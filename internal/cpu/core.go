@@ -48,6 +48,23 @@ type OpSource interface {
 	Next() (*MicroOp, FetchResult)
 }
 
+// OpRecycler is optionally implemented by an OpSource: the core hands each
+// op back once it has finished reading it (at issue), so the source can
+// pool op objects instead of allocating one per dynamic instruction. A
+// recycled op may be returned again from a later Next.
+type OpRecycler interface {
+	Recycle(*MicroOp)
+}
+
+// SetMem fills the op's MemRef, reusing an existing allocation (pooled ops
+// keep theirs across reuse).
+func (op *MicroOp) SetMem(ref MemRef) {
+	if op.Mem == nil {
+		op.Mem = new(MemRef)
+	}
+	*op.Mem = ref
+}
+
 // MemFunc issues a memory access for op seq at time at; done must be called
 // exactly once when the access completes.
 type MemFunc func(seq uint64, ref MemRef, at sim.Time, done func())
@@ -105,8 +122,14 @@ type Core struct {
 	stalled   bool // waiting on source Wake
 	pumping   bool
 	pumpQd    bool
+	// pumpEvent is the single pump closure, allocated once: the pump
+	// reschedules itself every active cycle, so a per-schedule closure
+	// would be the core model's hottest allocation.
+	pumpEvent sim.Event
 	retryOp   *MicroOp
 	onIdle    func()
+	// recycle returns issued ops to an OpRecycler source for pooling.
+	recycle func(*MicroOp)
 
 	// Stats.
 	OpsRetired uint64
@@ -131,6 +154,13 @@ func NewCore(engine *sim.Engine, cfg Config, source OpSource, mem MemFunc) *Core
 	}
 	for k := range c.fu {
 		c.fu[k] = make([]sim.Time, cfg.FUCount[k])
+	}
+	c.pumpEvent = func() {
+		c.pumpQd = false
+		c.pump()
+	}
+	if r, ok := source.(OpRecycler); ok {
+		c.recycle = r.Recycle
 	}
 	return c
 }
@@ -163,10 +193,7 @@ func (c *Core) schedulePump(delay sim.Time) {
 		return
 	}
 	c.pumpQd = true
-	c.engine.Schedule(delay, func() {
-		c.pumpQd = false
-		c.pump()
-	})
+	c.engine.Schedule(delay, c.pumpEvent)
 }
 
 // completionOf returns the completion time of dependency seq, or ok=false
@@ -322,6 +349,9 @@ func (c *Core) dispatch(op *MicroOp) bool {
 		return true
 	}
 	c.issueOp(op, seq, ready, loadSlot, storeSlot)
+	if c.recycle != nil {
+		c.recycle(op)
+	}
 	return true
 }
 
@@ -349,6 +379,9 @@ func (c *Core) drainWaiting() {
 				continue
 			}
 			c.issueOp(w.op, w.seq, ready, w.loadSlot, w.storeSlot)
+			if c.recycle != nil {
+				c.recycle(w.op)
+			}
 			progressed = true
 		}
 		c.waiting = remaining

@@ -1,0 +1,158 @@
+// Package flatmap provides a small open-addressed hash table keyed by
+// uint64, built for the simulator's hot paths (cache-bank transaction
+// serializers, MSHR merge tables, line locks). Compared to a Go map it
+// probes a flat slice of entries — no per-bucket pointers, no hash-iteration
+// state, and inserts after a warm-up steady state allocate nothing because
+// deletes reuse slots in place (backward-shift deletion, no tombstones).
+//
+// The table is not safe for concurrent use, matching the single-threaded
+// discrete-event engine it serves.
+package flatmap
+
+// minCap is the smallest table allocated; power of two.
+const minCap = 8
+
+// entry is one slot. live distinguishes an occupied slot from the zero
+// state, so key 0 (line address 0 is real) needs no sentinel.
+type entry[V any] struct {
+	key  uint64
+	live bool
+	val  V
+}
+
+// Map is an open-addressed uint64-keyed hash table with linear probing.
+// The zero value is an empty map ready for use.
+type Map[V any] struct {
+	entries []entry[V]
+	n       int
+}
+
+// New returns a map pre-sized to hold hint entries without growing.
+func New[V any](hint int) *Map[V] {
+	m := &Map[V]{}
+	if hint > 0 {
+		m.grow(capFor(hint))
+	}
+	return m
+}
+
+// capFor returns the power-of-two table size for want live entries at the
+// 3/4 max load factor.
+func capFor(want int) int {
+	c := minCap
+	for c*3/4 < want {
+		c <<= 1
+	}
+	return c
+}
+
+// slot hashes key to a table index (Fibonacci hashing: the multiplicative
+// constant spreads the low bits line addresses and small ids vary in).
+func (m *Map[V]) slot(key uint64) uint64 {
+	h := key * 0x9E3779B97F4A7C15
+	return (h >> 32) & uint64(len(m.entries)-1)
+}
+
+// Len reports the number of live entries.
+func (m *Map[V]) Len() int { return m.n }
+
+// Get returns the value for key and whether it is present.
+func (m *Map[V]) Get(key uint64) (V, bool) {
+	if m.n == 0 {
+		var zero V
+		return zero, false
+	}
+	i := m.slot(key)
+	for {
+		e := &m.entries[i]
+		if !e.live {
+			var zero V
+			return zero, false
+		}
+		if e.key == key {
+			return e.val, true
+		}
+		i = (i + 1) & uint64(len(m.entries)-1)
+	}
+}
+
+// Contains reports whether key is present.
+func (m *Map[V]) Contains(key uint64) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Put inserts or replaces the value for key.
+func (m *Map[V]) Put(key uint64, val V) {
+	if len(m.entries) == 0 || (m.n+1)*4 > len(m.entries)*3 {
+		m.grow(capFor(m.n + 1))
+	}
+	i := m.slot(key)
+	for {
+		e := &m.entries[i]
+		if !e.live {
+			*e = entry[V]{key: key, live: true, val: val}
+			m.n++
+			return
+		}
+		if e.key == key {
+			e.val = val
+			return
+		}
+		i = (i + 1) & uint64(len(m.entries)-1)
+	}
+}
+
+// Delete removes key, reporting whether it was present. Removal uses
+// backward-shift compaction, so probe chains stay short with no tombstone
+// accumulation under the insert/delete churn of per-line transactions.
+func (m *Map[V]) Delete(key uint64) bool {
+	if m.n == 0 {
+		return false
+	}
+	mask := uint64(len(m.entries) - 1)
+	i := m.slot(key)
+	for {
+		e := &m.entries[i]
+		if !e.live {
+			return false
+		}
+		if e.key == key {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	// Backward shift: close the gap at i by pulling back any later entry in
+	// the probe chain whose ideal slot precedes the gap.
+	j := i
+	for {
+		m.entries[i] = entry[V]{}
+		for {
+			j = (j + 1) & mask
+			e := &m.entries[j]
+			if !e.live {
+				m.n--
+				return true
+			}
+			// Probe distance of entry j; it may move back to i iff it does
+			// not pass its ideal slot.
+			if (j-m.slot(e.key))&mask >= (j-i)&mask {
+				m.entries[i] = *e
+				break
+			}
+		}
+		i = j
+	}
+}
+
+// grow rehashes into a table of newCap slots (a power of two >= minCap).
+func (m *Map[V]) grow(newCap int) {
+	old := m.entries
+	m.entries = make([]entry[V], newCap)
+	m.n = 0
+	for i := range old {
+		if old[i].live {
+			m.Put(old[i].key, old[i].val)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package flatmap
+
+import (
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := New[int](0)
+	if m.Len() != 0 {
+		t.Fatal("new map not empty")
+	}
+	if _, ok := m.Get(0); ok {
+		t.Fatal("empty map reports key 0")
+	}
+	m.Put(0, 10) // key 0 is a real key (line address 0)
+	m.Put(64, 20)
+	m.Put(128, 30)
+	if v, ok := m.Get(0); !ok || v != 10 {
+		t.Fatalf("Get(0) = %d,%v", v, ok)
+	}
+	m.Put(0, 11)
+	if v, _ := m.Get(0); v != 11 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("len = %d, want 3", m.Len())
+	}
+	if !m.Delete(64) || m.Delete(64) {
+		t.Fatal("delete semantics wrong")
+	}
+	if m.Contains(64) || !m.Contains(128) {
+		t.Fatal("membership wrong after delete")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d after delete, want 2", m.Len())
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Map[string]
+	if m.Contains(7) || m.Delete(7) {
+		t.Fatal("zero map not empty")
+	}
+	m.Put(7, "x")
+	if v, ok := m.Get(7); !ok || v != "x" {
+		t.Fatal("zero map unusable")
+	}
+}
+
+// TestAgainstReference drives the table through a deterministic
+// insert/lookup/delete churn mirroring per-line transaction traffic and
+// checks every observation against a Go map.
+func TestAgainstReference(t *testing.T) {
+	m := New[uint64](4)
+	ref := make(map[uint64]uint64)
+	// xorshift for deterministic pseudo-random keys in a small range, so
+	// collisions, overwrites, and misses all occur.
+	s := uint64(0x2545F4914F6CDD1D)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for i := 0; i < 200000; i++ {
+		key := next() % 512 * 64 // line-address-like keys
+		switch next() % 3 {
+		case 0:
+			m.Put(key, uint64(i))
+			ref[key] = uint64(i)
+		case 1:
+			got, ok := m.Get(key)
+			want, wok := ref[key]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("step %d: Get(%d) = %d,%v want %d,%v", i, key, got, ok, want, wok)
+			}
+		case 2:
+			got := m.Delete(key)
+			_, want := ref[key]
+			if got != want {
+				t.Fatalf("step %d: Delete(%d) = %v want %v", i, key, got, want)
+			}
+			delete(ref, key)
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("step %d: len %d vs ref %d", i, m.Len(), len(ref))
+		}
+	}
+	for k, want := range ref {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("final: Get(%d) = %d,%v want %d", k, got, ok, want)
+		}
+	}
+}
+
+// TestSteadyStateNoAllocs pins the pooling contract: once warm, the
+// insert/delete churn of a transaction serializer allocates nothing.
+func TestSteadyStateNoAllocs(t *testing.T) {
+	m := New[int](64)
+	for i := uint64(0); i < 48; i++ {
+		m.Put(i*64, int(i))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Put(10000*64, 1)
+		m.Delete(10000 * 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkPutDeleteChurn(b *testing.B) {
+	m := New[int](64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%97) * 64
+		m.Put(k, i)
+		m.Delete(k)
+	}
+}
+
+func BenchmarkGoMapPutDeleteChurn(b *testing.B) {
+	m := make(map[uint64]int, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%97) * 64
+		m[k] = i
+		delete(m, k)
+	}
+}

@@ -1,6 +1,12 @@
 package harness
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
 	"testing"
 )
 
@@ -79,5 +85,80 @@ func TestMemoCacheSharesJobsAcrossFigures(t *testing.T) {
 	}
 	if ex, h := e.Pool().Executed(), e.Pool().Hits(); ex != 28 || h != 22 {
 		t.Fatalf("after Fig10: executed=%d hits=%d, want 28/22", ex, h)
+	}
+}
+
+// goldenSubset mirrors cmd/nsexp's -quick subset: it spans the taxonomy
+// (MO store, affine load + indirect atomic, indirect reduce, pointer-chase
+// reduce), so the digests below cover every stream kind and system.
+var goldenSubset = []string{"pathfinder", "histogram", "pr_pull", "hash_join"}
+
+// goldenPath is the recorded pre-rewrite figure digests. Regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/harness -run TestFigureDigestsMatchGolden
+//
+// but only when a figure's output is *meant* to change: the file pins the
+// engine's (time, seq) FIFO ordering contract across event-queue and
+// cache/NoC data-structure rewrites, which must keep every figure
+// byte-identical.
+const goldenPath = "figure_digests.json"
+
+// TestFigureDigestsMatchGolden renders every figure at CI scale over the
+// -quick subset and compares each table's sha256 against the digests
+// recorded in testdata. A mismatch means simulated behavior changed — a
+// perf-only refactor must not trip this.
+func TestFigureDigestsMatchGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure matrix is slow; run without -short")
+	}
+	e := NewExp(DefaultConfig())
+	got := make(map[string]string)
+	for _, id := range FigureIDs() {
+		tab, err := e.Figure(id, goldenSubset)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		sum := sha256.Sum256([]byte(tab.String()))
+		got[id] = hex.EncodeToString(sum[:])
+	}
+	path := filepath.Join("testdata", goldenPath)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(got), path)
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden digests (generate with UPDATE_GOLDEN=1): %v", err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, len(want))
+	for id := range want {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if got[id] == "" {
+			t.Errorf("figure %s: recorded in golden but not rendered", id)
+		} else if got[id] != want[id] {
+			t.Errorf("figure %s: digest %s, want %s (output changed vs pre-rewrite baseline)", id, got[id][:12], want[id][:12])
+		}
+	}
+	for id := range got {
+		if _, ok := want[id]; !ok {
+			t.Errorf("figure %s: rendered but missing from golden (regenerate with UPDATE_GOLDEN=1)", id)
+		}
 	}
 }

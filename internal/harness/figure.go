@@ -1,0 +1,41 @@
+package harness
+
+import "fmt"
+
+// FigureIDs lists every figure id in evaluation order — the set `nsexp
+// -all` renders and the golden determinism digests cover.
+func FigureIDs() []string {
+	return []string{"1a", "1b", "9", "10", "11", "12", "13", "14", "15", "16", "17"}
+}
+
+// Figure renders one paper figure by id ("1a", "1b", "9" … "17"),
+// dispatching to the per-figure renderers below. subset restricts the
+// workloads (nil = all 14).
+func (e *Exp) Figure(id string, subset []string) (*Table, error) {
+	switch id {
+	case "1a":
+		return e.Fig1a(subset)
+	case "1b":
+		return e.Fig1b(subset)
+	case "9":
+		return e.Fig9(subset)
+	case "10":
+		return e.Fig10(subset)
+	case "11":
+		return e.Fig11(subset)
+	case "12":
+		return e.Fig12(subset)
+	case "13":
+		return e.Fig13(subset)
+	case "14":
+		return e.Fig14(subset)
+	case "15":
+		return e.Fig15(subset)
+	case "16":
+		return e.Fig16(subset)
+	case "17":
+		return e.Fig17(subset)
+	default:
+		return nil, fmt.Errorf("harness: unknown figure %q", id)
+	}
+}

@@ -58,22 +58,44 @@ type Message struct {
 	OnDeliver func()
 }
 
-// link identifies a directed mesh link by its endpoints.
-type link struct {
-	from, to int
-}
+// Directed links get dense ids: node*4 + direction. Up to four outgoing
+// links per node; edge nodes leave some ids unused, which costs a few
+// array slots and saves every hot-path map operation.
+const (
+	dirEast = iota // +x
+	dirWest        // -x
+	dirSouth       // +y
+	dirNorth       // -y
+	dirCount
+)
 
 // Network is the mesh interconnect.
+//
+// All per-link state is held in dense arrays indexed by link id, and the
+// X-Y route between every (src, dst) pair is precomputed as a link-id list
+// at construction: routing a message is a slice walk with no allocation
+// and no map lookups.
 type Network struct {
 	cfg     Config
 	engine  *sim.Engine
 	Traffic stats.Traffic
 	// nextFree tracks when each directed link can accept the next
 	// message (message-granularity wormhole approximation).
-	nextFree map[link]sim.Time
+	nextFree []sim.Time
 	// busyCycles accumulates per-link occupancy for the utilization
 	// metric of Figure 12.
-	busyCycles map[link]uint64
+	busyCycles []uint64
+	// routeIDs/routeOff store every pair's route: the link ids of
+	// (src, dst) are routeIDs[routeOff[src*nodes+dst]:routeOff[src*nodes+dst+1]].
+	routeIDs []int32
+	routeOff []int32
+	// linkSeen/epoch dedupe links during multicast without a per-message
+	// set: a link is counted when its stamp differs from the current epoch.
+	linkSeen []uint32
+	epoch    uint32
+	// deliverNop is the shared arrival event for fire-and-forget messages,
+	// so accounting-only sends never allocate a closure.
+	deliverNop sim.Event
 	// Delivered counts total messages for sanity checks.
 	Delivered uint64
 }
@@ -86,8 +108,64 @@ func New(engine *sim.Engine, cfg Config) *Network {
 	if cfg.LinkBytesPerCycle <= 0 {
 		panic("noc: link width must be positive")
 	}
-	return &Network{cfg: cfg, engine: engine,
-		nextFree: make(map[link]sim.Time), busyCycles: make(map[link]uint64)}
+	n := &Network{cfg: cfg, engine: engine}
+	nodes := n.Nodes()
+	n.nextFree = make([]sim.Time, nodes*dirCount)
+	n.busyCycles = make([]uint64, nodes*dirCount)
+	n.linkSeen = make([]uint32, nodes*dirCount)
+	n.deliverNop = func() {}
+	n.buildRoutes()
+	return n
+}
+
+// buildRoutes precomputes the X-Y link-id route of every (src, dst) pair
+// into one flat array. An 8×8 mesh needs ~30k int32s; the largest sweeps
+// stay well under a megabyte.
+func (n *Network) buildRoutes() {
+	nodes := n.Nodes()
+	n.routeOff = make([]int32, nodes*nodes+1)
+	var total int
+	for src := 0; src < nodes; src++ {
+		for dst := 0; dst < nodes; dst++ {
+			total += n.HopCount(src, dst)
+		}
+	}
+	n.routeIDs = make([]int32, 0, total)
+	for src := 0; src < nodes; src++ {
+		sx, sy := n.Coord(src)
+		for dst := 0; dst < nodes; dst++ {
+			dx, dy := n.Coord(dst)
+			x, y := sx, sy
+			for x != dx {
+				u := y*n.cfg.Width + x
+				if x < dx {
+					n.routeIDs = append(n.routeIDs, int32(u*dirCount+dirEast))
+					x++
+				} else {
+					n.routeIDs = append(n.routeIDs, int32(u*dirCount+dirWest))
+					x--
+				}
+			}
+			for y != dy {
+				u := y*n.cfg.Width + x
+				if y < dy {
+					n.routeIDs = append(n.routeIDs, int32(u*dirCount+dirSouth))
+					y++
+				} else {
+					n.routeIDs = append(n.routeIDs, int32(u*dirCount+dirNorth))
+					y--
+				}
+			}
+			n.routeOff[src*nodes+dst+1] = int32(len(n.routeIDs))
+		}
+	}
+}
+
+// routeLinks returns the precomputed link ids of the (src, dst) X-Y route
+// (shared backing array: callers must not retain or mutate it).
+func (n *Network) routeLinks(src, dst int) []int32 {
+	p := src*n.Nodes() + dst
+	return n.routeIDs[n.routeOff[p]:n.routeOff[p+1]]
 }
 
 // Config returns the network configuration.
@@ -183,9 +261,7 @@ func (n *Network) deliveryTime(src, dst, bytes int) sim.Time {
 		hops := sim.Time(n.HopCount(src, dst))
 		return t + hops*(n.cfg.LinkLatency+n.cfg.RouterLatency) + ser - 1
 	}
-	path := n.route(src, dst)
-	for i := 0; i+1 < len(path); i++ {
-		l := link{from: path[i], to: path[i+1]}
+	for _, l := range n.routeLinks(src, dst) {
 		start := t
 		if free := n.nextFree[l]; free > start {
 			start = free
@@ -218,12 +294,14 @@ func (n *Network) Utilization() float64 {
 }
 
 func (n *Network) scheduleDelivery(at sim.Time, fn func()) {
-	n.engine.ScheduleAt(at, func() {
-		n.Delivered++
-		if fn != nil {
-			fn()
-		}
-	})
+	n.Delivered++ // counted at send; the counter is only read after a run
+	if fn == nil {
+		// Still schedule an event at the arrival time: a run's drain time
+		// (and so its cycle count) includes fire-and-forget deliveries.
+		n.engine.ScheduleAt(at, n.deliverNop)
+		return
+	}
+	n.engine.ScheduleAt(at, fn)
 }
 
 // Multicast sends one payload to several destinations along a shared X-Y
@@ -235,23 +313,32 @@ func (n *Network) Multicast(src int, dsts []int, bytes int, class stats.TrafficC
 	if len(dsts) == 0 {
 		return
 	}
-	uniqueLinks := make(map[link]bool)
+	// Count links of the multicast tree once each, stamping the scratch
+	// array with a fresh epoch instead of building a per-message set.
+	n.epoch++
+	if n.epoch == 0 { // wrapped: old stamps are ambiguous, clear them
+		clear(n.linkSeen)
+		n.epoch = 1
+	}
+	unique := 0
 	for _, d := range dsts {
 		n.check(d)
-		path := n.route(src, d)
-		for i := 0; i+1 < len(path); i++ {
-			uniqueLinks[link{path[i], path[i+1]}] = true
+		for _, l := range n.routeLinks(src, d) {
+			if n.linkSeen[l] != n.epoch {
+				n.linkSeen[l] = n.epoch
+				unique++
+			}
 		}
 	}
-	n.Traffic.Record(class, bytes+n.cfg.HeaderBytes, len(uniqueLinks))
+	n.Traffic.Record(class, bytes+n.cfg.HeaderBytes, unique)
 	for _, d := range dsts {
-		d := d
 		arrive := n.deliveryTime(src, d, bytes)
-		n.scheduleDelivery(arrive, func() {
-			if onDeliver != nil {
-				onDeliver(d)
-			}
-		})
+		if onDeliver == nil {
+			n.scheduleDelivery(arrive, nil)
+			continue
+		}
+		d := d
+		n.scheduleDelivery(arrive, func() { onDeliver(d) })
 	}
 }
 

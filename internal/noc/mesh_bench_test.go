@@ -1,0 +1,51 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// NoC hot-path benchmarks. Send and Multicast run once per protocol
+// message — several per simulated memory access — so they must not
+// allocate for routing or link accounting. (Send's remaining allocs/op
+// are the delivery closure handed to the engine, charged here because the
+// benchmark drains the queue.)
+
+func BenchmarkSendContended(b *testing.B) {
+	e, n := testNet(8, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(&Message{Src: i % 64, Dst: (i * 13) % 64, Bytes: 64, Class: stats.TrafficData})
+		if i%256 == 255 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkMulticastInvalidate(b *testing.B) {
+	e, n := testNet(8, 8)
+	// An 8-destination invalidation fan-out, the common recall pattern.
+	dsts := []int{1, 9, 17, 25, 33, 41, 49, 57}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Multicast(0, dsts, 8, stats.TrafficControl, nil)
+		if i%64 == 63 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkDeliveryTimeOnly(b *testing.B) {
+	// Pure routing + contention arithmetic: no scheduling, no closures.
+	_, n := testNet(8, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.deliveryTime(i%64, (i*13)%64, 64)
+	}
+}

@@ -242,3 +242,73 @@ func TestUtilizationGrowsWithLoad(t *testing.T) {
 		t.Fatal("more traffic should mean higher utilization")
 	}
 }
+
+// TestMulticastAccountingMatchesReference pins the bytes×hops contract of
+// the precomputed-route multicast against a per-message map of (from, to)
+// pairs built from the node-id route — the structure the dense link-id
+// rewrite replaced. Any divergence in unique-link counting changes
+// Figures 1b/12/15 and must fail here.
+func TestMulticastAccountingMatchesReference(t *testing.T) {
+	f := func(seed uint16, raw []uint8) bool {
+		e, n := testNet(8, 8)
+		src := int(seed) % 64
+		dsts := make([]int, 0, len(raw))
+		for _, r := range raw {
+			dsts = append(dsts, int(r)%64)
+		}
+		if len(dsts) == 0 {
+			return true
+		}
+		// Reference: unique directed links over all X-Y routes.
+		unique := make(map[[2]int]bool)
+		for _, d := range dsts {
+			path := n.route(src, d)
+			for i := 0; i+1 < len(path); i++ {
+				unique[[2]int{path[i], path[i+1]}] = true
+			}
+		}
+		bytes := 8
+		want := uint64(bytes+n.Config().HeaderBytes) * uint64(len(unique))
+		n.Multicast(src, dsts, bytes, stats.TrafficControl, nil)
+		e.Run()
+		return n.Traffic.ByteHops(stats.TrafficControl) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouteLinksMatchNodePath checks the precomputed link-id table against
+// the node-id route for every pair of a small mesh: same length, same
+// sequence of (from, dir) links.
+func TestRouteLinksMatchNodePath(t *testing.T) {
+	_, n := testNet(5, 3)
+	for src := 0; src < n.Nodes(); src++ {
+		for dst := 0; dst < n.Nodes(); dst++ {
+			path := n.route(src, dst)
+			ids := n.routeLinks(src, dst)
+			if len(ids) != len(path)-1 {
+				t.Fatalf("route %d->%d: %d link ids, want %d", src, dst, len(ids), len(path)-1)
+			}
+			for i := range ids {
+				from, to := path[i], path[i+1]
+				var dir int
+				switch to - from {
+				case 1:
+					dir = dirEast
+				case -1:
+					dir = dirWest
+				case n.Config().Width:
+					dir = dirSouth
+				case -n.Config().Width:
+					dir = dirNorth
+				default:
+					t.Fatalf("route %d->%d: non-adjacent step %d->%d", src, dst, from, to)
+				}
+				if want := int32(from*dirCount + dir); ids[i] != want {
+					t.Fatalf("route %d->%d link %d: id %d, want %d", src, dst, i, ids[i], want)
+				}
+			}
+		}
+	}
+}

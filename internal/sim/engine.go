@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -20,52 +19,27 @@ const MaxTime Time = math.MaxUint64
 // Event is a callback scheduled to run at a particular cycle.
 type Event func()
 
+// scheduled is one queued event. Events live by value inside the engine's
+// heap slice: Schedule neither allocates a node nor boxes through any.
 type scheduled struct {
-	at    Time
-	seq   uint64
-	fn    Event
-	index int
-}
-
-type eventHeap []*scheduled
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	s := x.(*scheduled)
-	s.index = len(*h)
-	*h = append(*h, s)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	s := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return s
+	at  Time
+	seq uint64
+	fn  Event
 }
 
 // Engine is a deterministic discrete-event scheduler.
+//
+// The queue is an index-based binary min-heap of scheduled values ordered
+// by (time, sequence). Compared to a container/heap of per-event pointer
+// nodes this removes the per-Schedule allocation and interface boxing,
+// which dominate the profile of a simulation that replays millions of
+// events; the ordering contract is unchanged (FIFO within a cycle).
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []scheduled
 	stopped bool
 	// Executed counts events that have fired, mostly for tests and
 	// runaway-simulation guards.
@@ -74,9 +48,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulation time.
@@ -95,7 +67,61 @@ func (e *Engine) ScheduleAt(at Time, fn Event) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &scheduled{at: at, seq: e.seq, fn: fn})
+	e.queue = append(e.queue, scheduled{at: at, seq: e.seq, fn: fn})
+	e.siftUp(len(e.queue) - 1)
+}
+
+// less orders the heap by (time, sequence): FIFO within a cycle.
+func (e *Engine) less(i, j int) bool {
+	if e.queue[i].at != e.queue[j].at {
+		return e.queue[i].at < e.queue[j].at
+	}
+	return e.queue[i].seq < e.queue[j].seq
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	for {
+		least := 2*i + 1
+		if least >= n {
+			return
+		}
+		if r := least + 1; r < n && e.less(r, least) {
+			least = r
+		}
+		if !e.less(least, i) {
+			return
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+}
+
+// pop removes and returns the minimum event. The caller guarantees the
+// queue is non-empty.
+func (e *Engine) pop() scheduled {
+	n := len(e.queue)
+	top := e.queue[0]
+	e.queue[0] = e.queue[n-1]
+	// Clear the vacated slot so the backing array does not retain the
+	// event's closure after it fires.
+	e.queue[n-1].fn = nil
+	e.queue = e.queue[:n-1]
+	e.siftDown(0)
+	return top
 }
 
 // Pending reports the number of events waiting to fire.
@@ -119,6 +145,9 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.stopped = false
 	e.Executed = 0
+	for i := range e.queue {
+		e.queue[i].fn = nil
+	}
 	e.queue = e.queue[:0]
 }
 
@@ -128,7 +157,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 || e.stopped {
 		return false
 	}
-	s := heap.Pop(&e.queue).(*scheduled)
+	s := e.pop()
 	e.now = s.at
 	e.Executed++
 	s.fn()
@@ -161,3 +190,62 @@ func (e *Engine) RunUntil(limit Time) bool {
 	}
 	return len(e.queue) == 0
 }
+
+// Recurring is a reusable periodic event: one closure is allocated at
+// construction and re-enqueued for every tick, so steady-state ticking is
+// allocation-free (the heap stores events by value). Model code that used
+// to capture fresh closures per cycle — core issue loops, drain polls —
+// holds one Recurring instead.
+type Recurring struct {
+	e      *Engine
+	period Time
+	fn     func() bool
+	tick   Event
+	active bool
+	queued bool
+}
+
+// NewRecurring builds a recurring event firing every period cycles once
+// started. fn reports whether the event should fire again; returning false
+// (or calling Cancel) stops the series.
+func (e *Engine) NewRecurring(period Time, fn func() bool) *Recurring {
+	if period == 0 {
+		panic("sim: recurring event needs a non-zero period")
+	}
+	r := &Recurring{e: e, period: period, fn: fn}
+	r.tick = func() {
+		r.queued = false
+		if !r.active {
+			return
+		}
+		if r.fn() {
+			r.queued = true
+			r.e.Schedule(r.period, r.tick)
+		} else {
+			r.active = false
+		}
+	}
+	return r
+}
+
+// Start schedules the first firing delay cycles from now and re-arms the
+// series. Starting an active series panics: the engine would fire it twice
+// per period, which is never intended. Restarting after Cancel while the
+// canceled tick is still queued resumes that tick's original timing.
+func (r *Recurring) Start(delay Time) {
+	if r.active {
+		panic("sim: recurring event started twice")
+	}
+	r.active = true
+	if !r.queued {
+		r.queued = true
+		r.e.Schedule(delay, r.tick)
+	}
+}
+
+// Cancel stops the series after any tick already queued; it may be
+// restarted with Start.
+func (r *Recurring) Cancel() { r.active = false }
+
+// Active reports whether the series is armed.
+func (r *Recurring) Active() bool { return r.active }

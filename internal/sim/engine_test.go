@@ -272,3 +272,57 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+func TestRecurring(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	r := e.NewRecurring(3, func() bool {
+		at = append(at, e.Now())
+		return len(at) < 4
+	})
+	r.Start(2)
+	e.Run()
+	want := []Time{2, 5, 8, 11}
+	if len(at) != len(want) {
+		t.Fatalf("fired %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("fired %v, want %v", at, want)
+		}
+	}
+	if r.Active() {
+		t.Fatal("series still active after fn returned false")
+	}
+}
+
+func TestRecurringCancelAndRestart(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	r := e.NewRecurring(1, func() bool { count++; return true })
+	r.Start(1)
+	e.Schedule(5, func() { r.Cancel() })
+	e.RunUntil(20)
+	// Ticks fire at t=1..4; the cancel event carries an earlier sequence
+	// number than the t=5 tick, so it wins the t=5 cycle and the tick is a
+	// no-op.
+	if count != 4 {
+		t.Fatalf("count = %d, want 4 (canceled at t=5)", count)
+	}
+	if r.Active() {
+		t.Fatal("Active after Cancel")
+	}
+	// Restart from t=20: ticks at 21..25.
+	r.Start(1)
+	e.RunUntil(25)
+	if count != 9 {
+		t.Fatalf("count = %d after restart, want 9", count)
+	}
+	// Double Start panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start on an active series did not panic")
+		}
+	}()
+	r.Start(1)
+}
