@@ -32,12 +32,14 @@ test-race:
 # benchjson then times a full `nsexp -all -quick` regeneration and records
 # its wall-clock and output sha256 alongside the parsed results.
 BENCH_MICRO_PKGS = ./internal/sim ./internal/cache ./internal/noc ./internal/flatmap
+BENCH_DIR = bench
 
 bench:
+	mkdir -p $(BENCH_DIR)
 	$(GO) build -o bin/nsexp ./cmd/nsexp
-	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=1x . | tee bench_macro.txt
-	$(GO) test -run=^$$ -bench=. -benchmem $(BENCH_MICRO_PKGS) | tee bench_micro.txt
-	$(GO) run ./cmd/benchjson -o BENCH_sim.json bench_macro.txt bench_micro.txt -- ./bin/nsexp -all -quick
+	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=1x . | tee $(BENCH_DIR)/macro.txt
+	$(GO) test -run=^$$ -bench=. -benchmem $(BENCH_MICRO_PKGS) | tee $(BENCH_DIR)/micro.txt
+	$(GO) run ./cmd/benchjson -o BENCH_sim.json $(BENCH_DIR)/macro.txt $(BENCH_DIR)/micro.txt -- ./bin/nsexp -all -quick
 
 # tier1: the seed gate — must always pass.
 tier1: build test

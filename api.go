@@ -24,6 +24,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -155,6 +156,28 @@ func (e *Experiment) OnProgress(fn func(runner.Progress)) {
 func (e *Experiment) CacheStats() (executed, hits uint64) {
 	return e.exp.Pool().Executed(), e.exp.Pool().Hits()
 }
+
+// Collector gathers per-job observability (event traces, time-series
+// samples, machine-readable run reports) across an Experiment's jobs.
+type Collector = obs.Collector
+
+// NewCollector builds a collector; traceEvents sizes each job's trace ring
+// (0 = tracing off) and samplePeriod is the sampling epoch in cycles
+// (0 = sampling off). A collector with both zero still gathers run
+// reports.
+func NewCollector(traceEvents int, samplePeriod uint64) *Collector {
+	return obs.NewCollector(traceEvents, samplePeriod)
+}
+
+// Observe attaches a collector to the experiment's job pool (set before
+// the first Figure call). Collection never perturbs simulated behavior:
+// figure output is byte-identical with or without it.
+func (e *Experiment) Observe(c *Collector) {
+	e.exp.Pool().Obs = c
+}
+
+// Workers reports the experiment pool's concurrency bound.
+func (e *Experiment) Workers() int { return e.exp.Pool().Workers() }
 
 // Figure regenerates one paper figure by number ("1a", "1b", "9" … "17").
 // subset restricts the workloads (nil = all 14).

@@ -74,11 +74,26 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, benches...)
 	}
 	if len(cmdline) > 0 {
-		wc, err := timeCommand(cmdline)
-		if err != nil {
-			fatal(err)
+		if flagged := obsFlags(cmdline); len(flagged) > 0 {
+			// Observability exports cost I/O the baseline should not
+			// absorb: keep the previous untainted wall-clock entry.
+			rep.Wallclock = previousWallclock(*out)
+			if rep.Wallclock != nil {
+				fmt.Fprintf(os.Stderr,
+					"benchjson: command uses %s; keeping previous wall-clock entry\n",
+					strings.Join(flagged, " "))
+			} else {
+				fmt.Fprintf(os.Stderr,
+					"benchjson: command uses %s and no prior baseline exists; omitting wall-clock entry\n",
+					strings.Join(flagged, " "))
+			}
+		} else {
+			wc, err := timeCommand(cmdline)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Wallclock = wc
 		}
-		rep.Wallclock = wc
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -175,6 +190,40 @@ func trimProcSuffix(name string) string {
 		}
 	}
 	return name
+}
+
+// obsFlags reports which observability flags appear in cmdline. Runs with
+// -trace/-report/-sample spend wall-clock on exports the baseline should
+// not count, so their timing must not overwrite a clean measurement.
+func obsFlags(cmdline []string) []string {
+	var hits []string
+	for _, a := range cmdline[1:] {
+		name := strings.TrimLeft(a, "-")
+		if i := strings.IndexByte(name, '='); i >= 0 {
+			name = name[:i]
+		}
+		switch name {
+		case "trace", "report", "sample", "sample-every", "trace-events":
+			if strings.HasPrefix(a, "-") {
+				hits = append(hits, "-"+name)
+			}
+		}
+	}
+	return hits
+}
+
+// previousWallclock loads the wall-clock entry of an existing baseline
+// file, or nil if there is none.
+func previousWallclock(path string) *Wallclock {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var prev Report
+	if err := json.Unmarshal(buf, &prev); err != nil {
+		return nil
+	}
+	return prev.Wallclock
 }
 
 // timeCommand runs cmdline, hashing stdout, and reports elapsed seconds.

@@ -7,7 +7,10 @@
 //	nsexp -table 1               # a static table
 //	nsexp -all -quick            # everything, sharing baseline runs
 //	nsexp -all -quick -j 4       # ... across 4 simulation workers
-//	nsexp -fig 9 -progress       # per-job progress on stderr
+//	nsexp -fig 9 -progress       # per-job progress (+rate/ETA) on stderr
+//	nsexp -fig 9 -trace t.json   # Chrome trace_event JSON (Perfetto-loadable)
+//	nsexp -fig 9 -report r.json  # machine-readable per-job run report
+//	nsexp -fig 9 -sample s.csv   # per-epoch IPC/occupancy/utilization series
 //	nsexp -fig 9 -cpuprofile cpu.out -memprofile mem.out
 //	                             # profile the simulator itself (go tool pprof)
 //
@@ -15,7 +18,9 @@
 // pool: a measurement several figures need (every figure's
 // (workload, Base) denominator, each sweep's default point) simulates
 // exactly once. -j N bounds the concurrent simulations (0 = GOMAXPROCS);
-// output is byte-identical for every N.
+// output is byte-identical for every N — including the -trace, -report
+// (modulo its wall-clock timing fields) and -sample files, because
+// observability hooks never inject events into a simulation.
 package main
 
 import (
@@ -25,8 +30,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	nearstream "repro"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/workloads"
 )
@@ -42,17 +49,22 @@ func main() {
 
 func run() int {
 	var (
-		fig      = flag.String("fig", "", "figure id: 1a 1b 9 10 11 12 13 14 15 16 17")
-		table    = flag.String("table", "", "static table id: 1 2 4 5 area")
-		all      = flag.Bool("all", false, "run every figure and table")
-		quick    = flag.Bool("quick", false, "use a 4-workload taxonomy-spanning subset")
-		scale    = flag.String("scale", "ci", "ci or paper")
-		coreTy   = flag.String("core", "OOO8", "IO4, OOO4 or OOO8")
-		wl       = flag.String("workloads", "", "comma-separated workload subset")
-		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "report per-job progress on stderr")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+		fig         = flag.String("fig", "", "figure id: 1a 1b 9 10 11 12 13 14 15 16 17")
+		table       = flag.String("table", "", "static table id: 1 2 4 5 area")
+		all         = flag.Bool("all", false, "run every figure and table")
+		quick       = flag.Bool("quick", false, "use a 4-workload taxonomy-spanning subset")
+		scale       = flag.String("scale", "ci", "ci or paper")
+		coreTy      = flag.String("core", "OOO8", "IO4, OOO4 or OOO8")
+		wl          = flag.String("workloads", "", "comma-separated workload subset")
+		jobs        = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		progress    = flag.Bool("progress", false, "report per-job progress on stderr")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf     = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON of every simulated job to this file")
+		reportOut   = flag.String("report", "", "write a machine-readable JSON run report to this file")
+		sampleOut   = flag.String("sample", "", "write per-epoch time-series samples to this file (.json for JSON, else CSV)")
+		sampleEvery = flag.Uint64("sample-every", obs.DefaultSamplePeriod, "sampling epoch in cycles (with -sample)")
+		traceEvents = flag.Int("trace-events", obs.DefaultTraceEvents, "per-job trace ring capacity (with -trace)")
 	)
 	flag.Parse()
 
@@ -98,6 +110,21 @@ func run() int {
 	}
 
 	exp := nearstream.NewExperiment(cfg)
+
+	var collector *nearstream.Collector
+	if *traceOut != "" || *reportOut != "" || *sampleOut != "" {
+		events, period := 0, uint64(0)
+		if *traceOut != "" {
+			events = *traceEvents
+		}
+		if *sampleOut != "" {
+			period = *sampleEvery
+		}
+		collector = nearstream.NewCollector(events, period)
+		exp.Observe(collector)
+	}
+
+	start := time.Now()
 	if *progress {
 		exp.OnProgress(func(ev runner.Progress) {
 			from := "sim"
@@ -108,7 +135,13 @@ func run() int {
 			if ev.Err != nil {
 				status = " FAILED"
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %-5s %s%s\n", ev.Done, ev.Total, from, ev.Key, status)
+			pace := ""
+			if mins := time.Since(start).Minutes(); mins > 0 && ev.Done > 0 {
+				rate := float64(ev.Done) / mins
+				eta := time.Duration(float64(ev.Total-ev.Done) / rate * float64(time.Minute)).Round(time.Second)
+				pace = fmt.Sprintf(" (%.1f jobs/min, eta %s)", rate, eta)
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-5s %s%s%s\n", ev.Done, ev.Total, from, ev.Key, status, pace)
 		})
 	}
 
@@ -149,5 +182,60 @@ func run() int {
 		executed, hits := exp.CacheStats()
 		fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache\n", executed, hits)
 	}
+	if collector != nil {
+		if err := writeObsOutputs(collector, exp, start, *traceOut, *reportOut, *sampleOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeObsOutputs exports the collector's trace, report and sample files.
+func writeObsOutputs(c *nearstream.Collector, exp *nearstream.Experiment, start time.Time, traceOut, reportOut, sampleOut string) error {
+	writeTo := func(path string, write func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if traceOut != "" {
+		if err := writeTo(traceOut, func(f *os.File) error {
+			return obs.WriteChromeTrace(f, c.Records())
+		}); err != nil {
+			return err
+		}
+	}
+	if sampleOut != "" {
+		write := obs.WriteSamplesCSV
+		if strings.HasSuffix(sampleOut, ".json") {
+			write = obs.WriteSamplesJSON
+		}
+		if err := writeTo(sampleOut, func(f *os.File) error {
+			return write(f, c.Records())
+		}); err != nil {
+			return err
+		}
+	}
+	if reportOut != "" {
+		rep := c.Report()
+		rep.Executed, rep.CacheHits = exp.CacheStats()
+		rep.Env = obs.RunEnv{
+			Command:      strings.Join(os.Args, " "),
+			GoVersion:    runtime.Version(),
+			Date:         start.UTC().Format(time.RFC3339),
+			Workers:      exp.Workers(),
+			WallSeconds:  time.Since(start).Seconds(),
+			PeakRSSBytes: obs.PeakRSSBytes(),
+		}
+		if err := writeTo(reportOut, func(f *os.File) error { return rep.WriteJSON(f) }); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -92,6 +92,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache\n",
+		pool.Executed(), pool.Hits())
 
 	if len(results) == 1 {
 		printFull(results[0])

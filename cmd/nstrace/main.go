@@ -1,0 +1,169 @@
+// Command nstrace summarizes a Chrome trace_event JSON file written by
+// nsexp -trace (or any obs.WriteChromeTrace output). For each traced job
+// (one trace "process") it prints a per-tile timeline — event counts by
+// category, busy cycles, and the active span — followed by the top-N
+// longest-duration events, which are the stalls worth looking at first.
+//
+// Usage:
+//
+//	nsexp -fig 9 -quick -trace t.json
+//	nstrace t.json
+//	nstrace -top 20 t.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// traceEvent mirrors the fields obs.WriteChromeTrace emits. Extra fields
+// in the file (displayTimeUnit, s) are ignored by encoding/json.
+type traceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	Ts   uint64 `json:"ts"`
+	Dur  uint64 `json:"dur"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	Args struct {
+		Name string `json:"name"`
+		A    uint64 `json:"a"`
+		B    uint64 `json:"b"`
+	} `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// tileLine accumulates one (job, tile) timeline row.
+type tileLine struct {
+	tile    int
+	byCat   map[string]int
+	busy    uint64
+	minTs   uint64
+	maxEnd  uint64
+	touched bool
+}
+
+type jobAgg struct {
+	pid   int
+	name  string
+	tiles map[int]*tileLine
+	total int
+}
+
+func main() {
+	top := flag.Int("top", 10, "how many longest-duration events to list per job")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: nstrace [-top N] trace.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fmt.Fprintf(os.Stderr, "nstrace: %s: %s\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+
+	jobs := map[int]*jobAgg{}
+	getJob := func(pid int) *jobAgg {
+		j := jobs[pid]
+		if j == nil {
+			j = &jobAgg{pid: pid, tiles: map[int]*tileLine{}}
+			jobs[pid] = j
+		}
+		return j
+	}
+	var slow []traceEvent
+	for _, ev := range tf.TraceEvents {
+		j := getJob(ev.Pid)
+		if ev.Ph == "M" {
+			if ev.Name == "process_name" {
+				j.name = ev.Args.Name
+			}
+			continue
+		}
+		j.total++
+		t := j.tiles[ev.Tid]
+		if t == nil {
+			t = &tileLine{tile: ev.Tid, byCat: map[string]int{}}
+			j.tiles[ev.Tid] = t
+		}
+		t.byCat[ev.Cat]++
+		t.busy += ev.Dur
+		if !t.touched || ev.Ts < t.minTs {
+			t.minTs = ev.Ts
+		}
+		if end := ev.Ts + ev.Dur; end > t.maxEnd {
+			t.maxEnd = end
+		}
+		t.touched = true
+		if ev.Dur > 0 {
+			slow = append(slow, ev)
+		}
+	}
+
+	pids := make([]int, 0, len(jobs))
+	for pid := range jobs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+
+	for _, pid := range pids {
+		j := jobs[pid]
+		fmt.Printf("job %d: %s (%d events)\n", j.pid, j.name, j.total)
+		if j.total == 0 {
+			continue
+		}
+		tiles := make([]*tileLine, 0, len(j.tiles))
+		for _, t := range j.tiles {
+			tiles = append(tiles, t)
+		}
+		sort.Slice(tiles, func(a, b int) bool { return tiles[a].tile < tiles[b].tile })
+		fmt.Printf("  %-5s %8s %8s %8s %8s %12s %22s\n",
+			"tile", "stream", "cache", "noc", "dram", "busy(cyc)", "span(cyc)")
+		for _, t := range tiles {
+			fmt.Printf("  %-5d %8d %8d %8d %8d %12d %10d..%-10d\n",
+				t.tile, t.byCat["stream"], t.byCat["cache"], t.byCat["noc"],
+				t.byCat["dram"], t.busy, t.minTs, t.maxEnd)
+		}
+
+		topEvents := make([]traceEvent, 0, len(slow))
+		for _, ev := range slow {
+			if ev.Pid == pid {
+				topEvents = append(topEvents, ev)
+			}
+		}
+		sort.SliceStable(topEvents, func(a, b int) bool {
+			if topEvents[a].Dur != topEvents[b].Dur {
+				return topEvents[a].Dur > topEvents[b].Dur
+			}
+			return topEvents[a].Ts < topEvents[b].Ts
+		})
+		if len(topEvents) > *top {
+			topEvents = topEvents[:*top]
+		}
+		if len(topEvents) > 0 {
+			fmt.Printf("  top %d longest events:\n", len(topEvents))
+			for _, ev := range topEvents {
+				fmt.Printf("    %-14s tile %-4d ts %-10d dur %-8d a=%d b=%d\n",
+					ev.Name, ev.Tid, ev.Ts, ev.Dur, ev.Args.A, ev.Args.B)
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestLockHotPathAllocFreeTracingDisabled pins the observability
+// zero-cost contract on the cache side: with a tracer attached but
+// disabled (the normal production state — nsexp without -trace), the
+// line-lock acquire/release fast path must not allocate at all. The
+// disabled check is a single branch; anything more shows up here.
+func TestLockHotPathAllocFreeTracingDisabled(t *testing.T) {
+	_, h := testMachine()
+	h.SetTracer(obs.NewTracer(64)) // attached, not enabled
+	bank := h.Bank(0)
+	grant := func() {}
+	for i := 0; i < 64; i++ { // warm the lock pool across the line set
+		line := uint64(i) * 64
+		bank.AcquireLock(line, 1, true, LockMRSW, grant)
+		bank.ReleaseLock(line, 1, true, LockMRSW)
+	}
+	i := 0
+	if a := testing.AllocsPerRun(1000, func() {
+		line := uint64(i%64) * 64
+		i++
+		bank.AcquireLock(line, 1, true, LockMRSW, grant)
+		bank.ReleaseLock(line, 1, true, LockMRSW)
+	}); a != 0 {
+		t.Errorf("lock acquire/release with disabled tracer: %.1f allocs/op, want 0", a)
+	}
+}

@@ -57,6 +57,10 @@ func (b *Bank) Probe(line uint64) *Line {
 	return b.array.Peek(b.localAddr(line))
 }
 
+// PendingTxns reports how many lines currently hold or queue transactions
+// at this bank (the sampler's bank-occupancy metric).
+func (b *Bank) PendingTxns() int { return b.txns.Len() }
+
 // submit serializes transactions per line: work runs when the line is
 // free and must call release exactly once. Waiting transactions queue in
 // FIFO order on the line's txns entry and are handed the line directly at
@@ -104,11 +108,11 @@ func (b *Bank) ensurePresent(line uint64, onReady func(fromMem bool)) {
 	h := b.h
 	h.engine.Schedule(h.cfg.L3Bank.Latency, func() {
 		if b.array.Lookup(b.localAddr(line)) != nil {
-			h.Stats.Inc("l3.hits")
+			h.ctr.l3Hits.Inc()
 			onReady(false)
 			return
 		}
-		h.Stats.Inc("l3.misses")
+		h.ctr.l3Misses.Inc()
 		ctrl := h.ctrlNodeFor(line)
 		h.net.Send(&noc.Message{
 			Src: b.id, Dst: ctrl, Bytes: CtrlBytes, Class: stats.TrafficControl,
@@ -150,7 +154,7 @@ func (b *Bank) install(line uint64) {
 			}
 		}
 		if len(dsts) > 0 {
-			h.Stats.Inc("l3.recalls")
+			h.ctr.l3Recalls.Inc()
 			h.net.Multicast(b.id, dsts, CtrlBytes, stats.TrafficControl, func(dst int) {
 				if h.tiles[dst].InvalidateLine(vline) {
 					// Dirty private copy: flows to DRAM.
@@ -161,7 +165,7 @@ func (b *Bank) install(line uint64) {
 		}
 	}
 	if dirty {
-		h.Stats.Inc("l3.writebacks")
+		h.ctr.l3Writebacks.Inc()
 		ctrl := h.ctrlNodeFor(vline)
 		h.net.Send(&noc.Message{Src: b.id, Dst: ctrl, Bytes: LineBytes, Class: stats.TrafficData,
 			OnDeliver: func() { h.dram.Access(vline, h.cfg.LineBytes, true, nil) }})
@@ -210,7 +214,7 @@ func (b *Bank) serveGetS(line uint64, l *Line, d *dirInfo, requester int, fromMe
 	if d.owner >= 0 && d.owner != requester {
 		owner := d.owner
 		// Downgrade the owner to S; dirty data returns to the bank.
-		h.Stats.Inc("l3.downgrades")
+		h.ctr.l3Downgrades.Inc()
 		h.net.Send(&noc.Message{Src: b.id, Dst: owner, Bytes: CtrlBytes, Class: stats.TrafficControl,
 			OnDeliver: func() {
 				wasDirty := h.tiles[owner].downgradeLine(line)
@@ -273,7 +277,7 @@ func (b *Bank) invalidateOthers(line uint64, d *dirInfo, requester int, done fun
 		done()
 		return
 	}
-	h.Stats.Add("l3.invalidations", uint64(len(dsts)))
+	h.ctr.l3Invalidations.Add(uint64(len(dsts)))
 	remaining := len(dsts)
 	h.net.Multicast(b.id, dsts, CtrlBytes, stats.TrafficControl, func(dst int) {
 		wasDirty := h.tiles[dst].InvalidateLine(line)
@@ -334,7 +338,7 @@ func (b *Bank) StreamRead(line uint64, onDone func(fromMem bool)) {
 			if d.owner >= 0 {
 				owner := d.owner
 				h := b.h
-				h.Stats.Inc("l3.downgrades")
+				h.ctr.l3Downgrades.Inc()
 				h.net.Send(&noc.Message{Src: b.id, Dst: owner, Bytes: CtrlBytes, Class: stats.TrafficControl,
 					OnDeliver: func() {
 						wasDirty := h.tiles[owner].downgradeLine(line)

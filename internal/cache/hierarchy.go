@@ -6,6 +6,7 @@ import (
 	"repro/internal/flatmap"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -71,6 +72,19 @@ type dirInfo struct {
 
 func newDir() *dirInfo { return &dirInfo{owner: -1} }
 
+// hierCounters interns every hierarchy counter once at construction so the
+// protocol hot paths count with a slice increment instead of a map lookup.
+type hierCounters struct {
+	l1Hits, l1Misses              obs.Counter
+	l2Hits, l2Misses              obs.Counter
+	l2Upgrades, l2Writebacks      obs.Counter
+	l3Hits, l3Misses              obs.Counter
+	l3Recalls, l3Writebacks       obs.Counter
+	l3Downgrades, l3Invalidations obs.Counter
+	prefetchIssued                obs.Counter
+	lockAcquires, lockConflicts   obs.Counter
+}
+
 // Hierarchy ties together all tiles' private caches, the L3 banks, the NoC
 // and DRAM.
 type Hierarchy struct {
@@ -82,7 +96,11 @@ type Hierarchy struct {
 	ctrlNodes []int
 	tiles     []*Tile
 	banks     []*Bank
-	Stats     *stats.Set
+	// reg holds the interned counters; ctr caches their handles. tracer
+	// (usually nil) receives MSHR events behind an Enabled() branch.
+	reg    *obs.Registry
+	ctr    hierCounters
+	tracer *obs.Tracer
 	// PrefetchHook, when non-nil, observes every demand L1 access
 	// (tile, addr, pc, hit) — the Bingo/stride prefetchers attach here.
 	PrefetchHook func(tile int, addr uint64, pc uint64, hit bool)
@@ -97,7 +115,24 @@ func New(engine *sim.Engine, net *noc.Network, dram *mem.Memory, cfg Config) *Hi
 		net:       net,
 		dram:      dram,
 		ctrlNodes: mem.CornerNodes(net.Config().Width, net.Config().Height, dram.Config().Controllers),
-		Stats:     stats.NewSet(),
+		reg:       obs.NewRegistry(),
+	}
+	h.ctr = hierCounters{
+		l1Hits:          h.reg.Counter("l1.hits"),
+		l1Misses:        h.reg.Counter("l1.misses"),
+		l2Hits:          h.reg.Counter("l2.hits"),
+		l2Misses:        h.reg.Counter("l2.misses"),
+		l2Upgrades:      h.reg.Counter("l2.upgrades"),
+		l2Writebacks:    h.reg.Counter("l2.writebacks"),
+		l3Hits:          h.reg.Counter("l3.hits"),
+		l3Misses:        h.reg.Counter("l3.misses"),
+		l3Recalls:       h.reg.Counter("l3.recalls"),
+		l3Writebacks:    h.reg.Counter("l3.writebacks"),
+		l3Downgrades:    h.reg.Counter("l3.downgrades"),
+		l3Invalidations: h.reg.Counter("l3.invalidations"),
+		prefetchIssued:  h.reg.Counter("prefetch.issued"),
+		lockAcquires:    h.reg.Counter("lock.acquires"),
+		lockConflicts:   h.reg.Counter("lock.conflicts"),
 	}
 	for i := 0; i < n; i++ {
 		h.tiles = append(h.tiles, &Tile{
@@ -121,6 +156,17 @@ func New(engine *sim.Engine, net *noc.Network, dram *mem.Memory, cfg Config) *Hi
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats snapshots the hierarchy's counters as a stats set (the export and
+// test surface; hot-path counting happens on interned registry slots).
+func (h *Hierarchy) Stats() *stats.Set {
+	s := stats.NewSet()
+	h.reg.ExportTo(s.Add)
+	return s
+}
+
+// SetTracer attaches (or detaches, with nil) an event tracer.
+func (h *Hierarchy) SetTracer(tr *obs.Tracer) { h.tracer = tr }
 
 // Tiles returns the number of tiles.
 func (h *Hierarchy) Tiles() int { return len(h.tiles) }
@@ -188,18 +234,18 @@ func (t *Tile) afterL1(line uint64, write bool, onDone func(Level)) {
 	h := t.h
 	if l := t.l1.Lookup(line); l != nil {
 		if !write {
-			h.Stats.Inc("l1.hits")
+			h.ctr.l1Hits.Inc()
 			finish(onDone, ServedL1)
 			return
 		}
 		switch l.State {
 		case Modified:
-			h.Stats.Inc("l1.hits")
+			h.ctr.l1Hits.Inc()
 			l.Dirty = true
 			finish(onDone, ServedL1)
 			return
 		case Exclusive:
-			h.Stats.Inc("l1.hits")
+			h.ctr.l1Hits.Inc()
 			l.State = Modified
 			l.Dirty = true
 			if l2 := t.l2.Peek(line); l2 != nil {
@@ -212,7 +258,7 @@ func (t *Tile) afterL1(line uint64, write bool, onDone func(Level)) {
 			// issues GetM/Upg.
 		}
 	}
-	h.Stats.Inc("l1.misses")
+	h.ctr.l1Misses.Inc()
 	h.engine.Schedule(h.cfg.L2.Latency, func() {
 		t.afterL2(line, write, onDone)
 	})
@@ -222,13 +268,13 @@ func (t *Tile) afterL2(line uint64, write bool, onDone func(Level)) {
 	h := t.h
 	if l := t.l2.Lookup(line); l != nil {
 		if !write {
-			h.Stats.Inc("l2.hits")
+			h.ctr.l2Hits.Inc()
 			t.fillL1(line, l.State)
 			finish(onDone, ServedL2)
 			return
 		}
 		if l.State == Exclusive || l.State == Modified {
-			h.Stats.Inc("l2.hits")
+			h.ctr.l2Hits.Inc()
 			l.State = Modified
 			l.Dirty = true
 			t.fillL1(line, Modified)
@@ -239,11 +285,11 @@ func (t *Tile) afterL2(line uint64, write bool, onDone func(Level)) {
 			return
 		}
 		// Shared: upgrade required. Control-only round trip.
-		h.Stats.Inc("l2.upgrades")
+		h.ctr.l2Upgrades.Inc()
 		t.requestLine(line, reqUpgrade, onDone)
 		return
 	}
-	h.Stats.Inc("l2.misses")
+	h.ctr.l2Misses.Inc()
 	if write {
 		t.requestLine(line, reqGetM, onDone)
 	} else {
@@ -275,7 +321,7 @@ func (t *Tile) fillL2(line uint64, state LineState) {
 			victim.Dirty = true
 		}
 		if victim.Dirty {
-			t.h.Stats.Inc("l2.writebacks")
+			t.h.ctr.l2Writebacks.Inc()
 			t.h.sendWriteback(t.id, vaddr)
 		}
 	}
@@ -306,6 +352,10 @@ func (t *Tile) requestLine(line uint64, kind reqKind, onDone func(Level)) {
 		return
 	}
 	t.inflight.Put(line, nil)
+	if tr := h.tracer; tr.Enabled() {
+		tr.Emit(obs.Event{Time: uint64(h.engine.Now()), Kind: obs.KindMSHR,
+			Tile: int32(t.id), A: uint64(t.inflight.Len()), B: line})
+	}
 	bank := h.banks[h.HomeBank(line)]
 	h.net.Send(&noc.Message{
 		Src: t.id, Dst: bank.id, Bytes: CtrlBytes, Class: stats.TrafficControl,
@@ -364,6 +414,10 @@ func (t *Tile) completeFill(line uint64, kind reqKind, grant LineState, fromMem 
 	finish(onDone, lv)
 	waiters, _ := t.inflight.Get(line)
 	t.inflight.Delete(line)
+	if tr := t.h.tracer; tr.Enabled() {
+		tr.Emit(obs.Event{Time: uint64(t.h.engine.Now()), Kind: obs.KindMSHR,
+			Tile: int32(t.id), A: uint64(t.inflight.Len()), B: line})
+	}
 	for _, w := range waiters {
 		w(lv)
 	}
@@ -380,7 +434,7 @@ func (t *Tile) Prefetch(addr uint64) {
 	if t.inflight.Contains(line) {
 		return
 	}
-	t.h.Stats.Inc("prefetch.issued")
+	t.h.ctr.prefetchIssued.Inc()
 	t.requestLine(line, reqGetS, nil)
 }
 

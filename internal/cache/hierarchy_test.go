@@ -79,12 +79,12 @@ func TestExclusiveGrantOnSoleReader(t *testing.T) {
 		t.Fatalf("sole reader got %v, want E", l)
 	}
 	// Silent E->M upgrade on write, no extra coherence traffic.
-	before := h.Stats.Get("l3.invalidations")
+	before := h.Stats().Get("l3.invalidations")
 	lv, _ := access(e, h, 0, 0x1000, true)
 	if lv != ServedL1 {
 		t.Fatalf("write to E line served at %v, want L1", lv)
 	}
-	if h.Stats.Get("l3.invalidations") != before {
+	if h.Stats().Get("l3.invalidations") != before {
 		t.Fatal("E->M upgrade generated invalidations")
 	}
 }
@@ -156,7 +156,7 @@ func TestUpgradeFromShared(t *testing.T) {
 	if h.Tile(1).HasLine(0x1000) {
 		t.Fatal("other sharer survived the upgrade")
 	}
-	if h.Stats.Get("l2.upgrades") == 0 {
+	if h.Stats().Get("l2.upgrades") == 0 {
 		t.Fatal("upgrade path not taken")
 	}
 }
@@ -215,14 +215,14 @@ func TestMSHRMergesSameLineMisses(t *testing.T) {
 	done := 0
 	h.Tile(0).Access(0x2000, false, 0, func(Level) { done++ })
 	h.Tile(0).Access(0x2040-0x20, false, 0, func(Level) { done++ }) // same line
-	before := h.Stats.Get("l3.misses")
+	before := h.Stats().Get("l3.misses")
 	_ = before
 	e.Run()
 	if done != 2 {
 		t.Fatalf("completed %d accesses, want 2", done)
 	}
-	if h.Stats.Get("l3.misses") != 1 {
-		t.Fatalf("l3 misses = %d, want 1 (merged)", h.Stats.Get("l3.misses"))
+	if h.Stats().Get("l3.misses") != 1 {
+		t.Fatalf("l3 misses = %d, want 1 (merged)", h.Stats().Get("l3.misses"))
 	}
 }
 
@@ -236,7 +236,7 @@ func TestEvictionWritesBack(t *testing.T) {
 	for i := uint64(1); i <= 8; i++ {
 		access(e, h, 0, i*1024, false)
 	}
-	if h.Stats.Get("l2.writebacks") == 0 {
+	if h.Stats().Get("l2.writebacks") == 0 {
 		t.Fatal("dirty eviction produced no writeback")
 	}
 	// The bank's copy must have the data (dirty bit set at L3).

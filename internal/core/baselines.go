@@ -41,7 +41,7 @@ func (cr *coreRun) instRoundTrip(s *compiler.Stream, n int) func(done func()) {
 		m := cr.m
 		target := m.Hier.HomeBank(e.pa)
 		line := m.Hier.LineAddr(e.pa)
-		cr.stat("inst.offloads", 1)
+		cr.shared.ctr.instOffloads.Inc()
 		// Request to the meet (target) bank.
 		cr.net().Send(&noc.Message{Src: cr.coreID, Dst: target, Bytes: instRequestBytes,
 			Class: stats.TrafficOffload, OnDeliver: func() {
@@ -130,7 +130,7 @@ func (cr *coreRun) perElemRoundTrip(s *compiler.Stream, n int) func(done func())
 		m := cr.m
 		bank := m.Hier.HomeBank(e.pa)
 		line := m.Hier.LineAddr(e.pa)
-		cr.stat("single.invocations", 1)
+		cr.shared.ctr.singleInvocations.Inc()
 		cr.net().Send(&noc.Message{Src: cr.coreID, Dst: bank, Bytes: 16,
 			Class: stats.TrafficOffload, OnDeliver: func() {
 				finishWith := func(at sim.Time) {
@@ -195,7 +195,7 @@ func (ch *chainStream) step(bank int) {
 	ch.idx++
 	e := ch.elems[i]
 	line := m.Hier.LineAddr(e.pa)
-	ch.cr.stat("single.chain_hops", 1)
+	ch.cr.shared.ctr.singleChainHops.Inc()
 	m.Hier.Bank(bank).StreamRead(line, func(bool) {
 		at := computeAt(ch.cr.scmAt(bank), ch.cr.params, ch.funcOps <= 2, ch.funcOps, ch.vector, m.Engine.Now())
 		m.Engine.ScheduleAt(at, func() {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -49,13 +50,43 @@ type RunResult struct {
 	Plan *compiler.Plan
 }
 
+// runCounters interns the runtime's counters in the machine's registry at
+// invocation setup, so per-element paths (s_load consumption, remote
+// compute, atomics) count with a slice increment.
+type runCounters struct {
+	sload, sloadRemote                 obs.Counter
+	setlbMisses                        obs.Counter
+	aliasDetected, ctxDrains           obs.Counter
+	resumes, migrations                obs.Counter
+	remoteCompute, atomicElems         obs.Counter
+	instOffloads                       obs.Counter
+	singleInvocations, singleChainHops obs.Counter
+}
+
+func newRunCounters(r *obs.Registry) runCounters {
+	return runCounters{
+		sload:             r.Counter("ns.sload"),
+		sloadRemote:       r.Counter("ns.sload_remote"),
+		setlbMisses:       r.Counter("ns.setlb_misses"),
+		aliasDetected:     r.Counter("ns.alias_detected"),
+		ctxDrains:         r.Counter("ns.ctxswitch_drains"),
+		resumes:           r.Counter("ns.resumes"),
+		migrations:        r.Counter("ns.migrations"),
+		remoteCompute:     r.Counter("ns.remote_compute"),
+		atomicElems:       r.Counter("ns.atomic_elems"),
+		instOffloads:      r.Counter("inst.offloads"),
+		singleInvocations: r.Counter("single.invocations"),
+		singleChainHops:   r.Counter("single.chain_hops"),
+	}
+}
+
 // runShared is state shared by all cores of one invocation.
 type runShared struct {
 	m       *machine.Machine
 	scms    []*SCM
 	sePages []map[uint64]bool // per-bank SE_L3 translation cache
+	ctr     runCounters
 }
-
 
 // coreRun drives one core's partition.
 type coreRun struct {
@@ -109,7 +140,6 @@ func (cr *coreRun) tile() *cache.Tile { return cr.m.Hier.Tile(cr.coreID) }
 func (cr *coreRun) scmAt(bank int) *SCM {
 	return cr.shared.scms[bank]
 }
-func (cr *coreRun) stat(name string, v uint64) { cr.m.Stats.Add(name, v) }
 
 // nextSidBound returns an exclusive upper bound on stream ids.
 func (cr *coreRun) nextSidBound() int {
@@ -145,7 +175,7 @@ func (cr *coreRun) seTLBLookup(bank int, pa uint64) (sim.Time, bool) {
 		return 0, true
 	}
 	pages[page] = true
-	cr.stat("ns.setlb_misses", 1)
+	cr.shared.ctr.setlbMisses.Inc()
 	return 8, false
 }
 
@@ -222,7 +252,7 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 	}
 	parts := Partition(total, cores)
 
-	shared := &runShared{m: m, scms: make([]*SCM, m.Tiles()), sePages: make([]map[uint64]bool, m.Tiles())}
+	shared := &runShared{m: m, scms: make([]*SCM, m.Tiles()), sePages: make([]map[uint64]bool, m.Tiles()), ctr: newRunCounters(m.Obs)}
 	for i := range shared.scms {
 		shared.scms[i] = NewSCM(m.Engine, params)
 		shared.sePages[i] = map[uint64]bool{}
@@ -287,7 +317,7 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 	if params.ContextSwitchAt > 0 {
 		scheduleContextSwitch(m, runs, params)
 	}
-	m.Engine.Run()
+	runEngine(m, runs)
 	if finished != remainingCores {
 		return nil, fmt.Errorf("core: deadlock — %d/%d cores finished at cycle %d", finished, remainingCores, m.Engine.Now())
 	}
@@ -304,6 +334,61 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 	res.Cycles = last
 	res.Stats = m.CollectStats()
 	return res, nil
+}
+
+// runEngine drives the event loop to completion. With no sampler attached
+// it is exactly m.Engine.Run(). With one, the loop is chopped into
+// fixed-cadence epochs via RunTo — which fires the same events at the same
+// times and never advances the clock past the last event — and a snapshot
+// of IPC, bank occupancy, link utilization and offload queue depth is
+// recorded at each epoch boundary. Sampling therefore cannot perturb
+// simulated behavior, only observe it.
+func runEngine(m *machine.Machine, runs []*coreRun) {
+	sam := m.Sampler
+	if sam == nil {
+		m.Engine.Run()
+		return
+	}
+	if len(sam.Cols()) == 0 {
+		sam.SetCols("ipc", "bank_occ", "link_util", "offload_q")
+	}
+	period := sim.Time(sam.Period)
+	links := float64(m.Net.LinkCount())
+	var lastRetired, lastBusy uint64
+	lastCycle := m.Engine.Now()
+	for {
+		drained := m.Engine.RunTo(m.Engine.Now() + period)
+		now := m.Engine.Now()
+		elapsed := float64(now - lastCycle)
+		var retired uint64
+		var offq int
+		for _, cr := range runs {
+			retired += cr.core.OpsRetired
+			for _, rs := range cr.remotes {
+				offq += rs.inflight
+			}
+			for _, rs := range cr.extraRemotes {
+				offq += rs.inflight
+			}
+		}
+		bankOcc := 0
+		for i := 0; i < m.Hier.Tiles(); i++ {
+			bankOcc += m.Hier.Bank(i).PendingTxns()
+		}
+		busy := m.Net.BusyLinkCycles()
+		ipc, lu := 0.0, 0.0
+		if elapsed > 0 {
+			ipc = float64(retired-lastRetired) / elapsed
+			if links > 0 {
+				lu = float64(busy-lastBusy) / (links * elapsed)
+			}
+		}
+		sam.Record(uint64(now), ipc, float64(bankOcc), lu, float64(offq))
+		lastRetired, lastBusy, lastCycle = retired, busy, now
+		if drained || m.Engine.Stopped() {
+			return
+		}
+	}
 }
 
 func outerTrip(k *ir.Kernel, kparams map[string]uint64) (uint64, error) {
@@ -500,7 +585,7 @@ func scheduleContextSwitch(m *machine.Machine, runs []*coreRun, params Params) {
 		remaining := len(all)
 		for _, rs := range all {
 			rs := rs
-			rs.cr.stat("ns.ctxswitch_drains", 1)
+			rs.cr.shared.ctr.ctxDrains.Inc()
 			rs.Suspend(func() {
 				remaining--
 				if remaining == 0 {
@@ -684,7 +769,7 @@ func (cr *coreRun) memFunc(seq uint64, ref cpu.MemRef, at sim.Time, done func())
 		// path; TestAliasUnwind does.
 		if cr.pol.rangeSync && cr.ranges.Active() > 0 {
 			if sid, alias := cr.ranges.Check(ref.Addr, 8); alias {
-				cr.stat("ns.alias_detected", 1)
+				cr.shared.ctr.aliasDetected.Inc()
 				cr.ranges.Release(sid)
 				if rs := cr.remotes[sid]; rs != nil && !rs.finished {
 					rs.Suspend(func() {

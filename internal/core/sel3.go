@@ -5,6 +5,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/isa"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -148,6 +149,14 @@ func (rs *remoteStream) numWindows() int {
 // windowOf returns the range-sync window of element i.
 func (rs *remoteStream) windowOf(i int) int { return i / rs.cr.params.RangeWindow }
 
+// emit records one stream protocol event at bank when tracing is on.
+func (rs *remoteStream) emit(kind obs.Kind, bank int, b uint64) {
+	if tr := rs.cr.m.Tracer; tr.Enabled() {
+		tr.Emit(obs.Event{Time: uint64(rs.cr.m.Engine.Now()), Kind: kind,
+			Tile: int32(bank), A: uint64(rs.s.Sid), B: b})
+	}
+}
+
 // start configures the stream at its first bank (Figure 5 step 1).
 func (rs *remoteStream) start() {
 	rs.started = true
@@ -156,6 +165,7 @@ func (rs *remoteStream) start() {
 		return
 	}
 	first := rs.firstBank()
+	rs.emit(obs.KindStreamConfig, first, uint64(first))
 	cfgBytes := isa.EncodedBytes(rs.cr.isaConfigOf(rs.s))
 	rs.cr.net().Send(&noc.Message{
 		Src: rs.cr.coreID, Dst: first, Bytes: cfgBytes, Class: stats.TrafficOffload,
@@ -229,7 +239,8 @@ func (rs *remoteStream) Resume() {
 		bank = rs.firstBank()
 	}
 	cfgBytes := isa.EncodedBytes(rs.cr.isaConfigOf(rs.s))
-	rs.cr.stat("ns.resumes", 1)
+	rs.cr.shared.ctr.resumes.Inc()
+	rs.emit(obs.KindStreamResume, bank, uint64(bank))
 	rs.cr.net().Send(&noc.Message{Src: rs.cr.coreID, Dst: bank, Bytes: cfgBytes,
 		Class: stats.TrafficOffload, OnDeliver: rs.advanceEv})
 }
@@ -348,7 +359,8 @@ func (rs *remoteStream) processElem(i int) {
 		// Affine/pointer streams migrate with the data (§IV-B). Moving to
 		// an already-visited bank only re-sends the changing fields
 		// (§IV-D): core id, stream id, iteration.
-		rs.cr.stat("ns.migrations", 1)
+		rs.cr.shared.ctr.migrations.Inc()
+		rs.emit(obs.KindStreamMigrate, bank, uint64(bank))
 		from := rs.curBank
 		if from < 0 {
 			from = bank
@@ -409,7 +421,7 @@ func (rs *remoteStream) accessElem(i int, line uint64, bank int) {
 			scm := rs.cr.scmAt(bank)
 			scalarOK := rs.s.ScalarOp != isa.OpNone && rs.s.ScalarOp != isa.OpFunc && len(rs.s.ComputeOps) <= 2
 			at = computeAt(scm, rs.cr.params, scalarOK, maxi(len(rs.s.ComputeOps), 1), rs.s.Vector, at)
-			rs.cr.stat("ns.remote_compute", 1)
+			rs.cr.shared.ctr.remoteCompute.Inc()
 		}
 		m.Engine.ScheduleAt(at, func() { rs.elemDone(i, line, bank) })
 	}
@@ -424,7 +436,7 @@ func (rs *remoteStream) accessElem(i int, line uint64, bank int) {
 		// deadlock while preserving the MRSW-vs-exclusive contention this
 		// models — see DESIGN.md.)
 		modifies := e.changed || !rs.cr.params.MRSWLock
-		rs.cr.stat("ns.atomic_elems", 1)
+		rs.cr.shared.ctr.atomicElems.Inc()
 		b.AcquireLock(line, rs.lockKey(), modifies, rs.cr.lockModeKind(), func() {
 			rs.lockedLines = append(rs.lockedLines, lockedLine{line: line, bank: bank, modifies: modifies})
 			rs.ensureLine(bank, line, func(at sim.Time) {
@@ -616,6 +628,7 @@ func (rs *remoteStream) commitWindow(win, endElem int) {
 	if bank < 0 {
 		bank = rs.firstBank()
 	}
+	rs.emit(obs.KindStreamCommit, bank, uint64(win))
 	if !rs.s.Write {
 		// Batch the grant over everything tryCommit has released.
 		hi := rs.nextCommit
@@ -675,6 +688,11 @@ func (rs *remoteStream) finish() {
 	}
 	rs.finished = true
 	cr := rs.cr
+	endBank := rs.curBank
+	if endBank < 0 {
+		endBank = cr.coreID
+	}
+	rs.emit(obs.KindStreamFinish, endBank, uint64(len(rs.elems)))
 	if rs.s.CT == isa.ComputeReduce && len(rs.elems) > 0 && cr.pol.offloadCompute {
 		banks := make([]int, 0, len(rs.visitedBanks))
 		for b := 0; b < cr.m.Tiles(); b++ {

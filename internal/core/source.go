@@ -184,7 +184,7 @@ func (cr *coreRun) emitPrefetchOrCore(id ir.ValueRef, ent *traceEntry, st *compi
 				})
 			})
 			cr.setSeq(id, seq)
-			cr.stat("ns.sload", 1)
+			cr.shared.ctr.sload.Inc()
 			return
 		}
 	}
@@ -313,7 +313,7 @@ func (cr *coreRun) addDep(mop *cpu.MicroOp, r ir.ValueRef) {
 				rs.respReady(elem, func(sim.Time) { done() })
 			})
 			cr.setSeq(r, seq)
-			cr.stat("ns.sload_remote", 1)
+			cr.shared.ctr.sloadRemote.Inc()
 			mop.Deps = append(mop.Deps, seq)
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -78,6 +79,12 @@ type Machine struct {
 	SETLBs  []*tlb.TLB
 	PFUnits []*prefetch.Unit
 	Stats   *stats.Set
+	// Obs interns runtime counters (the core layer's registry); Tracer and
+	// Sampler are the machine-wide observability hooks, nil unless a run
+	// opts in via SetTracer / an attached sampler.
+	Obs     *obs.Registry
+	Tracer  *obs.Tracer
+	Sampler *obs.Sampler
 }
 
 // New assembles a machine.
@@ -101,6 +108,7 @@ func New(cfg Config) *Machine {
 		Hier:   hier,
 		AS:     tlb.NewAddressSpace(cfg.UseHugePages, cfg.Seed),
 		Stats:  stats.NewSet(),
+		Obs:    obs.NewRegistry(),
 	}
 	for i := 0; i < net.Nodes(); i++ {
 		m.TLBs = append(m.TLBs, tlb.New(tlb.Config{
@@ -121,6 +129,16 @@ func New(cfg Config) *Machine {
 	return m
 }
 
+// SetTracer attaches one event tracer to every traced component (nil
+// detaches). The components keep their own pointers so the hot-path guard
+// is a single field load + nil check.
+func (m *Machine) SetTracer(tr *obs.Tracer) {
+	m.Tracer = tr
+	m.Hier.SetTracer(tr)
+	m.Net.SetTracer(tr)
+	m.Dram.SetTracer(tr)
+}
+
 // Tiles returns the mesh node count.
 func (m *Machine) Tiles() int { return m.Net.Nodes() }
 
@@ -138,14 +156,16 @@ func (m *Machine) HomeBank(va uint64) int { return m.Hier.HomeBank(m.Translate(v
 func (m *Machine) CollectStats() *stats.Set {
 	out := stats.NewSet()
 	out.Merge(m.Stats)
-	out.Merge(m.Hier.Stats)
-	out.Merge(m.Dram.Stats)
+	m.Obs.ExportTo(out.Add)
+	out.Merge(m.Hier.Stats())
+	out.Merge(m.Dram.Stats())
 	for _, t := range m.TLBs {
 		out.Merge(t.Stats)
 	}
 	for _, t := range m.SETLBs {
 		out.Merge(t.Stats)
 	}
+	out.Merge(m.Net.Stats())
 	out.Add("noc.bytehops.data", m.Net.Traffic.ByteHops(stats.TrafficData))
 	out.Add("noc.bytehops.control", m.Net.Traffic.ByteHops(stats.TrafficControl))
 	out.Add("noc.bytehops.offloaded", m.Net.Traffic.ByteHops(stats.TrafficOffload))

@@ -9,6 +9,7 @@ package mem
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -43,7 +44,11 @@ type Memory struct {
 	engine *sim.Engine
 	// nextFree is the earliest cycle each controller's data bus is idle.
 	nextFree []sim.Time
-	Stats    *stats.Set
+	// reg holds the interned access counters; tracer (usually nil)
+	// receives per-burst events behind an Enabled() branch.
+	reg                           *obs.Registry
+	ctrReads, ctrWrites, ctrBytes obs.Counter
+	tracer                        *obs.Tracer
 }
 
 // New builds the memory system.
@@ -57,13 +62,27 @@ func New(engine *sim.Engine, cfg Config) *Memory {
 	if cfg.InterleaveBytes == 0 {
 		panic("mem: interleave must be positive")
 	}
-	return &Memory{
+	m := &Memory{
 		cfg:      cfg,
 		engine:   engine,
 		nextFree: make([]sim.Time, cfg.Controllers),
-		Stats:    stats.NewSet(),
+		reg:      obs.NewRegistry(),
 	}
+	m.ctrReads = m.reg.Counter("dram.reads")
+	m.ctrWrites = m.reg.Counter("dram.writes")
+	m.ctrBytes = m.reg.Counter("dram.bytes")
+	return m
 }
+
+// Stats snapshots the memory counters as a stats set.
+func (m *Memory) Stats() *stats.Set {
+	s := stats.NewSet()
+	m.reg.ExportTo(s.Add)
+	return s
+}
+
+// SetTracer attaches (or detaches, with nil) an event tracer.
+func (m *Memory) SetTracer(tr *obs.Tracer) { m.tracer = tr }
 
 // Config returns the memory configuration.
 func (m *Memory) Config() Config { return m.cfg }
@@ -93,11 +112,19 @@ func (m *Memory) Access(addr uint64, bytes int, write bool, onDone func()) sim.T
 	m.nextFree[ctrl] = start + occupancy
 	done := start + occupancy + m.cfg.AccessLatency
 	if write {
-		m.Stats.Inc("dram.writes")
+		m.ctrWrites.Inc()
 	} else {
-		m.Stats.Inc("dram.reads")
+		m.ctrReads.Inc()
 	}
-	m.Stats.Add("dram.bytes", uint64(bytes))
+	m.ctrBytes.Add(uint64(bytes))
+	if tr := m.tracer; tr.Enabled() {
+		var wr uint64
+		if write {
+			wr = 1
+		}
+		tr.Emit(obs.Event{Time: uint64(now), Dur: uint64(done - now),
+			Kind: obs.KindDRAM, Tile: int32(ctrl), A: uint64(bytes), B: wr})
+	}
 	if onDone != nil {
 		m.engine.ScheduleAt(done, onDone)
 	}

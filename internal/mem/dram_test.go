@@ -65,11 +65,11 @@ func TestStats(t *testing.T) {
 	m.Access(0, 64, false, nil)
 	m.Access(64, 64, true, nil)
 	e.Run()
-	if m.Stats.Get("dram.reads") != 1 || m.Stats.Get("dram.writes") != 1 {
-		t.Fatalf("stats wrong: %s", m.Stats)
+	if m.Stats().Get("dram.reads") != 1 || m.Stats().Get("dram.writes") != 1 {
+		t.Fatalf("stats wrong: %s", m.Stats())
 	}
-	if m.Stats.Get("dram.bytes") != 128 {
-		t.Fatalf("bytes = %d", m.Stats.Get("dram.bytes"))
+	if m.Stats().Get("dram.bytes") != 128 {
+		t.Fatalf("bytes = %d", m.Stats().Get("dram.bytes"))
 	}
 }
 

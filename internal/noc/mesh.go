@@ -9,6 +9,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -62,10 +63,10 @@ type Message struct {
 // links per node; edge nodes leave some ids unused, which costs a few
 // array slots and saves every hot-path map operation.
 const (
-	dirEast = iota // +x
-	dirWest        // -x
-	dirSouth       // +y
-	dirNorth       // -y
+	dirEast  = iota // +x
+	dirWest         // -x
+	dirSouth        // +y
+	dirNorth        // -y
 	dirCount
 )
 
@@ -98,6 +99,11 @@ type Network struct {
 	deliverNop sim.Event
 	// Delivered counts total messages for sanity checks.
 	Delivered uint64
+	// reg holds the interned message counters; tracer (usually nil)
+	// receives per-message events behind an Enabled() branch.
+	reg                     *obs.Registry
+	ctrSends, ctrMulticasts obs.Counter
+	tracer                  *obs.Tracer
 }
 
 // New builds a network on the given engine.
@@ -108,7 +114,9 @@ func New(engine *sim.Engine, cfg Config) *Network {
 	if cfg.LinkBytesPerCycle <= 0 {
 		panic("noc: link width must be positive")
 	}
-	n := &Network{cfg: cfg, engine: engine}
+	n := &Network{cfg: cfg, engine: engine, reg: obs.NewRegistry()}
+	n.ctrSends = n.reg.Counter("noc.sends")
+	n.ctrMulticasts = n.reg.Counter("noc.multicasts")
 	nodes := n.Nodes()
 	n.nextFree = make([]sim.Time, nodes*dirCount)
 	n.busyCycles = make([]uint64, nodes*dirCount)
@@ -116,6 +124,17 @@ func New(engine *sim.Engine, cfg Config) *Network {
 	n.deliverNop = func() {}
 	n.buildRoutes()
 	return n
+}
+
+// SetTracer attaches (or with nil detaches) an event tracer. Every Send
+// and multicast delivery emits a KindNoCMsg spanning injection to arrival.
+func (n *Network) SetTracer(tr *obs.Tracer) { n.tracer = tr }
+
+// Stats snapshots the network's interned counters into a stats.Set.
+func (n *Network) Stats() *stats.Set {
+	s := stats.NewSet()
+	n.reg.ExportTo(s.Add)
+	return s
 }
 
 // buildRoutes precomputes the X-Y link-id route of every (src, dst) pair
@@ -242,9 +261,15 @@ func (n *Network) serializationCycles(bytes int) sim.Time {
 func (n *Network) Send(m *Message) {
 	n.check(m.Src)
 	n.check(m.Dst)
+	n.ctrSends.Inc()
 	hops := n.HopCount(m.Src, m.Dst)
 	n.Traffic.Record(m.Class, m.Bytes+n.cfg.HeaderBytes, hops)
 	arrive := n.deliveryTime(m.Src, m.Dst, m.Bytes)
+	if tr := n.tracer; tr.Enabled() {
+		now := n.engine.Now()
+		tr.Emit(obs.Event{Time: uint64(now), Dur: uint64(arrive - now),
+			Kind: obs.KindNoCMsg, Tile: int32(m.Src), A: uint64(m.Dst), B: uint64(m.Bytes)})
+	}
 	n.scheduleDelivery(arrive, m.OnDeliver)
 }
 
@@ -273,6 +298,22 @@ func (n *Network) deliveryTime(src, dst, bytes int) sim.Time {
 	return t
 }
 
+// LinkCount returns the number of directed mesh links: horizontal
+// 2*(W-1)*H plus vertical 2*(H-1)*W.
+func (n *Network) LinkCount() int {
+	return 2*(n.cfg.Width-1)*n.cfg.Height + 2*(n.cfg.Height-1)*n.cfg.Width
+}
+
+// BusyLinkCycles returns the total link-cycles occupied so far, summed
+// over all links (the sampler's utilization numerator).
+func (n *Network) BusyLinkCycles() uint64 {
+	var busy uint64
+	for _, c := range n.busyCycles {
+		busy += c
+	}
+	return busy
+}
+
 // Utilization returns the average fraction of link-cycles occupied so far
 // (Figure 12's companion metric). Zero before any traffic or time.
 func (n *Network) Utilization() float64 {
@@ -280,17 +321,11 @@ func (n *Network) Utilization() float64 {
 	if now == 0 {
 		return 0
 	}
-	// Directed links in a W×H mesh: horizontal 2*(W-1)*H, vertical
-	// 2*(H-1)*W.
-	links := 2*(n.cfg.Width-1)*n.cfg.Height + 2*(n.cfg.Height-1)*n.cfg.Width
+	links := n.LinkCount()
 	if links == 0 {
 		return 0
 	}
-	var busy uint64
-	for _, c := range n.busyCycles {
-		busy += c
-	}
-	return float64(busy) / float64(uint64(links)*now)
+	return float64(n.BusyLinkCycles()) / float64(uint64(links)*now)
 }
 
 func (n *Network) scheduleDelivery(at sim.Time, fn func()) {
@@ -331,8 +366,14 @@ func (n *Network) Multicast(src int, dsts []int, bytes int, class stats.TrafficC
 		}
 	}
 	n.Traffic.Record(class, bytes+n.cfg.HeaderBytes, unique)
+	n.ctrMulticasts.Inc()
 	for _, d := range dsts {
 		arrive := n.deliveryTime(src, d, bytes)
+		if tr := n.tracer; tr.Enabled() {
+			now := n.engine.Now()
+			tr.Emit(obs.Event{Time: uint64(now), Dur: uint64(arrive - now),
+				Kind: obs.KindNoCMsg, Tile: int32(src), A: uint64(d), B: uint64(bytes)})
+		}
 		if onDeliver == nil {
 			n.scheduleDelivery(arrive, nil)
 			continue

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// kindCats groups kinds into Chrome trace categories for UI filtering.
+var kindCats = [numKinds]string{
+	KindStreamConfig:  "stream",
+	KindStreamMigrate: "stream",
+	KindStreamResume:  "stream",
+	KindStreamCommit:  "stream",
+	KindStreamFinish:  "stream",
+	KindMSHR:          "cache",
+	KindNoCMsg:        "noc",
+	KindDRAM:          "dram",
+}
+
+// Cat returns the kind's trace category.
+func (k Kind) Cat() string {
+	if int(k) < len(kindCats) {
+		return kindCats[k]
+	}
+	return "other"
+}
+
+// WriteChromeTrace exports the records' events as Chrome trace_event JSON
+// (the JSON Object Format), loadable in Perfetto and chrome://tracing.
+// Each job is one process (pid = 1-based position in the sorted record
+// list, named by the job key); each mesh tile is one thread; ts/dur are
+// simulation cycles. The JSON is hand-written in a fixed field order so
+// identical content exports byte-identically.
+func WriteChromeTrace(w io.Writer, recs []*JobRecord) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if first {
+			first = false
+			return
+		}
+		bw.WriteString(",\n")
+	}
+	for pi, rec := range recs {
+		pid := pi + 1
+		sep()
+		fmt.Fprintf(bw, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%q}}", pid, rec.Key)
+		if rec.Trace == nil {
+			continue
+		}
+		for _, ev := range rec.Trace.Events() {
+			sep()
+			if ev.Dur > 0 {
+				fmt.Fprintf(bw,
+					"{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"a\":%d,\"b\":%d}}",
+					ev.Kind.String(), ev.Kind.Cat(), ev.Time, ev.Dur, pid, ev.Tile, ev.A, ev.B)
+				continue
+			}
+			fmt.Fprintf(bw,
+				"{\"name\":%q,\"cat\":%q,\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"a\":%d,\"b\":%d}}",
+				ev.Kind.String(), ev.Kind.Cat(), ev.Time, pid, ev.Tile, ev.A, ev.B)
+		}
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}

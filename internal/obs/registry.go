@@ -1,0 +1,79 @@
+// Package obs is the observability layer of the simulator: interned
+// counter registries, a ring-buffer event tracer with Chrome trace_event
+// export, a time-series sampler, and machine-readable run reports.
+//
+// Everything here is built around one invariant: when observation is off,
+// the simulation's hot paths must not be measurably slower — no map
+// lookups, no allocations, no string formatting. Counters are interned to
+// dense integer ids at component construction so incrementing is a slice
+// index; tracing hides behind a nil-receiver-safe Enabled() branch; the
+// sampler and reports only exist when a collector is attached.
+package obs
+
+// Registry interns counter names to dense integer ids at construction
+// time. A component creates its counters once (Counter returns a handle),
+// then every hot-path increment is a slice element add — the map is only
+// touched at interning and export time. stats.Set remains the export and
+// compatibility surface: ExportTo feeds the named values into it.
+//
+// A Registry is single-goroutine, like the simulation that owns it.
+type Registry struct {
+	index map[string]int
+	names []string
+	vals  []uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]int{}}
+}
+
+// Counter interns name (idempotently) and returns its increment handle.
+func (r *Registry) Counter(name string) Counter {
+	if id, ok := r.index[name]; ok {
+		return Counter{r: r, id: int32(id)}
+	}
+	id := len(r.vals)
+	r.index[name] = id
+	r.names = append(r.names, name)
+	r.vals = append(r.vals, 0)
+	return Counter{r: r, id: int32(id)}
+}
+
+// Len reports how many counters are interned.
+func (r *Registry) Len() int { return len(r.vals) }
+
+// Get returns a counter's value by name (0 if never interned).
+func (r *Registry) Get(name string) uint64 {
+	if id, ok := r.index[name]; ok {
+		return r.vals[id]
+	}
+	return 0
+}
+
+// ExportTo feeds every non-zero counter to add. Zero counters are skipped
+// so the exported set matches map-based stats.Set semantics, where a
+// counter exists only once touched.
+func (r *Registry) ExportTo(add func(name string, v uint64)) {
+	for i, v := range r.vals {
+		if v != 0 {
+			add(r.names[i], v)
+		}
+	}
+}
+
+// Counter is a dense-id handle into a Registry. Incrementing is a slice
+// element add: no map access, no allocation.
+type Counter struct {
+	r  *Registry
+	id int32
+}
+
+// Inc adds one.
+func (c Counter) Inc() { c.r.vals[c.id]++ }
+
+// Add adds v.
+func (c Counter) Add(v uint64) { c.r.vals[c.id] += v }
+
+// Get returns the current value.
+func (c Counter) Get() uint64 { return c.r.vals[c.id] }

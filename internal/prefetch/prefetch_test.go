@@ -30,7 +30,7 @@ func TestStrideDetectsAndPrefetches(t *testing.T) {
 	if s.Fired == 0 {
 		t.Fatal("stride prefetcher never fired on a perfect stride")
 	}
-	if h.Stats.Get("prefetch.issued") == 0 {
+	if h.Stats().Get("prefetch.issued") == 0 {
 		t.Fatal("no prefetches reached the hierarchy")
 	}
 	e.Run()
@@ -158,7 +158,7 @@ func TestUnitFeedsBoth(t *testing.T) {
 		u.Observe(i*64, 0x100)
 		e.Run()
 	}
-	if h.Stats.Get("prefetch.issued") == 0 {
+	if h.Stats().Get("prefetch.issued") == 0 {
 		t.Fatal("unit issued no prefetches")
 	}
 }
@@ -167,10 +167,10 @@ func TestPrefetchIsNoOpWhenResident(t *testing.T) {
 	e, h, tile := testTile()
 	tile.Access(0x1000, false, 0, nil)
 	e.Run()
-	before := h.Stats.Get("prefetch.issued")
+	before := h.Stats().Get("prefetch.issued")
 	tile.Prefetch(0x1000)
 	e.Run()
-	if h.Stats.Get("prefetch.issued") != before {
+	if h.Stats().Get("prefetch.issued") != before {
 		t.Fatal("prefetch of resident line issued a request")
 	}
 }

@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// obsOutputs runs jobs through a fresh pool with a collector attached and
+// renders the three observability exports: the Chrome trace, the
+// canonicalized run report (wall-clock timing fields zeroed — they are
+// the one legitimately nondeterministic part, isolated in their own
+// structs for exactly this reason), and the samples CSV.
+func obsOutputs(t *testing.T, workers int, jobs []Job) (trace, report, samples []byte) {
+	t.Helper()
+	p := NewPool(workers)
+	c := obs.NewCollector(1<<12, 1024)
+	p.Obs = c
+	if _, err := p.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	var tb, rb, sb bytes.Buffer
+	if err := obs.WriteChromeTrace(&tb, c.Records()); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Report()
+	rep.Executed, rep.CacheHits = p.Executed(), p.Hits()
+	if err := rep.Canonical().WriteJSON(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteSamplesCSV(&sb, c.Records()); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), rb.Bytes(), sb.Bytes()
+}
+
+// TestObsOutputsDeterministicAcrossWorkerCounts is the observability
+// determinism gate: the trace, report and sample exports of the same job
+// batch must be byte-identical at any worker count, because collection
+// hooks never inject events into a simulation and records are keyed, not
+// ordered by completion.
+func TestObsOutputsDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := []Job{
+		job("histogram", core.NS),
+		job("pathfinder", core.NSDecouple),
+		job("histogram", core.NS), // duplicate: exercises the memo-hit path
+	}
+	tr1, rep1, s1 := obsOutputs(t, 1, jobs)
+	tr8, rep8, s8 := obsOutputs(t, 8, jobs)
+
+	if !bytes.Equal(tr1, tr8) {
+		t.Error("Chrome trace differs between -j 1 and -j 8")
+	}
+	if !bytes.Equal(rep1, rep8) {
+		t.Errorf("canonical report differs between -j 1 and -j 8:\n%s\n---\n%s", rep1, rep8)
+	}
+	if !bytes.Equal(s1, s8) {
+		t.Error("samples CSV differs between -j 1 and -j 8")
+	}
+
+	// The outputs must also be substantive, or the equality is vacuous.
+	if !bytes.Contains(tr1, []byte(`"ph":"X"`)) {
+		t.Error("trace contains no duration events")
+	}
+	if !strings.Contains(string(rep1), `"memo_hits": 1`) {
+		t.Errorf("report does not record the duplicate job's memo hit:\n%s", rep1)
+	}
+	if n := bytes.Count(s1, []byte("\n")); n < 3 {
+		t.Errorf("samples CSV has only %d lines", n)
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Progress describes one finished job, for per-job reporting.
@@ -26,6 +29,11 @@ type Pool struct {
 	// OnProgress, when non-nil, is called after each job of a Run batch
 	// completes (serialized; set before the first Run).
 	OnProgress func(Progress)
+	// Obs, when non-nil, collects per-job observability (trace, samples,
+	// report fields). Job records are classified during the batch scan —
+	// fresh jobs get a record, cached requests count as memo hits — so the
+	// collected report is identical at any worker count.
+	Obs *obs.Collector
 
 	mu       sync.Mutex
 	memo     map[string]*memoEntry
@@ -75,6 +83,7 @@ func (p *Pool) Hits() uint64 {
 func (p *Pool) Run(jobs []Job) ([]*Result, error) {
 	entries := make([]*memoEntry, len(jobs))
 	var fresh []*memoEntry
+	var freshRecs []*obs.JobRecord
 	var freshIdx, cachedIdx []int
 
 	p.mu.Lock()
@@ -84,12 +93,20 @@ func (p *Pool) Run(jobs []Job) ([]*Result, error) {
 			entries[i] = e
 			cachedIdx = append(cachedIdx, i)
 			p.hits++
+			if p.Obs != nil {
+				p.Obs.Hit(k)
+			}
 			continue
 		}
 		e := &memoEntry{done: make(chan struct{})}
 		p.memo[k] = e
 		entries[i] = e
 		fresh = append(fresh, e)
+		var rec *obs.JobRecord
+		if p.Obs != nil {
+			rec = p.Obs.Job(k)
+		}
+		freshRecs = append(freshRecs, rec)
 		freshIdx = append(freshIdx, i)
 	}
 	p.mu.Unlock()
@@ -115,17 +132,28 @@ func (p *Pool) Run(jobs []Job) ([]*Result, error) {
 	var wg sync.WaitGroup
 	for n := range fresh {
 		wg.Add(1)
-		go func(e *memoEntry, i int) {
+		go func(e *memoEntry, i int, rec *obs.JobRecord) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			e.res, e.err = execute(jobs[i])
+			start := time.Now()
+			e.res, e.err = execute(jobs[i], rec)
+			if rec != nil {
+				wall := time.Since(start).Seconds()
+				rec.Timing.WallSeconds = wall
+				if wall > 0 {
+					rec.Timing.SimCyclesPerSec = float64(rec.SimCycles) / wall
+				}
+				if e.err != nil {
+					rec.Err = e.err.Error()
+				}
+			}
 			p.mu.Lock()
 			p.executed++
 			p.mu.Unlock()
 			close(e.done)
 			report(i, false, e.err)
-		}(fresh[n], freshIdx[n])
+		}(fresh[n], freshIdx[n], freshRecs[n])
 	}
 
 	// Cached entries may still be in flight (a duplicate within this
@@ -147,16 +175,16 @@ func (p *Pool) Run(jobs []Job) ([]*Result, error) {
 	return out, firstErr
 }
 
-// execute wraps Execute, converting a panicking job (e.g. an unknown
+// execute wraps ExecuteObs, converting a panicking job (e.g. an unknown
 // workload name) into an error: inside the pool, one bad job must fail
 // that job, not crash the process from a worker goroutine.
-func execute(j Job) (res *Result, err error) {
+func execute(j Job, rec *obs.JobRecord) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("runner: job %s panicked: %v", j.Key(), r)
 		}
 	}()
-	return Execute(j)
+	return ExecuteObs(j, rec)
 }
 
 // RunOne executes (or recalls) a single job.

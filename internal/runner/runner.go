@@ -16,6 +16,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -95,6 +96,8 @@ type Result struct {
 	Workload string
 	System   core.System
 	Cycles   uint64
+	// Events is the count of simulation events fired.
+	Events uint64
 	// TotalOps is the dynamic micro-op count (all categories).
 	TotalOps uint64
 	// StreamableOps and OffloadedOps drive Figure 11.
@@ -116,10 +119,23 @@ func (r *Result) TotalTraffic() uint64 {
 // (so iterations past the first observe a warm LLC, as in the paper's
 // simulate-to-completion runs). Every Execute call builds a private
 // machine and data image, so concurrent calls are independent.
-func Execute(j Job) (*Result, error) {
+func Execute(j Job) (*Result, error) { return ExecuteObs(j, nil) }
+
+// ExecuteObs is Execute with an optional observability record: when rec is
+// non-nil its tracer and sampler (either may be nil) attach to the job's
+// machine, and the record's deterministic report fields are filled in.
+// Tracing and sampling observe the run without perturbing it, so the
+// Result is identical either way.
+func ExecuteObs(j Job, rec *obs.JobRecord) (*Result, error) {
 	w := workloads.Get(j.Workload, j.Scale)
 	needPf := j.System == core.Base
 	m := machine.New(MachineConfig(j, needPf))
+	if rec != nil {
+		if rec.Trace != nil {
+			m.SetTracer(rec.Trace)
+		}
+		m.Sampler = rec.Sampler
+	}
 	d := ir.NewData(m.AS)
 	d.AllocArrays(w.Kernel)
 	w.Init(d, sim.NewRand(j.Seed^0x9e37))
@@ -138,6 +154,13 @@ func Execute(j Job) (*Result, error) {
 		out.OffloadedOps += res.OffloadedOps
 	}
 	out.Cycles = uint64(m.Engine.Now())
+	out.Events = m.Engine.Executed
+	if rec != nil {
+		rec.Workload = j.Workload
+		rec.System = j.System.String()
+		rec.SimCycles = out.Cycles
+		rec.Events = out.Events
+	}
 	s := m.CollectStats()
 	out.TrafficData = s.Get("noc.bytehops.data")
 	out.TrafficControl = s.Get("noc.bytehops.control")

@@ -191,6 +191,24 @@ func (e *Engine) RunUntil(limit Time) bool {
 	return len(e.queue) == 0
 }
 
+// RunTo fires events with timestamps <= limit like RunUntil, except that
+// when the queue drains it leaves the clock at the last fired event
+// instead of advancing to limit. Observers that sample the model at a
+// fixed cadence from outside the event loop use it so the final partial
+// epoch cannot inflate a run's end time: interleaving RunTo calls with
+// snapshots fires exactly the same events at the same times as one Run.
+// It returns true if the queue drained.
+func (e *Engine) RunTo(limit Time) bool {
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > limit {
+			e.now = limit
+			return false
+		}
+		e.Step()
+	}
+	return len(e.queue) == 0
+}
+
 // Recurring is a reusable periodic event: one closure is allocated at
 // construction and re-enqueued for every tick, so steady-state ticking is
 // allocation-free (the heap stores events by value). Model code that used

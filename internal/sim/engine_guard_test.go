@@ -1,0 +1,64 @@
+package sim
+
+import "testing"
+
+// TestRunToStopsAtLimit pins the epoch-stepping contract the sampler
+// depends on: RunTo fires everything up to the limit, parks the clock at
+// the limit while work remains, and — crucially — does NOT advance the
+// clock to the limit once the queue drains, so external sampling epochs
+// never inflate a run's end time.
+func TestRunToStopsAtLimit(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(5, func() { fired++ })
+	e.Schedule(15, func() { fired++ })
+	if e.RunTo(10) {
+		t.Fatal("RunTo(10) reported drained with an event pending at 15")
+	}
+	if e.Now() != 10 || fired != 1 {
+		t.Fatalf("after RunTo(10): now=%d fired=%d, want now=10 fired=1", e.Now(), fired)
+	}
+	if !e.RunTo(100) {
+		t.Fatal("RunTo(100) did not drain the queue")
+	}
+	if e.Now() != 15 || fired != 2 {
+		t.Fatalf("after drain: now=%d fired=%d, want now=15 (last event, not the limit) fired=2", e.Now(), fired)
+	}
+	// An already-empty queue reports drained without touching the clock.
+	if !e.RunTo(200) || e.Now() != 15 {
+		t.Fatalf("RunTo on empty queue moved the clock to %d", e.Now())
+	}
+}
+
+// TestEngineHotPathsAllocFree pins the zero-allocation contract of the
+// event queue as a hard test (the benchmarks report the same numbers but
+// only a human reads those): steady-state Schedule/Step churn and
+// Recurring ticks must not allocate at all.
+func TestEngineHotPathsAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := Event(func() {})
+	for j := 0; j < 64; j++ { // grow the queue's backing array once
+		e.Schedule(Time(j%13)+1, fn)
+	}
+	e.Run()
+	if a := testing.AllocsPerRun(1000, func() {
+		e.Schedule(1, fn)
+		e.Step()
+	}); a != 0 {
+		t.Errorf("Schedule/Step churn: %.1f allocs/op, want 0", a)
+	}
+
+	ticks := 0
+	r := e.NewRecurring(1, func() bool {
+		ticks++
+		return ticks%16 != 0
+	})
+	r.Start(1)
+	e.Run() // warm: the Recurring's closure is the only allocation
+	if a := testing.AllocsPerRun(100, func() {
+		r.Start(1)
+		e.Run()
+	}); a != 0 {
+		t.Errorf("Recurring ticks: %.1f allocs/op, want 0", a)
+	}
+}
