@@ -46,6 +46,7 @@ tier1: build test
 
 # tier2: vet + race over the full suite — including the pooled event
 # queue, lock pool, and flatmap tables, which must stay engine-local
-# (never shared across runner workers); run before merging
-# runner/harness or pooling changes.
+# (never shared across runner workers), and internal/serve's overlapping
+# submit/cancel/drain traffic; run before merging runner/harness/serve
+# or pooling changes.
 tier2: vet test-race

@@ -17,6 +17,7 @@
 package nearstream
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compiler"
@@ -144,6 +145,38 @@ type Experiment struct {
 func NewExperiment(cfg Config) *Experiment {
 	return &Experiment{exp: harness.NewExp(cfg)}
 }
+
+// WithContext returns a view of the experiment whose job batches cancel
+// with ctx: queued simulations stop before consuming a worker and Figure
+// returns ctx.Err(). The view shares the pool (and so the memo cache and
+// persistent store) with its parent.
+func (e *Experiment) WithContext(ctx context.Context) *Experiment {
+	return &Experiment{exp: e.exp.WithContext(ctx)}
+}
+
+// Store is the persistent content-addressed result store shared by CLI
+// runs and the nsd daemon (see runner.OpenStore).
+type Store = runner.Store
+
+// OpenStore opens (creating if needed) a result store rooted at dir;
+// maxBytes caps its size (0 = unlimited).
+func OpenStore(dir string, maxBytes int64) (*Store, error) {
+	return runner.OpenStore(dir, maxBytes)
+}
+
+// UseStore attaches a persistent store to the experiment's pool: fresh
+// jobs are looked up on disk before simulating, and every simulated
+// result is written back (set before the first Figure call).
+func (e *Experiment) UseStore(s *Store) {
+	e.exp.Pool().Disk = s
+}
+
+// DiskHits reports how many jobs were served from the persistent store.
+func (e *Experiment) DiskHits() uint64 { return e.exp.Pool().DiskHits() }
+
+// QuickWorkloads is the taxonomy-spanning 4-workload subset behind the
+// CLIs' -quick flag and the daemon's ?quick= figure submissions.
+func QuickWorkloads() []string { return harness.QuickSet() }
 
 // OnProgress registers a per-job progress callback (set before the first
 // Figure call; invoked serially as jobs finish).

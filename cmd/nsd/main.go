@@ -1,0 +1,112 @@
+// Command nsd is the experiment service daemon: a persistent,
+// network-fronted runner pool. Submissions from any number of clients
+// share one memoizing pool and one on-disk result store, so a measurement
+// is simulated at most once across every CLI run and daemon restart that
+// shares -cache-dir.
+//
+// Usage:
+//
+//	nsd                            # listen on :8080, store under ./nsd-cache
+//	nsd -addr :0 -cache-dir /var/cache/nsd -j 8
+//	nsd -queue 128 -max-client 16  # admission control knobs
+//
+// API (JSON unless noted):
+//
+//	POST   /api/v1/jobs            submit one job        {"workload":..,"system":..}
+//	POST   /api/v1/figures/{id}    submit a figure's job set (?quick=1, ?workloads=a,b)
+//	GET    /api/v1/jobs            list tasks
+//	GET    /api/v1/jobs/{id}       poll status
+//	GET    /api/v1/jobs/{id}/result  fetch result (figures: ?format=text for raw bytes)
+//	GET    /api/v1/jobs/{id}/events  per-job progress over SSE
+//	DELETE /api/v1/jobs/{id}       cancel
+//	GET    /api/v1/report          cumulative obs run report
+//	GET    /metrics                Prometheus text format
+//	GET    /healthz
+//
+// A full queue answers 429 with Retry-After; SIGTERM/SIGINT drains
+// gracefully (in-flight simulations finish, queued jobs are canceled once
+// -drain-timeout expires; a second signal exits immediately).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address (use :0 for a random port)")
+		cacheDir  = flag.String("cache-dir", "nsd-cache", "persistent result store directory (empty = memory only)")
+		cacheMax  = flag.Int64("cache-max", 0, "store size cap in bytes (0 = unlimited)")
+		jobs      = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		scale     = flag.String("scale", "ci", "default scale: ci or paper")
+		coreTy    = flag.String("core", "OOO8", "default core type: IO4, OOO4 or OOO8")
+		seed      = flag.Uint64("seed", 1, "default input seed")
+		queue     = flag.Int("queue", 64, "max admitted (queued+running) tasks before 429")
+		maxClient = flag.Int("max-client", 8, "max in-flight tasks per client")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	)
+	flag.Parse()
+
+	hcfg := harness.DefaultConfig()
+	hcfg.CoreType = *coreTy
+	hcfg.Seed = *seed
+	hcfg.Jobs = *jobs
+	if *scale == "paper" {
+		hcfg.Scale = workloads.ScalePaper
+	}
+	s, err := serve.New(serve.Config{
+		Harness:       hcfg,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		QueueDepth:    *queue,
+		MaxPerClient:  *maxClient,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := "memory only"
+	if *cacheDir != "" {
+		store = fmt.Sprintf("store %s (%d entries)", *cacheDir, s.Store().Len())
+	}
+	log.Printf("nsd: listening on http://%s — %d workers, %s", ln.Addr(), s.Exp().Pool().Workers(), store)
+
+	srv := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("nsd: %v — draining (timeout %s, signal again to abort)", sig, *drain)
+		go func() {
+			<-sigCh
+			os.Exit(130)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		s.Shutdown(ctx)   // reject new work, cancel queued jobs at the deadline
+		srv.Shutdown(ctx) // then close listeners and idle connections
+		log.Print("nsd: drained")
+	}
+}

@@ -13,6 +13,9 @@
 //	nsexp -fig 9 -sample s.csv   # per-epoch IPC/occupancy/utilization series
 //	nsexp -fig 9 -cpuprofile cpu.out -memprofile mem.out
 //	                             # profile the simulator itself (go tool pprof)
+//	nsexp -all -quick -cache-dir nsd-cache -progress
+//	                             # read/write the persistent result store
+//	                             # shared with nsd and later runs
 //
 // All figures of one invocation render through a single memoizing job
 // pool: a measurement several figures need (every figure's
@@ -24,12 +27,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	nearstream "repro"
@@ -37,10 +43,6 @@ import (
 	"repro/internal/runner"
 	"repro/internal/workloads"
 )
-
-// quickSet spans the taxonomy: MO store, affine load + indirect atomic,
-// indirect reduce, pointer-chase reduce.
-var quickSet = []string{"pathfinder", "histogram", "pr_pull", "hash_join"}
 
 // main delegates to run so deferred profile writers flush before exit.
 func main() {
@@ -65,8 +67,16 @@ func run() int {
 		sampleOut   = flag.String("sample", "", "write per-epoch time-series samples to this file (.json for JSON, else CSV)")
 		sampleEvery = flag.Uint64("sample-every", obs.DefaultSamplePeriod, "sampling epoch in cycles (with -sample)")
 		traceEvents = flag.Int("trace-events", obs.DefaultTraceEvents, "per-job trace ring capacity (with -trace)")
+		cacheDir    = flag.String("cache-dir", "", "persistent result store directory (shared with nsd and other runs)")
+		cacheMax    = flag.Int64("cache-max", 0, "store size cap in bytes (with -cache-dir; 0 = unlimited)")
 	)
 	flag.Parse()
+
+	// Ctrl-C (or SIGTERM) cancels queued jobs promptly instead of
+	// finishing the batch; simulations already on a worker complete, and
+	// their results still land in the persistent store.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -103,13 +113,21 @@ func run() int {
 	}
 	var subset []string
 	if *quick {
-		subset = quickSet
+		subset = nearstream.QuickWorkloads()
 	}
 	if *wl != "" {
 		subset = strings.Split(*wl, ",")
 	}
 
-	exp := nearstream.NewExperiment(cfg)
+	exp := nearstream.NewExperiment(cfg).WithContext(ctx)
+	if *cacheDir != "" {
+		st, err := nearstream.OpenStore(*cacheDir, *cacheMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		exp.UseStore(st)
+	}
 
 	var collector *nearstream.Collector
 	if *traceOut != "" || *reportOut != "" || *sampleOut != "" {
@@ -128,7 +146,10 @@ func run() int {
 	if *progress {
 		exp.OnProgress(func(ev runner.Progress) {
 			from := "sim"
-			if ev.Cached {
+			switch {
+			case ev.Disk:
+				from = "disk"
+			case ev.Cached:
 				from = "cache"
 			}
 			status := ""
@@ -180,7 +201,12 @@ func run() int {
 	}
 	if *progress {
 		executed, hits := exp.CacheStats()
-		fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache\n", executed, hits)
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache, %d from disk\n",
+				executed, hits, exp.DiskHits())
+		} else {
+			fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache\n", executed, hits)
+		}
 	}
 	if collector != nil {
 		if err := writeObsOutputs(collector, exp, start, *traceOut, *reportOut, *sampleOut); err != nil {

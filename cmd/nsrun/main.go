@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	nearstream "repro"
 	"repro/internal/core"
@@ -31,6 +34,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "input seed")
 		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "report per-job progress on stderr")
+		cacheDir = flag.String("cache-dir", "", "persistent result store directory (shared with nsd and other runs)")
+		cacheMax = flag.Int64("cache-max", 0, "store size cap in bytes (with -cache-dir; 0 = unlimited)")
 		list     = flag.Bool("list", false, "list workloads and systems")
 	)
 	flag.Parse()
@@ -77,7 +82,19 @@ func main() {
 		}
 	}
 
+	// Ctrl-C cancels queued jobs promptly instead of finishing the matrix.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	pool := runner.NewPool(*jobs)
+	if *cacheDir != "" {
+		st, err := runner.OpenStore(*cacheDir, *cacheMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pool.Disk = st
+	}
 	if *progress {
 		pool.OnProgress = func(ev runner.Progress) {
 			status := ""
@@ -87,13 +104,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s%s\n", ev.Done, ev.Total, ev.Key, status)
 		}
 	}
-	results, err := pool.Run(jobList)
+	results, err := pool.RunCtx(ctx, jobList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache\n",
-		pool.Executed(), pool.Hits())
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache, %d from disk\n",
+			pool.Executed(), pool.Hits(), pool.DiskHits())
+	} else {
+		fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache\n",
+			pool.Executed(), pool.Hits())
+	}
 
 	if len(results) == 1 {
 		printFull(results[0])

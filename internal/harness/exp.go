@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/runner"
 )
@@ -14,12 +16,38 @@ import (
 type Exp struct {
 	cfg  Config
 	pool *runner.Pool
+	// ctx cancels this view's job batches (nil = background); progress,
+	// when non-nil, overrides the pool's global OnProgress for this view's
+	// batches. Both are set by With* on a copy, so several views — the
+	// serve daemon runs one per in-flight figure request — share the pool
+	// and its memo cache while keeping independent cancellation.
+	ctx      context.Context
+	progress func(runner.Progress)
 }
 
 // NewExp builds an experiment context for a configuration; the worker
 // count comes from cfg.Jobs (0 = GOMAXPROCS).
 func NewExp(cfg Config) *Exp {
 	return &Exp{cfg: cfg, pool: runner.NewPool(cfg.Jobs)}
+}
+
+// WithContext returns a view of the experiment whose job batches are
+// canceled with ctx: queued jobs stop before consuming a worker and
+// figure rendering returns ctx.Err(). The view shares the pool (and so
+// the memo cache) with its parent.
+func (e *Exp) WithContext(ctx context.Context) *Exp {
+	c := *e
+	c.ctx = ctx
+	return &c
+}
+
+// WithProgress returns a view of the experiment whose job batches report
+// to fn instead of the pool's global OnProgress, sharing the pool with
+// its parent.
+func (e *Exp) WithProgress(fn func(runner.Progress)) *Exp {
+	c := *e
+	c.progress = fn
+	return &c
 }
 
 // Config returns the experiment's base configuration.
@@ -35,5 +63,9 @@ func (e *Exp) job(wname string, sys core.System) runner.Job {
 
 // run executes a declared job set and returns results in job order.
 func (e *Exp) run(jobs []runner.Job) ([]*Result, error) {
-	return e.pool.Run(jobs)
+	ctx := e.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.pool.RunCtxFunc(ctx, jobs, e.progress)
 }

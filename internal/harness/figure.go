@@ -8,6 +8,13 @@ func FigureIDs() []string {
 	return []string{"1a", "1b", "9", "10", "11", "12", "13", "14", "15", "16", "17"}
 }
 
+// QuickSet is the taxonomy-spanning 4-workload subset behind -quick (and
+// the daemon's ?quick= figure submissions): multi-operand store, affine
+// load + indirect atomic, indirect reduce, pointer-chase reduce.
+func QuickSet() []string {
+	return []string{"pathfinder", "histogram", "pr_pull", "hash_join"}
+}
+
 // Figure renders one paper figure by id ("1a", "1b", "9" … "17"),
 // dispatching to the per-figure renderers below. subset restricts the
 // workloads (nil = all 14).

@@ -68,6 +68,16 @@ func (c *Collector) Hit(key string) {
 	}
 }
 
+// DiskHit counts one persistent-store hit against a job's record (the job
+// was not simulated this run; its trace and samples stay empty).
+func (c *Collector) DiskHit(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.recs[key]; ok {
+		r.DiskHits++
+	}
+}
+
 // Records returns every record sorted by job key: the deterministic
 // iteration order all exporters share.
 func (c *Collector) Records() []*JobRecord {

@@ -197,3 +197,32 @@ func TestPeakRSSBytes(t *testing.T) {
 		t.Log("PeakRSSBytes unavailable on this platform")
 	}
 }
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("noc.bytehops.data").Add(3)
+	r.Counter("lock.acquires") // zero counters still export
+	r.Counter("9starts.with.digit").Inc()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Sorted by original name, dots sanitized, leading digit escaped.
+	want := "# TYPE _9starts_with_digit counter\n_9starts_with_digit 1\n" +
+		"# TYPE lock_acquires counter\nlock_acquires 0\n" +
+		"# TYPE noc_bytehops_data counter\nnoc_bytehops_data 3\n"
+	if out != want {
+		t.Fatalf("prometheus export:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestCollectorDiskHit(t *testing.T) {
+	c := NewCollector(0, 0)
+	c.Job("k")
+	c.DiskHit("k")
+	c.DiskHit("unknown") // no record: ignored, never crashes
+	if got := c.Records()[0].DiskHits; got != 1 {
+		t.Fatalf("DiskHits = %d, want 1", got)
+	}
+}

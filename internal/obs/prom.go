@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PromName sanitizes a registry counter name into a legal Prometheus
+// metric name: every character outside [a-zA-Z0-9_:] becomes '_', and a
+// leading digit gains a '_' prefix. The simulator's dotted names
+// ("noc.bytehops.data") therefore export as "noc_bytehops_data".
+func PromName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9': // legal except as the first character
+		default:
+			b[i] = '_'
+		}
+	}
+	if len(b) > 0 && b[0] >= '0' && b[0] <= '9' {
+		return "_" + string(b)
+	}
+	return string(b)
+}
+
+// WritePrometheus renders every interned counter of a registry (zeros
+// included, so the scraped series set is stable) in the Prometheus text
+// exposition format, sorted by original name for deterministic output.
+// The registry itself is single-goroutine; callers sharing one across
+// HTTP handlers wrap this call in their own lock.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		pn := PromName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, r.Get(name))
+	}
+	return bw.Flush()
+}

@@ -39,6 +39,10 @@ type JobReport struct {
 	// MemoHits counts how many requests for this job were served from the
 	// pool's memo cache.
 	MemoHits uint64 `json:"memo_hits"`
+	// DiskHits counts how many times this job was served from the
+	// persistent result store instead of simulating (0 when no store is
+	// attached, so pre-store reports are byte-identical).
+	DiskHits uint64 `json:"disk_hits,omitempty"`
 	// TraceDropped counts events the trace ring overwrote (0 = complete).
 	TraceDropped uint64 `json:"trace_dropped,omitempty"`
 	// Samples is the number of time-series rows recorded.

@@ -1,0 +1,88 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRunCtxCanceledBeforeStart pins prompt cancellation: a batch whose
+// context is already canceled must not consume workers or simulate.
+func TestRunCtxCanceledBeforeStart(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.RunCtx(ctx, []Job{job("histogram", core.NS), job("pathfinder", core.NS)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if p.Executed() != 0 {
+		t.Fatalf("canceled batch executed %d simulations", p.Executed())
+	}
+}
+
+// TestRunCtxCanceledEntryDoesNotPoisonMemo pins the takeover protocol: an
+// entry a canceled batch claimed but never started must be released, so a
+// later batch executes the job instead of inheriting the cancellation.
+func TestRunCtxCanceledEntryDoesNotPoisonMemo(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := job("histogram", core.NS)
+	if _, err := p.RunCtx(ctx, []Job{j}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	res, err := p.Run([]Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] == nil || res[0].Cycles == 0 {
+		t.Fatal("job did not execute after an earlier canceled claim")
+	}
+	if p.Executed() != 1 {
+		t.Fatalf("executed = %d, want 1", p.Executed())
+	}
+}
+
+// TestRunCtxConcurrentWaiterSurvivesOwnerCancel races an owning batch
+// that cancels against waiters on the same key: a waiter must re-acquire
+// the released entry and complete the job rather than fail or deadlock.
+func TestRunCtxConcurrentWaiterSurvivesOwnerCancel(t *testing.T) {
+	p := NewPool(2)
+	j := job("histogram", core.NS)
+	ownerCtx, ownerCancel := context.WithCancel(context.Background())
+	ownerCancel() // the owner abandons immediately
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i == 0 {
+				ctx = ownerCtx
+			}
+			_, errs[i] = p.RunCtx(ctx, []Job{j})
+		}(i)
+	}
+	wg.Wait()
+
+	completed := 0
+	for i, err := range errs {
+		if err == nil {
+			completed++
+		} else if !errors.Is(err, context.Canceled) {
+			t.Fatalf("batch %d: unexpected error %v", i, err)
+		}
+	}
+	if completed != 7 {
+		t.Fatalf("%d live batches completed, want 7", completed)
+	}
+	if p.Executed() != 1 {
+		t.Fatalf("executed = %d, want exactly 1", p.Executed())
+	}
+}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,13 +10,21 @@ import (
 	"repro/internal/obs"
 )
 
-// Progress describes one finished job, for per-job reporting.
+// Progress describes one finished distinct job of a Run batch, for per-job
+// reporting.
 type Progress struct {
-	Job    Job
-	Key    string
-	Cached bool // served from the memo cache (or a concurrent duplicate)
-	Err    error
-	// Done/Total count jobs within the current Run batch.
+	Job Job
+	Key string
+	// Cached marks a job served from the in-process memo (including a job
+	// another concurrent batch was already executing).
+	Cached bool
+	// Disk marks a job served from the persistent result store (Pool.Disk)
+	// instead of being simulated.
+	Disk bool
+	Err  error
+	// Done/Total count distinct jobs within the current Run batch:
+	// duplicate submissions of one key collapse into a single progress
+	// line, reported only once the underlying measurement is final.
 	Done, Total int
 }
 
@@ -23,29 +32,42 @@ type Progress struct {
 // Job.Key(), so each distinct measurement simulates exactly once per Pool
 // lifetime no matter how many figures request it. Results are never
 // mutated after publication; callers treat them as read-only. A Pool is
-// safe for concurrent use.
+// safe for concurrent use: the worker bound applies across every
+// concurrent Run/RunCtx batch, not per batch.
 type Pool struct {
 	workers int
-	// OnProgress, when non-nil, is called after each job of a Run batch
-	// completes (serialized; set before the first Run).
+	// OnProgress, when non-nil, is called after each distinct job of a Run
+	// batch completes (serialized per batch; set before the first Run).
 	OnProgress func(Progress)
 	// Obs, when non-nil, collects per-job observability (trace, samples,
 	// report fields). Job records are classified during the batch scan —
 	// fresh jobs get a record, cached requests count as memo hits — so the
 	// collected report is identical at any worker count.
 	Obs *obs.Collector
+	// Disk, when non-nil, is the persistent result store consulted before
+	// executing a fresh job and written after each successful simulation,
+	// so measurements survive across processes (CLI runs and the nsd
+	// daemon share one store).
+	Disk *Store
+
+	sem chan struct{} // pool-wide worker slots
 
 	mu       sync.Mutex
 	memo     map[string]*memoEntry
 	executed uint64
 	hits     uint64
+	diskHits uint64
 }
 
 // memoEntry is one cached measurement; done closes once res/err are final.
+// canceled marks an entry whose owning batch was canceled before the job
+// started: it has been removed from the memo map, and waiters re-acquire
+// the key (becoming the executor if nobody else has).
 type memoEntry struct {
-	done chan struct{}
-	res  *Result
-	err  error
+	done     chan struct{}
+	res      *Result
+	err      error
+	canceled bool
 }
 
 // NewPool returns a pool running at most workers jobs concurrently;
@@ -54,7 +76,11 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers, memo: make(map[string]*memoEntry)}
+	return &Pool{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		memo:    make(map[string]*memoEntry),
+	}
 }
 
 // Workers reports the concurrency bound.
@@ -67,112 +93,257 @@ func (p *Pool) Executed() uint64 {
 	return p.executed
 }
 
-// Hits reports how many requested jobs were served from the memo cache
-// (including duplicates within one batch).
+// Hits reports how many requested jobs were served from the in-process
+// memo cache (including duplicates within one batch).
 func (p *Pool) Hits() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.hits
 }
 
+// DiskHits reports how many jobs were served from the persistent store
+// instead of simulating.
+func (p *Pool) DiskHits() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.diskHits
+}
+
+// distinctJob is one deduplicated key of a batch: the entry to wait on or
+// execute, plus the first submission index it answers for.
+type distinctJob struct {
+	key   string
+	first int // first job index with this key
+	e     *memoEntry
+	fresh bool // this batch owns execution of e
+	rec   *obs.JobRecord
+}
+
 // Run executes jobs and returns their results in job order. Duplicate and
-// previously-run jobs are served from the memo cache. On failure the error
-// of the earliest failing job (in declared order) is returned, making
-// error reporting independent of goroutine scheduling; results of
-// successful jobs are still filled in.
+// previously-run jobs are served from the memo cache (and, with Disk set,
+// from the persistent store). On failure the error of the earliest failing
+// job (in declared order) is returned, making error reporting independent
+// of goroutine scheduling; results of successful jobs are still filled in.
 func (p *Pool) Run(jobs []Job) ([]*Result, error) {
-	entries := make([]*memoEntry, len(jobs))
-	var fresh []*memoEntry
-	var freshRecs []*obs.JobRecord
-	var freshIdx, cachedIdx []int
+	return p.run(context.Background(), jobs, p.OnProgress)
+}
+
+// RunCtx is Run with cancellation: when ctx is canceled, queued jobs of
+// this batch stop before consuming a worker slot and RunCtx returns
+// ctx.Err(). Jobs already simulating run to completion (a simulation is a
+// single-threaded engine with no preemption points), and entries this
+// batch had claimed but not started are released so other batches can
+// execute them.
+func (p *Pool) RunCtx(ctx context.Context, jobs []Job) ([]*Result, error) {
+	return p.run(ctx, jobs, p.OnProgress)
+}
+
+// RunCtxFunc is RunCtx with a per-batch progress callback, for callers
+// multiplexing several concurrent batches over one pool (the serve
+// daemon); a nil fn falls back to Pool.OnProgress.
+func (p *Pool) RunCtxFunc(ctx context.Context, jobs []Job, fn func(Progress)) ([]*Result, error) {
+	if fn == nil {
+		fn = p.OnProgress
+	}
+	return p.run(ctx, jobs, fn)
+}
+
+func (p *Pool) run(ctx context.Context, jobs []Job, onProgress func(Progress)) ([]*Result, error) {
+	// Scan phase: collapse duplicate keys and classify each distinct job
+	// as fresh (this batch executes it) or cached (wait on the published
+	// entry) under one lock, so obs classification is deterministic at any
+	// worker count.
+	slot := make([]int, len(jobs)) // job index -> distinct slot
+	index := make(map[string]int, len(jobs))
+	var dist []*distinctJob
 
 	p.mu.Lock()
 	for i, j := range jobs {
 		k := j.Key()
-		if e, ok := p.memo[k]; ok {
-			entries[i] = e
-			cachedIdx = append(cachedIdx, i)
+		if s, ok := index[k]; ok {
+			// Duplicate within the batch: counted as a memo hit but not a
+			// separate progress line.
+			slot[i] = s
 			p.hits++
 			if p.Obs != nil {
 				p.Obs.Hit(k)
 			}
 			continue
 		}
-		e := &memoEntry{done: make(chan struct{})}
-		p.memo[k] = e
-		entries[i] = e
-		fresh = append(fresh, e)
-		var rec *obs.JobRecord
-		if p.Obs != nil {
-			rec = p.Obs.Job(k)
+		s := len(dist)
+		index[k] = s
+		slot[i] = s
+		d := &distinctJob{key: k, first: i}
+		if e, ok := p.memo[k]; ok {
+			d.e = e
+		} else {
+			e := &memoEntry{done: make(chan struct{})}
+			p.memo[k] = e
+			d.e, d.fresh = e, true
+			if p.Obs != nil {
+				d.rec = p.Obs.Job(k)
+			}
 		}
-		freshRecs = append(freshRecs, rec)
-		freshIdx = append(freshIdx, i)
+		dist = append(dist, d)
 	}
 	p.mu.Unlock()
 
-	// Progress is reported per job as it completes. Completion order is
-	// scheduling-dependent; only the reporting order varies, never a
-	// result (each job is a self-contained single-threaded simulation).
+	// Progress is reported per distinct job as it completes. Completion
+	// order is scheduling-dependent; only the reporting order varies,
+	// never a result (each job is a self-contained single-threaded
+	// simulation).
 	var progressMu sync.Mutex
 	done := 0
-	report := func(i int, cached bool, err error) {
-		if p.OnProgress == nil {
+	report := func(d *distinctJob, cached, disk bool, err error) {
+		if onProgress == nil {
 			return
 		}
 		progressMu.Lock()
 		done++
-		p.OnProgress(Progress{Job: jobs[i], Key: jobs[i].Key(), Cached: cached,
-			Err: err, Done: done, Total: len(jobs)})
+		onProgress(Progress{Job: jobs[d.first], Key: d.key, Cached: cached,
+			Disk: disk, Err: err, Done: done, Total: len(dist)})
 		progressMu.Unlock()
 	}
 
-	// Execute the fresh jobs under the worker bound.
-	sem := make(chan struct{}, p.workers)
+	results := make([]*Result, len(dist))
+	errs := make([]error, len(dist))
 	var wg sync.WaitGroup
-	for n := range fresh {
+	for s, d := range dist {
 		wg.Add(1)
-		go func(e *memoEntry, i int, rec *obs.JobRecord) {
+		go func(s int, d *distinctJob) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Now()
-			e.res, e.err = execute(jobs[i], rec)
-			if rec != nil {
-				wall := time.Since(start).Seconds()
-				rec.Timing.WallSeconds = wall
-				if wall > 0 {
-					rec.Timing.SimCyclesPerSec = float64(rec.SimCycles) / wall
-				}
-				if e.err != nil {
-					rec.Err = e.err.Error()
-				}
-			}
-			p.mu.Lock()
-			p.executed++
-			p.mu.Unlock()
-			close(e.done)
-			report(i, false, e.err)
-		}(fresh[n], freshIdx[n], freshRecs[n])
-	}
-
-	// Cached entries may still be in flight (a duplicate within this
-	// batch, or a concurrent batch); wait before reporting them served.
-	for _, i := range cachedIdx {
-		<-entries[i].done
-		report(i, true, entries[i].err)
+			res, err, cached, disk := p.resolve(ctx, jobs[d.first], d)
+			results[s], errs[s] = res, err
+			report(d, cached, disk, err)
+		}(s, d)
 	}
 	wg.Wait()
 
 	out := make([]*Result, len(jobs))
 	var firstErr error
-	for i, e := range entries {
-		out[i] = e.res
-		if e.err != nil && firstErr == nil {
-			firstErr = e.err
+	for i := range jobs {
+		out[i] = results[slot[i]]
+		if err := errs[slot[i]]; err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return out, firstErr
+}
+
+// resolve drives one distinct job to a final result: execute it if this
+// batch owns the entry, otherwise wait on the owner — re-acquiring the key
+// if the owner's batch was canceled before the job started.
+func (p *Pool) resolve(ctx context.Context, j Job, d *distinctJob) (res *Result, err error, cached, disk bool) {
+	e, fresh := d.e, d.fresh
+	for {
+		if fresh {
+			return p.executeEntry(ctx, j, d.key, e, d.rec)
+		}
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			// Abandoned while waiting on another batch's execution; the
+			// owner (if still live) completes the entry for everyone else.
+			return nil, ctx.Err(), false, false
+		}
+		if !e.canceled {
+			p.mu.Lock()
+			p.hits++
+			p.mu.Unlock()
+			if p.Obs != nil {
+				p.Obs.Hit(d.key)
+			}
+			return e.res, e.err, true, false
+		}
+		// The owning batch was canceled before the job started. The entry
+		// was removed from the memo map; take over (or chase whichever
+		// batch re-registered first).
+		p.mu.Lock()
+		if cur, ok := p.memo[d.key]; ok {
+			e, fresh = cur, false
+		} else {
+			e = &memoEntry{done: make(chan struct{})}
+			p.memo[d.key] = e
+			fresh = true
+			if p.Obs != nil && d.rec == nil {
+				d.rec = p.Obs.Job(d.key)
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// executeEntry fills e for key: from the persistent store when possible,
+// otherwise by simulating under the pool-wide worker bound. Cancellation
+// before a worker slot is acquired releases the entry for other batches.
+func (p *Pool) executeEntry(ctx context.Context, j Job, key string, e *memoEntry, rec *obs.JobRecord) (res *Result, err error, cached, disk bool) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		p.cancelEntry(key, e)
+		return nil, ctx.Err(), false, false
+	}
+	defer func() { <-p.sem }()
+	if cerr := ctx.Err(); cerr != nil {
+		// Canceled in the same instant the slot freed up: still abandon.
+		p.cancelEntry(key, e)
+		return nil, cerr, false, false
+	}
+
+	if p.Disk != nil {
+		if dres, ok := p.Disk.Load(key); ok {
+			e.res = dres
+			if rec != nil {
+				rec.Workload = j.Workload
+				rec.System = j.System.String()
+				rec.SimCycles = dres.Cycles
+				rec.Events = dres.Events
+			}
+			p.mu.Lock()
+			p.diskHits++
+			p.mu.Unlock()
+			if p.Obs != nil {
+				p.Obs.DiskHit(key)
+			}
+			close(e.done)
+			return dres, nil, false, true
+		}
+	}
+
+	start := time.Now()
+	e.res, e.err = execute(j, rec)
+	if rec != nil {
+		wall := time.Since(start).Seconds()
+		rec.Timing.WallSeconds = wall
+		if wall > 0 {
+			rec.Timing.SimCyclesPerSec = float64(rec.SimCycles) / wall
+		}
+		if e.err != nil {
+			rec.Err = e.err.Error()
+		}
+	}
+	p.mu.Lock()
+	p.executed++
+	p.mu.Unlock()
+	if e.err == nil && p.Disk != nil {
+		p.Disk.Put(key, e.res)
+	}
+	close(e.done)
+	return e.res, e.err, false, false
+}
+
+// cancelEntry abandons an entry this batch claimed but never started:
+// removes it from the memo map (so another batch can execute the key) and
+// wakes waiters, who observe canceled and re-acquire.
+func (p *Pool) cancelEntry(key string, e *memoEntry) {
+	p.mu.Lock()
+	if p.memo[key] == e {
+		delete(p.memo, key)
+	}
+	e.canceled = true
+	e.err = context.Canceled
+	p.mu.Unlock()
+	close(e.done)
 }
 
 // execute wraps ExecuteObs, converting a panicking job (e.g. an unknown

@@ -147,7 +147,13 @@ func TestPoolErrorIsEarliestInJobOrder(t *testing.T) {
 	}
 }
 
-func TestPoolProgressCoversEveryJob(t *testing.T) {
+// TestPoolProgressCountsDistinctJobs pins the Done/Total accounting fix:
+// duplicate submissions of one key within a batch collapse into a single
+// progress line (previously a cached-hit line per duplicate inflated the
+// totals and could report while the underlying job was still in flight in
+// a concurrent batch; now a line is only emitted once the measurement is
+// final).
+func TestPoolProgressCountsDistinctJobs(t *testing.T) {
 	p := NewPool(2)
 	var mu sync.Mutex
 	var events []Progress
@@ -158,25 +164,34 @@ func TestPoolProgressCoversEveryJob(t *testing.T) {
 	}
 	jobs := []Job{
 		job("histogram", core.Base),
-		job("histogram", core.Base),
+		job("histogram", core.Base), // in-batch duplicate: no extra line
 		job("histogram", core.NS),
 	}
 	if _, err := p.Run(jobs); err != nil {
 		t.Fatal(err)
 	}
-	if len(events) != len(jobs) {
-		t.Fatalf("progress reported %d jobs, want %d", len(events), len(jobs))
+	if len(events) != 2 {
+		t.Fatalf("progress reported %d lines, want 2 distinct jobs", len(events))
 	}
-	var cachedSeen bool
 	for i, ev := range events {
-		if ev.Done != i+1 || ev.Total != len(jobs) {
-			t.Fatalf("event %d has Done/Total %d/%d", i, ev.Done, ev.Total)
+		if ev.Done != i+1 || ev.Total != 2 {
+			t.Fatalf("event %d has Done/Total %d/%d, want %d/2", i, ev.Done, ev.Total, i+1)
 		}
-		if ev.Cached {
-			cachedSeen = true
+		if ev.Cached || ev.Disk {
+			t.Fatalf("fresh job %s reported cached=%t disk=%t", ev.Key, ev.Cached, ev.Disk)
 		}
 	}
-	if !cachedSeen {
-		t.Fatal("duplicate job not reported as cached")
+	// A repeat batch reports every distinct job as a memo hit.
+	events = nil
+	if _, err := p.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("repeat batch reported %d lines, want 2", len(events))
+	}
+	for _, ev := range events {
+		if !ev.Cached {
+			t.Fatalf("repeat job %s not reported as cached", ev.Key)
+		}
 	}
 }

@@ -1,0 +1,239 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StoreSchema tags the on-disk entry envelope layout.
+const StoreSchema = "nearstream-store/v1"
+
+// SimVersion tags stored results with the simulation code generation.
+// Bump it whenever a change makes previously-correct results stale (any
+// change to the figure digest, i.e. the nsexp -all -quick sha tracked in
+// BENCH_sim.json): entries written by another generation then load as
+// wrong-version and are recomputed instead of trusted.
+const SimVersion = "sim-5cdc9620"
+
+// storeEntry is the JSON envelope of one persisted measurement.
+type storeEntry struct {
+	Schema string  `json:"schema"`
+	Sim    string  `json:"sim"`
+	Key    string  `json:"key"`
+	Result *Result `json:"result"`
+}
+
+// storeFile is the in-memory index row for one entry file.
+type storeFile struct {
+	size  int64
+	mtime time.Time
+}
+
+// Store is a persistent content-addressed result cache: one JSON file per
+// job, named by the sha256 of the Job.Key() digest, living under one
+// directory shared by CLI runs and the serve daemon. Writes are atomic
+// (temp file + rename, so a crashed writer never leaves a half entry
+// under the final name), loads are corruption-tolerant (a truncated,
+// wrong-schema, wrong-sim-version or mismatched-key file is deleted and
+// treated as a miss — the job recomputes, the process never crashes), and
+// a byte cap evicts least-recently-used entries (mtime order; a hit
+// refreshes the file's mtime, so recency survives across processes).
+//
+// Several processes may share one directory: writers race benignly
+// (rename is atomic and identical jobs serialize to identical bytes, so
+// last-writer-wins is deterministic), and eviction tolerates files
+// already removed by a peer.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]storeFile // file name -> index row
+	total   int64
+	loads, loadHits, puts, evictions, corrupt uint64
+}
+
+// OpenStore opens (creating if needed) a result store rooted at dir.
+// maxBytes caps the total entry bytes (0 = unlimited); the cap is
+// enforced after each Put.
+func OpenStore(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, entries: make(map[string]storeFile)}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		s.entries[name] = storeFile{size: info.Size(), mtime: info.ModTime()}
+		s.total += info.Size()
+	}
+	return s, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len reports how many entries the store's index holds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// SizeBytes reports the indexed total entry bytes.
+func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Stats reports cumulative load attempts, load hits, puts, LRU evictions
+// and corrupt entries discarded, for summaries and /metrics.
+func (s *Store) Stats() (loads, hits, puts, evictions, corrupt uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loads, s.loadHits, s.puts, s.evictions, s.corrupt
+}
+
+// fileName is the content address of a job key.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".json"
+}
+
+// Load returns the persisted result for a job key, or (nil, false) on any
+// miss: absent, truncated, wrong schema or sim version, or key collision.
+// Invalid files are deleted so they are not re-parsed every run. A hit
+// refreshes the entry's mtime (LRU recency).
+func (s *Store) Load(key string) (*Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads++
+	name := fileName(key)
+	path := filepath.Join(s.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var ent storeEntry
+	if err := json.Unmarshal(data, &ent); err != nil ||
+		ent.Schema != StoreSchema || ent.Sim != SimVersion ||
+		ent.Key != key || ent.Result == nil {
+		s.corrupt++
+		s.removeLocked(name)
+		return nil, false
+	}
+	now := time.Now()
+	if err := os.Chtimes(path, now, now); err == nil {
+		if f, ok := s.entries[name]; ok {
+			f.mtime = now
+			s.entries[name] = f
+		}
+	}
+	if _, ok := s.entries[name]; !ok {
+		// Written by a peer process after our directory scan.
+		s.entries[name] = storeFile{size: int64(len(data)), mtime: now}
+		s.total += int64(len(data))
+	}
+	s.loadHits++
+	return ent.Result, true
+}
+
+// Put persists a result under a job key: marshal, write to a temp file in
+// the same directory, rename into place (atomic on POSIX; last writer
+// wins when two processes race, which is deterministic because identical
+// jobs produce identical bytes), then evict LRU entries past the byte
+// cap. Failures are reported but never fatal: the store is a cache, and a
+// full or read-only disk degrades to recomputation.
+func (s *Store) Put(key string, res *Result) error {
+	buf, err := json.Marshal(storeEntry{Schema: StoreSchema, Sim: SimVersion, Key: key, Result: res})
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := fileName(key)
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if old, ok := s.entries[name]; ok {
+		s.total -= old.size
+	}
+	s.entries[name] = storeFile{size: int64(len(buf)), mtime: time.Now()}
+	s.total += int64(len(buf))
+	s.puts++
+	s.evictLocked()
+	return nil
+}
+
+// evictLocked removes least-recently-used entries until the byte cap is
+// met. Order is oldest mtime first, file name as the deterministic
+// tie-break; a file a peer already removed just drops from the index.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 || s.total <= s.maxBytes {
+		return
+	}
+	type cand struct {
+		name string
+		storeFile
+	}
+	cands := make([]cand, 0, len(s.entries))
+	for name, f := range s.entries {
+		cands = append(cands, cand{name, f})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if !cands[i].mtime.Equal(cands[j].mtime) {
+			return cands[i].mtime.Before(cands[j].mtime)
+		}
+		return cands[i].name < cands[j].name
+	})
+	for _, c := range cands {
+		if s.total <= s.maxBytes {
+			return
+		}
+		s.removeLocked(c.name)
+		s.evictions++
+	}
+}
+
+// removeLocked deletes an entry file (best-effort) and drops its index row.
+func (s *Store) removeLocked(name string) {
+	os.Remove(filepath.Join(s.dir, name))
+	if f, ok := s.entries[name]; ok {
+		s.total -= f.size
+		delete(s.entries, name)
+	}
+}

@@ -1,0 +1,446 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/workloads"
+)
+
+// jobRequest is the POST /api/v1/jobs body. Unset fields inherit the
+// daemon's base harness configuration.
+type jobRequest struct {
+	Workload  string         `json:"workload"`
+	System    string         `json:"system"`
+	Scale     string         `json:"scale,omitempty"` // "ci" or "paper"
+	Core      string         `json:"core,omitempty"`  // "IO4", "OOO4", "OOO8"
+	Seed      *uint64        `json:"seed,omitempty"`
+	Overrides *overridesJSON `json:"overrides,omitempty"`
+}
+
+// overridesJSON mirrors runner.Overrides with pointer optionality, so a
+// request only names the parameters it sweeps.
+type overridesJSON struct {
+	RangeWindow          *int    `json:"range_window,omitempty"`
+	CreditWindows        *int    `json:"credit_windows,omitempty"`
+	SCCROB               *int    `json:"scc_rob,omitempty"`
+	SCCCount             *int    `json:"scc_count,omitempty"`
+	FIFODepth            *int    `json:"fifo_depth,omitempty"`
+	SCMIssueLatency      *uint64 `json:"scm_issue_latency,omitempty"`
+	IndirectReduceMinLen *uint64 `json:"indirect_reduce_min_len,omitempty"`
+	ContextSwitchAt      *uint64 `json:"context_switch_at,omitempty"`
+	ContextSwitchGap     *uint64 `json:"context_switch_gap,omitempty"`
+	ScalarPE             *bool   `json:"scalar_pe,omitempty"`
+	MRSWLock             *bool   `json:"mrsw_lock,omitempty"`
+	AffineRangesAtCore   *bool   `json:"affine_ranges_at_core,omitempty"`
+}
+
+// apply folds the set fields into o.
+func (j *overridesJSON) apply(o *runner.Overrides) {
+	if j.RangeWindow != nil {
+		o.RangeWindow = runner.Int(*j.RangeWindow)
+	}
+	if j.CreditWindows != nil {
+		o.CreditWindows = runner.Int(*j.CreditWindows)
+	}
+	if j.SCCROB != nil {
+		o.SCCROB = runner.Int(*j.SCCROB)
+	}
+	if j.SCCCount != nil {
+		o.SCCCount = runner.Int(*j.SCCCount)
+	}
+	if j.FIFODepth != nil {
+		o.FIFODepth = runner.Int(*j.FIFODepth)
+	}
+	if j.SCMIssueLatency != nil {
+		o.SCMIssueLatency = runner.U64(*j.SCMIssueLatency)
+	}
+	if j.IndirectReduceMinLen != nil {
+		o.IndirectReduceMinLen = runner.U64(*j.IndirectReduceMinLen)
+	}
+	if j.ContextSwitchAt != nil {
+		o.ContextSwitchAt = runner.U64(*j.ContextSwitchAt)
+	}
+	if j.ContextSwitchGap != nil {
+		o.ContextSwitchGap = runner.U64(*j.ContextSwitchGap)
+	}
+	if j.ScalarPE != nil {
+		o.ScalarPE = runner.Bool(*j.ScalarPE)
+	}
+	if j.MRSWLock != nil {
+		o.MRSWLock = runner.Bool(*j.MRSWLock)
+	}
+	if j.AffineRangesAtCore != nil {
+		o.AffineRangesAtCore = runner.Bool(*j.AffineRangesAtCore)
+	}
+}
+
+// taskStatus is the status JSON for both task kinds.
+type taskStatus struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	State    string `json:"state"`
+	Key      string `json:"key,omitempty"`
+	Figure   string `json:"figure,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Error    string `json:"error,omitempty"`
+	Created  string `json:"created,omitempty"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+}
+
+// jobResult is the result JSON of a job task.
+type jobResult struct {
+	Key    string         `json:"key"`
+	Source string         `json:"source"` // "sim", "memo" or "disk"
+	Result *runner.Result `json:"result"`
+}
+
+// figureResult is the result JSON of a figure task.
+type figureResult struct {
+	Figure string `json:"figure"`
+	SHA256 string `json:"sha256"` // digest of Text, byte-identical to nsexp output
+	Text   string `json:"text"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("POST /api/v1/figures/{fig}", s.handleSubmitFigure)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/report", s.handleReport)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.inc(s.met.requests)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError renders a JSON error body.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// clientID identifies the submitting client for per-client limits: the
+// X-Client-ID header when present, the remote host otherwise.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// rejectionCode maps an admission error to its HTTP response.
+func rejection(w http.ResponseWriter, retryAfter int, err error) {
+	if err == errDraining {
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeError(w, http.StatusTooManyRequests, "%v", err)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.writeTo(w)
+	// Pool- and store-level gauges, scraped at request time.
+	pool := s.exp.Pool()
+	fmt.Fprintf(w, "# TYPE nsd_pool_executed_total counter\nnsd_pool_executed_total %d\n", pool.Executed())
+	fmt.Fprintf(w, "# TYPE nsd_pool_memo_hits_total counter\nnsd_pool_memo_hits_total %d\n", pool.Hits())
+	fmt.Fprintf(w, "# TYPE nsd_pool_disk_hits_total counter\nnsd_pool_disk_hits_total %d\n", pool.DiskHits())
+	fmt.Fprintf(w, "# TYPE nsd_pool_workers gauge\nnsd_pool_workers %d\n", pool.Workers())
+	if s.store != nil {
+		fmt.Fprintf(w, "# TYPE nsd_store_entries gauge\nnsd_store_entries %d\n", s.store.Len())
+		fmt.Fprintf(w, "# TYPE nsd_store_size_bytes gauge\nnsd_store_size_bytes %d\n", s.store.SizeBytes())
+		loads, hits, puts, evictions, corrupt := s.store.Stats()
+		fmt.Fprintf(w, "# TYPE nsd_store_loads_total counter\nnsd_store_loads_total %d\n", loads)
+		fmt.Fprintf(w, "# TYPE nsd_store_load_hits_total counter\nnsd_store_load_hits_total %d\n", hits)
+		fmt.Fprintf(w, "# TYPE nsd_store_puts_total counter\nnsd_store_puts_total %d\n", puts)
+		fmt.Fprintf(w, "# TYPE nsd_store_evictions_total counter\nnsd_store_evictions_total %d\n", evictions)
+		fmt.Fprintf(w, "# TYPE nsd_store_corrupt_total counter\nnsd_store_corrupt_total %d\n", corrupt)
+	}
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	job, err := s.buildJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	t := newTask(taskJob, clientID(r))
+	t.job = job
+	t.key = job.Key()
+	if retryAfter, err := s.submit(t); err != nil {
+		rejection(w, retryAfter, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, t.snapshot())
+}
+
+func (s *Server) handleSubmitFigure(w http.ResponseWriter, r *http.Request) {
+	fig := r.PathValue("fig")
+	known := false
+	for _, id := range harness.FigureIDs() {
+		if id == fig {
+			known = true
+		}
+	}
+	if !known {
+		writeError(w, http.StatusBadRequest, "unknown figure %q (know %s)",
+			fig, strings.Join(harness.FigureIDs(), " "))
+		return
+	}
+	var subset []string
+	if r.URL.Query().Get("quick") != "" {
+		subset = harness.QuickSet()
+	}
+	if wl := r.URL.Query().Get("workloads"); wl != "" {
+		subset = strings.Split(wl, ",")
+	}
+	for _, name := range subset {
+		if !knownWorkload(name) {
+			writeError(w, http.StatusBadRequest, "unknown workload %q", name)
+			return
+		}
+	}
+	t := newTask(taskFigure, clientID(r))
+	t.figure = fig
+	t.subset = subset
+	if retryAfter, err := s.submit(t); err != nil {
+		rejection(w, retryAfter, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, t.snapshot())
+}
+
+// buildJob validates a request against the daemon's base configuration.
+func (s *Server) buildJob(req jobRequest) (runner.Job, error) {
+	cfg := s.cfg.Harness
+	if !knownWorkload(req.Workload) {
+		return runner.Job{}, fmt.Errorf("unknown workload %q (know %s)",
+			req.Workload, strings.Join(workloads.Names(), " "))
+	}
+	var sys core.System
+	found := false
+	for _, cand := range core.AllSystems() {
+		if cand.String() == req.System {
+			sys, found = cand, true
+		}
+	}
+	if !found {
+		return runner.Job{}, fmt.Errorf("unknown system %q", req.System)
+	}
+	switch req.Scale {
+	case "":
+	case "ci":
+		cfg.Scale = workloads.ScaleCI
+	case "paper":
+		cfg.Scale = workloads.ScalePaper
+	default:
+		return runner.Job{}, fmt.Errorf("unknown scale %q (ci or paper)", req.Scale)
+	}
+	switch req.Core {
+	case "":
+	case "IO4", "OOO4", "OOO8":
+		cfg.CoreType = req.Core
+	default:
+		return runner.Job{}, fmt.Errorf("unknown core type %q (IO4, OOO4 or OOO8)", req.Core)
+	}
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
+	}
+	if req.Overrides != nil {
+		req.Overrides.apply(&cfg.Overrides)
+	}
+	return cfg.Job(req.Workload, sys), nil
+}
+
+func knownWorkload(name string) bool {
+	for _, n := range workloads.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]taskStatus, 0, len(ids))
+	for _, id := range ids {
+		if t := s.lookup(id); t != nil {
+			out = append(out, t.snapshot())
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	t := s.lookup(r.PathValue("id"))
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no task %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, t.snapshot())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	t := s.lookup(r.PathValue("id"))
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no task %q", r.PathValue("id"))
+		return
+	}
+	st := t.snapshot()
+	switch st.State {
+	case stateDone:
+	case stateFailed, stateCanceled:
+		writeError(w, http.StatusConflict, "task %s is %s: %s", t.id, st.State, st.Error)
+		return
+	default:
+		writeError(w, http.StatusConflict, "task %s is still %s", t.id, st.State)
+		return
+	}
+	t.mu.Lock()
+	result, text, digest := t.result, t.tableText, t.digest
+	t.mu.Unlock()
+	switch t.kind {
+	case taskJob:
+		writeJSON(w, http.StatusOK, jobResult{Key: t.key, Source: st.Source, Result: result})
+	case taskFigure:
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, text)
+			return
+		}
+		writeJSON(w, http.StatusOK, figureResult{Figure: t.figure, SHA256: digest, Text: text})
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.cancelTask(id) {
+		writeError(w, http.StatusNotFound, "no task %q", id)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": "cancel requested"})
+}
+
+// handleEvents streams a task's progress as server-sent events: the full
+// log so far replays first, then live events follow; the stream ends with
+// the terminal state event. This is Pool.OnProgress adapted to the wire —
+// each batch's callback appends to the task's log, and this handler tails
+// the log.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	t := s.lookup(r.PathValue("id"))
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no task %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	s.met.inc(s.met.sseClients)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	next := 0
+	for {
+		evs, notify, closed := t.eventsSince(next)
+		for _, ev := range evs {
+			buf, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, buf)
+		}
+		next += len(evs)
+		flusher.Flush()
+		if closed && len(evs) == 0 {
+			return
+		}
+		if closed {
+			// Drain the remainder (if any) on the next loop; when the log
+			// is complete and consumed, the loop above exits.
+			continue
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-time.After(15 * time.Second):
+			// Heartbeat comment keeps proxies from timing the stream out.
+			fmt.Fprint(w, ": heartbeat\n\n")
+			flusher.Flush()
+		}
+	}
+}
+
+// handleReport serves the daemon's cumulative obs run report: one
+// JobReport per distinct job ever executed, with memo/disk hit counts.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	pool := s.exp.Pool()
+	rep := s.col.Report()
+	rep.Executed, rep.CacheHits = pool.Executed(), pool.Hits()
+	rep.Env = obs.RunEnv{
+		Command:   "nsd",
+		GoVersion: runtime.Version(),
+		Workers:   pool.Workers(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	rep.WriteJSON(w)
+}

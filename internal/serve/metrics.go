@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// metrics is the daemon's own counter set, reusing the simulator's
+// interned obs.Registry under a mutex (the registry itself is
+// single-goroutine by design; HTTP handlers are not). Exposed at /metrics
+// in Prometheus text format via obs.WritePrometheus.
+type metrics struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+
+	requests       obs.Counter
+	submitted      obs.Counter
+	completed      obs.Counter
+	failed         obs.Counter
+	canceled       obs.Counter
+	rejectedQueue  obs.Counter
+	rejectedClient obs.Counter
+	jobsSim        obs.Counter
+	jobsMemo       obs.Counter
+	jobsDisk       obs.Counter
+	sseClients     obs.Counter
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg:            reg,
+		requests:       reg.Counter("nsd.http.requests"),
+		submitted:      reg.Counter("nsd.tasks.submitted"),
+		completed:      reg.Counter("nsd.tasks.completed"),
+		failed:         reg.Counter("nsd.tasks.failed"),
+		canceled:       reg.Counter("nsd.tasks.canceled"),
+		rejectedQueue:  reg.Counter("nsd.tasks.rejected.queue_full"),
+		rejectedClient: reg.Counter("nsd.tasks.rejected.client_limit"),
+		jobsSim:        reg.Counter("nsd.jobs.simulated"),
+		jobsMemo:       reg.Counter("nsd.jobs.memo_hits"),
+		jobsDisk:       reg.Counter("nsd.jobs.disk_hits"),
+		sseClients:     reg.Counter("nsd.sse.streams"),
+	}
+}
+
+// inc bumps one counter under the registry lock.
+func (m *metrics) inc(c obs.Counter) {
+	m.mu.Lock()
+	c.Inc()
+	m.mu.Unlock()
+}
+
+// writeTo renders the registry in Prometheus text format.
+func (m *metrics) writeTo(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	obs.WritePrometheus(w, m.reg)
+}

@@ -1,0 +1,294 @@
+// Package serve is the experiment service daemon behind cmd/nsd: a
+// network front end for the runner pool that turns the batch harness into
+// shared infrastructure. Three layers:
+//
+//   - persistence: the pool writes every measurement through
+//     runner.Store, so a job any client (or a past CLI run) already paid
+//     for is served from disk instead of re-simulating;
+//   - an HTTP JSON API (stdlib net/http only): submit a single job or a
+//     whole figure's job set, poll status, fetch results and obs run
+//     reports, stream per-job progress over SSE, scrape /metrics in
+//     Prometheus text format;
+//   - admission control and lifecycle: a bounded task queue with
+//     backpressure (429 + Retry-After when full), per-client in-flight
+//     limits, context cancellation threaded through runner.Pool so
+//     canceled or abandoned requests stop consuming workers, and a
+//     graceful drain for SIGTERM.
+//
+// See DESIGN.md ("Experiment service") for routes, the store format and
+// the admission policy, and EXPERIMENTS.md for a curl/SSE walkthrough.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// Config parameterizes a daemon instance.
+type Config struct {
+	// Harness is the base experiment configuration (scale, core type,
+	// seed, worker count); per-request fields override it.
+	Harness harness.Config
+	// CacheDir roots the persistent result store ("" = in-memory only).
+	CacheDir string
+	// CacheMaxBytes caps the store (0 = unlimited).
+	CacheMaxBytes int64
+	// QueueDepth bounds admitted-but-unfinished tasks across all clients;
+	// past it submissions get 429 + Retry-After. <= 0 means 64.
+	QueueDepth int
+	// MaxPerClient bounds one client's in-flight tasks. <= 0 means 8.
+	MaxPerClient int
+}
+
+// Admission errors (mapped to HTTP 429 by the handlers).
+var (
+	errQueueFull  = errors.New("serve: task queue full")
+	errClientBusy = errors.New("serve: per-client in-flight limit reached")
+	errDraining   = errors.New("serve: draining")
+)
+
+// Server is the daemon: one shared harness.Exp (and so one memoizing
+// pool + persistent store) serving every client. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	exp   *harness.Exp
+	store *runner.Store
+	col   *obs.Collector
+	met   *metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	drainCh    chan struct{}
+	drainOnce  sync.Once
+
+	wg sync.WaitGroup // in-flight tasks
+
+	mu       sync.Mutex
+	tasks    map[string]*task
+	order    []string // submission order, for listing
+	clients  map[string]int
+	admitted int
+	nextID   int
+
+	// runJobs executes one task's job batch with a per-task progress
+	// callback; the default goes through the pool. Tests stub it to make
+	// admission, cancellation and drain timing deterministic.
+	runJobs func(ctx context.Context, jobs []runner.Job, fn func(runner.Progress)) ([]*runner.Result, error)
+}
+
+// New builds a daemon. The persistent store is opened (and created) under
+// cfg.CacheDir when set; every simulation the daemon runs is written
+// through it.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxPerClient <= 0 {
+		cfg.MaxPerClient = 8
+	}
+	exp := harness.NewExp(cfg.Harness)
+	s := &Server{
+		cfg:     cfg,
+		exp:     exp,
+		col:     obs.NewCollector(0, 0),
+		met:     newMetrics(),
+		drainCh: make(chan struct{}),
+		tasks:   make(map[string]*task),
+		clients: make(map[string]int),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	exp.Pool().Obs = s.col
+	if cfg.CacheDir != "" {
+		st, err := runner.OpenStore(cfg.CacheDir, cfg.CacheMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("serve: open store: %w", err)
+		}
+		s.store = st
+		exp.Pool().Disk = st
+	}
+	s.runJobs = func(ctx context.Context, jobs []runner.Job, fn func(runner.Progress)) ([]*runner.Result, error) {
+		return exp.Pool().RunCtxFunc(ctx, jobs, fn)
+	}
+	return s, nil
+}
+
+// Exp exposes the shared experiment (pool stats, configuration).
+func (s *Server) Exp() *harness.Exp { return s.exp }
+
+// Store exposes the persistent store (nil when CacheDir is unset).
+func (s *Server) Store() *runner.Store { return s.store }
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// admit reserves a queue slot and a per-client slot, or reports why not.
+// retryAfter is the suggested client backoff in seconds on rejection.
+func (s *Server) admit(client string) (retryAfter int, err error) {
+	if s.draining() {
+		return 1, errDraining
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	workers := s.exp.Pool().Workers()
+	if s.admitted >= s.cfg.QueueDepth {
+		s.met.inc(s.met.rejectedQueue)
+		return 1 + s.admitted/workers, errQueueFull
+	}
+	if s.clients[client] >= s.cfg.MaxPerClient {
+		s.met.inc(s.met.rejectedClient)
+		return 1, errClientBusy
+	}
+	s.admitted++
+	s.clients[client]++
+	return 0, nil
+}
+
+// release frees the slots admit reserved.
+func (s *Server) release(client string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.admitted--
+	if s.clients[client]--; s.clients[client] <= 0 {
+		delete(s.clients, client)
+	}
+}
+
+// register allocates a task id and indexes the task.
+func (s *Server) register(t *task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	t.id = fmt.Sprintf("t%06d", s.nextID)
+	s.tasks[t.id] = t
+	s.order = append(s.order, t.id)
+}
+
+// lookup returns a task by id.
+func (s *Server) lookup(id string) *task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tasks[id]
+}
+
+// submit admits, registers and launches a task; the returned task is
+// already running in its own goroutine.
+func (s *Server) submit(t *task) (retryAfter int, err error) {
+	if retryAfter, err = s.admit(t.client); err != nil {
+		return retryAfter, err
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	t.cancel = cancel
+	s.register(t)
+	s.met.inc(s.met.submitted)
+	s.wg.Add(1)
+	go s.runTask(ctx, t)
+	return 0, nil
+}
+
+// runTask drives one task to a terminal state.
+func (s *Server) runTask(ctx context.Context, t *task) {
+	defer s.wg.Done()
+	defer s.release(t.client)
+	defer t.cancel() // release the context's resources
+	t.setRunning()
+
+	onProgress := func(ev runner.Progress) {
+		source := "sim"
+		switch {
+		case ev.Disk:
+			source = "disk"
+			s.met.inc(s.met.jobsDisk)
+		case ev.Cached:
+			source = "memo"
+			s.met.inc(s.met.jobsMemo)
+		case ev.Err == nil:
+			s.met.inc(s.met.jobsSim)
+		}
+		if ev.Err != nil {
+			source = "error"
+		}
+		t.progress(ev, source)
+	}
+
+	var err error
+	switch t.kind {
+	case taskJob:
+		var results []*runner.Result
+		results, err = s.runJobs(ctx, []runner.Job{t.job}, onProgress)
+		if err == nil {
+			t.setResult(results[0])
+		}
+	case taskFigure:
+		var tbl *harness.Table
+		tbl, err = s.exp.WithContext(ctx).WithProgress(onProgress).Figure(t.figure, t.subset)
+		if err == nil {
+			text := tbl.String()
+			sum := sha256.Sum256([]byte(text))
+			t.setTable(text, hex.EncodeToString(sum[:]))
+		}
+	}
+
+	switch {
+	case err == nil:
+		s.met.inc(s.met.completed)
+		t.finish(stateDone, "")
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		s.met.inc(s.met.canceled)
+		t.finish(stateCanceled, err.Error())
+	default:
+		s.met.inc(s.met.failed)
+		t.finish(stateFailed, err.Error())
+	}
+}
+
+// cancelTask cancels a task's context; queued jobs stop before consuming
+// a worker, and the task lands in state canceled. Canceling a finished
+// task is a no-op. Reports whether the id exists.
+func (s *Server) cancelTask(id string) bool {
+	t := s.lookup(id)
+	if t == nil {
+		return false
+	}
+	t.cancel()
+	return true
+}
+
+// Shutdown drains the daemon: new submissions are rejected immediately,
+// then in-flight tasks are awaited. If ctx expires first, every task's
+// context is canceled — queued jobs abort promptly; simulations already
+// on a worker run to completion (a simulation has no preemption points)
+// — and Shutdown waits for that. Always returns nil once fully drained.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+	}
+	return nil
+}
+
+// now is time.Now, indirected for deterministic timestamps in tests.
+var now = time.Now

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// task states.
+const (
+	stateQueued   = "queued"
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateCanceled = "canceled"
+)
+
+// task kinds.
+const (
+	taskJob    = "job"
+	taskFigure = "figure"
+)
+
+// Event is one SSE payload: a per-job progress line or a task state
+// change. Seq is the event's index in the task's log, so reconnecting
+// clients can dedupe.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "progress" or "state"
+	// Progress fields.
+	Key    string `json:"key,omitempty"`
+	Source string `json:"source,omitempty"` // "sim", "memo", "disk", "error"
+	Done   int    `json:"done,omitempty"`
+	Total  int    `json:"total,omitempty"`
+	// State fields.
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// task is one admitted submission: a single job or a whole figure's job
+// set, with its own cancellation, progress log and SSE subscribers.
+//
+// The event log is append-only and replayed to late subscribers; notify
+// is closed and replaced on every append, so subscribers never miss or
+// duplicate an event no matter how slowly they drain.
+type task struct {
+	id     string
+	kind   string // taskJob or taskFigure
+	client string
+
+	job runner.Job // kind == taskJob
+	key string
+
+	figure string // kind == taskFigure
+	subset []string
+
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	done      int
+	total     int
+	source    string // terminal source of a job task: "sim", "memo", "disk"
+	result    *runner.Result
+	tableText string
+	digest    string
+	errMsg    string
+	events    []Event
+	notify    chan struct{}
+	closed    bool
+}
+
+// newTask builds a queued task.
+func newTask(kind, client string) *task {
+	return &task{
+		kind:    kind,
+		client:  client,
+		state:   stateQueued,
+		created: now(),
+		notify:  make(chan struct{}),
+	}
+}
+
+// publishLocked appends an event and wakes subscribers. Callers hold t.mu.
+func (t *task) publishLocked(ev Event) {
+	ev.Seq = len(t.events)
+	t.events = append(t.events, ev)
+	close(t.notify)
+	t.notify = make(chan struct{})
+}
+
+// setRunning marks the task started.
+func (t *task) setRunning() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.state = stateRunning
+	t.started = now()
+	t.publishLocked(Event{Type: "state", State: stateRunning})
+}
+
+// progress records one finished job of the task's batch.
+func (t *task) progress(ev runner.Progress, source string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done, t.total = ev.Done, ev.Total
+	t.source = source
+	e := Event{Type: "progress", Key: ev.Key, Source: source, Done: ev.Done, Total: ev.Total}
+	if ev.Err != nil {
+		e.Error = ev.Err.Error()
+	}
+	t.publishLocked(e)
+}
+
+// setResult stores a job task's measurement.
+func (t *task) setResult(res *runner.Result) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.result = res
+}
+
+// setTable stores a figure task's rendered text and digest.
+func (t *task) setTable(text, digest string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tableText = text
+	t.digest = digest
+}
+
+// finish moves the task to a terminal state and closes the event log.
+func (t *task) finish(state, errMsg string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.state = state
+	t.errMsg = errMsg
+	t.finished = now()
+	t.closed = true
+	t.publishLocked(Event{Type: "state", State: state, Error: errMsg})
+}
+
+// eventsSince snapshots the log from index i on, plus the channel that
+// signals the next append and whether the log is complete.
+func (t *task) eventsSince(i int) (evs []Event, notify <-chan struct{}, closed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < len(t.events) {
+		evs = append(evs, t.events[i:]...)
+	}
+	return evs, t.notify, t.closed
+}
+
+// snapshot returns the task's externally visible status.
+func (t *task) snapshot() taskStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := taskStatus{
+		ID:     t.id,
+		Kind:   t.kind,
+		State:  t.state,
+		Key:    t.key,
+		Figure: t.figure,
+		Source: t.source,
+		Done:   t.done,
+		Total:  t.total,
+		Error:  t.errMsg,
+	}
+	st.Created = rfc3339(t.created)
+	st.Started = rfc3339(t.started)
+	st.Finished = rfc3339(t.finished)
+	return st
+}
+
+// rfc3339 renders a timestamp, empty for the zero time.
+func rfc3339(ts time.Time) string {
+	if ts.IsZero() {
+		return ""
+	}
+	return ts.UTC().Format(time.RFC3339Nano)
+}
