@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race test-short bench tier1 tier2 all
+.PHONY: build vet test test-race test-short bench benchcmp tier1 tier2 all
 
 all: tier1
 
@@ -25,7 +25,7 @@ test-short:
 test-race:
 	$(GO) test -race -timeout 60m ./...
 
-# bench: regenerate the tracked BENCH_sim.json performance baseline.
+# bench: regenerate the tracked bench/BENCH_sim.json performance baseline.
 # Macro benchmarks (BenchmarkMatrix: whole figure pipelines) run once per
 # sub-benchmark; micro benchmarks (engine, cache bank, NoC, flatmap hot
 # paths) run with Go's auto benchtime for stable ns/op and allocs/op.
@@ -39,7 +39,20 @@ bench:
 	$(GO) build -o bin/nsexp ./cmd/nsexp
 	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=1x . | tee $(BENCH_DIR)/macro.txt
 	$(GO) test -run=^$$ -bench=. -benchmem $(BENCH_MICRO_PKGS) | tee $(BENCH_DIR)/micro.txt
-	$(GO) run ./cmd/benchjson -o BENCH_sim.json $(BENCH_DIR)/macro.txt $(BENCH_DIR)/micro.txt -- ./bin/nsexp -all -quick
+	$(GO) run ./cmd/benchjson -o $(BENCH_DIR)/BENCH_sim.json $(BENCH_DIR)/macro.txt $(BENCH_DIR)/micro.txt -- ./bin/nsexp -all -quick
+
+# benchcmp: the local performance gate. Re-runs the benchmarks into a
+# scratch report (no wall-clock run, so it is much faster than `make
+# bench`) and diffs it against the tracked baseline; fails past a 10%
+# per-benchmark ns/op or allocs/op regression. Run it on a quiet machine —
+# 1x macro iterations are noisy, so treat a small flagged delta as a
+# prompt to re-run, not as ground truth.
+benchcmp:
+	mkdir -p $(BENCH_DIR)
+	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=1x . | tee $(BENCH_DIR)/macro.new.txt
+	$(GO) test -run=^$$ -bench=. -benchmem $(BENCH_MICRO_PKGS) | tee $(BENCH_DIR)/micro.new.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_DIR)/BENCH_new.json $(BENCH_DIR)/macro.new.txt $(BENCH_DIR)/micro.new.txt
+	$(GO) run ./cmd/benchjson -compare $(BENCH_DIR)/BENCH_sim.json $(BENCH_DIR)/BENCH_new.json
 
 # tier1: the seed gate — must always pass.
 tier1: build test

@@ -1,15 +1,22 @@
 // Command benchjson turns `go test -bench` output into the tracked
-// BENCH_sim.json performance baseline.
+// bench/BENCH_sim.json performance baseline, and compares two baselines.
 //
 // Usage:
 //
-//	benchjson -o BENCH_sim.json macro.txt micro.txt -- ./bin/nsexp -all -quick
+//	benchjson -o bench/BENCH_sim.json macro.txt micro.txt -- ./bin/nsexp -all -quick
+//	benchjson -compare old.json new.json
 //
 // Positional arguments before "--" are files of `go test -bench -benchmem`
 // output (use "-" for stdin). The optional command after "--" is executed
 // with stdout captured; its wall-clock seconds and output sha256 are
 // recorded, so the baseline tracks end-to-end figure-regeneration time and
 // byte-level determinism alongside the micro-benchmarks.
+//
+// With -compare, the two positional arguments are an old and a new report;
+// per-benchmark ns/op and allocs/op deltas are printed and the exit status
+// is non-zero when any benchmark regresses past -threshold (ratio of new
+// to old) or the recorded figure digests differ — `make benchcmp` wires
+// this as the local performance gate.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"runtime"
@@ -56,8 +64,20 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_sim.json", "output file")
+	out := flag.String("o", "bench/BENCH_sim.json", "output file")
+	compare := flag.Bool("compare", false, "compare two reports (old.json new.json) instead of generating one")
+	threshold := flag.Float64("threshold", 1.10, "with -compare: max tolerated new/old ratio per benchmark")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two arguments: old.json new.json"))
+		}
+		if !compareReports(flag.Arg(0), flag.Arg(1), *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	files, cmdline := splitArgs(flag.Args())
 	rep := Report{
@@ -224,6 +244,86 @@ func previousWallclock(path string) *Wallclock {
 		return nil
 	}
 	return prev.Wallclock
+}
+
+// loadReport reads one BENCH_sim.json file.
+func loadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compareReports prints per-benchmark deltas between two baselines and
+// reports whether the new one passes: every shared benchmark's ns/op and
+// allocs/op must stay within threshold× the old value, and the recorded
+// figure digests (when both runs have one) must match byte-for-byte.
+// Improvements never fail, and benchmarks present in only one report are
+// listed but not gated — a renamed benchmark should not block a change.
+func compareReports(oldPath, newPath string, threshold float64) bool {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	key := func(b Benchmark) string { return b.Package + " " + b.Name }
+	olds := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		olds[key(b)] = b
+	}
+	ratio := func(new, old float64) float64 {
+		if old <= 0 {
+			if new <= 0 {
+				return 1
+			}
+			return math.Inf(1)
+		}
+		return new / old
+	}
+	fail := 0
+	fmt.Printf("%-60s %14s %14s %8s %8s\n", "benchmark", "old ns/op", "new ns/op", "ns", "allocs")
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := olds[key(nb)]
+		if !ok {
+			fmt.Printf("%-60s %14s %14.0f %8s %8s  (new)\n", key(nb), "-", nb.NsPerOp, "-", "-")
+			continue
+		}
+		delete(olds, key(nb))
+		rNs := ratio(nb.NsPerOp, ob.NsPerOp)
+		rAl := ratio(float64(nb.AllocsPerOp), float64(ob.AllocsPerOp))
+		mark := ""
+		if rNs > threshold || rAl > threshold {
+			mark = "  REGRESSION"
+			fail++
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%% %+7.1f%%%s\n",
+			key(nb), ob.NsPerOp, nb.NsPerOp, (rNs-1)*100, (rAl-1)*100, mark)
+	}
+	for k := range olds {
+		fmt.Printf("%-60s  (only in %s)\n", k, oldPath)
+	}
+	if ow, nw := oldRep.Wallclock, newRep.Wallclock; ow != nil && nw != nil {
+		fmt.Printf("%-60s %13.1fs %13.1fs %+7.1f%%\n",
+			"wallclock: "+nw.Command, ow.Seconds, nw.Seconds, (ratio(nw.Seconds, ow.Seconds)-1)*100)
+		if ow.OutputSHA256 != nw.OutputSHA256 {
+			fmt.Printf("DIGEST MISMATCH: output sha256 %s -> %s\n", ow.OutputSHA256, nw.OutputSHA256)
+			fail++
+		}
+	}
+	if fail > 0 {
+		fmt.Printf("benchjson: %d regression(s) past the %.2fx threshold\n", fail, threshold)
+		return false
+	}
+	fmt.Println("benchjson: within threshold")
+	return true
 }
 
 // timeCommand runs cmdline, hashing stdout, and reports elapsed seconds.

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cache"
 	"repro/internal/compiler"
+	"repro/internal/flatmap"
 	"repro/internal/isa"
 	"repro/internal/noc"
 	"repro/internal/obs"
@@ -32,15 +33,21 @@ type remoteStream struct {
 	// elems is the dynamic element sequence from the trace.
 	elems []streamElem
 
-	// Per-element completion state at the bank.
-	readyAt []sim.Time
-	done    []bool
-	waiters map[int][]func()
+	// Per-element completion state at the bank. waiter holds each
+	// element's (almost always single) completion callback in a dense
+	// slot — consumer streams re-register their advance event per
+	// element, which made a map of slices the hottest allocation site in
+	// the simulator; registrations beyond the first overflow to waiterOv.
+	readyAt  []sim.Time
+	done     []bool
+	waiter   []func()         // lazily sized to len(elems)
+	waiterOv map[int][]func() // rare: second and later waiters
 
 	// respAt/respDone track per-element responses at the core.
-	respAt   []sim.Time
-	respDone []bool
-	respWtrs map[int][]func()
+	respAt    []sim.Time
+	respDone  []bool
+	respWtr   []func(sim.Time) // dense, like waiter
+	respWtrOv map[int][]func(sim.Time)
 
 	// Value dependences (forwarded operands) and indirect base.
 	deps []*remoteStream
@@ -58,12 +65,22 @@ type remoteStream struct {
 	// allocate on the stream's hottest path.
 	advanceEv sim.Event
 
+	// parked dedups elemReady registrations on a producer: advance is
+	// re-entered from many sources while blocked on the same element, and
+	// re-registering each time piled up no-op callbacks. parkedFire is
+	// the bound wakeup that clears the flag before advancing.
+	parked     bool
+	parkedFire func()
+
 	// lineDone caches per-line availability; linePend queues callbacks
 	// while a line access is outstanding; lineWritten coalesces store
-	// writebacks per line.
-	lineDone    map[uint64]sim.Time
-	linePend    map[uint64][]func(at sim.Time)
-	lineWritten map[uint64]bool
+	// writebacks per line. Flat open-addressed tables: these are probed
+	// per element, and the pend slices recycle through pendPool so a
+	// steady state allocates nothing.
+	lineDone    flatmap.Map[sim.Time]
+	linePend    flatmap.Map[[]func(at sim.Time)]
+	lineWritten flatmap.Map[struct{}]
+	pendPool    [][]func(at sim.Time)
 
 	// Range-sync state. Commits pipeline: nextCommit is the next window
 	// whose commit message goes out; winCommitted counts received dones.
@@ -78,8 +95,17 @@ type remoteStream struct {
 	// Atomic lock bookkeeping.
 	lockedLines []lockedLine
 
-	// visitedBanks tracks banks holding partial reductions (§IV-C).
-	visitedBanks map[int]bool
+	// ctxFree heads the elemCtx freelist (see elemCtx).
+	ctxFree *elemCtx
+
+	// visitedBanks tracks banks holding partial reductions (§IV-C),
+	// indexed by tile id.
+	visitedBanks []bool
+
+	// Scratch for commitWindow's per-window line dedup, reused across
+	// windows (only ever used synchronously within one commit delivery).
+	commitSeen  flatmap.Map[struct{}]
+	commitLines []uint64
 
 	finished   bool
 	finalSent  bool
@@ -111,12 +137,7 @@ func newRemoteStream(cr *coreRun, s *compiler.Stream, elems []streamElem) *remot
 		cr: cr, s: s, elems: elems,
 		readyAt:      make([]sim.Time, len(elems)),
 		done:         make([]bool, len(elems)),
-		waiters:      map[int][]func(){},
-		respWtrs:     map[int][]func(){},
-		lineDone:     map[uint64]sim.Time{},
-		linePend:     map[uint64][]func(sim.Time){},
-		lineWritten:  map[uint64]bool{},
-		visitedBanks: map[int]bool{},
+		visitedBanks: make([]bool, cr.m.Tiles()),
 		curBank:      -1,
 		stepExempt:   s.Kind == isa.KindPointerChase,
 	}
@@ -128,6 +149,10 @@ func newRemoteStream(cr *coreRun, s *compiler.Stream, elems []streamElem) *remot
 		rs.rangeArrived = make([]bool, rs.numWindows()+1)
 	}
 	rs.advanceEv = rs.advance
+	rs.parkedFire = func() {
+		rs.parked = false
+		rs.advance()
+	}
 	return rs
 }
 
@@ -197,7 +222,17 @@ func (rs *remoteStream) elemReady(i int, fn func()) {
 		fn()
 		return
 	}
-	rs.waiters[i] = append(rs.waiters[i], fn)
+	if rs.waiter == nil {
+		rs.waiter = make([]func(), len(rs.elems))
+	}
+	if rs.waiter[i] == nil {
+		rs.waiter[i] = fn
+		return
+	}
+	if rs.waiterOv == nil {
+		rs.waiterOv = map[int][]func(){}
+	}
+	rs.waiterOv[i] = append(rs.waiterOv[i], fn)
 }
 
 // respReady registers a callback for element i's response at the core.
@@ -209,7 +244,17 @@ func (rs *remoteStream) respReady(i int, fn func(at sim.Time)) {
 		fn(rs.respAt[i])
 		return
 	}
-	rs.respWtrs[i] = append(rs.respWtrs[i], func() { fn(rs.respAt[i]) })
+	if rs.respWtr == nil {
+		rs.respWtr = make([]func(sim.Time), len(rs.elems))
+	}
+	if rs.respWtr[i] == nil {
+		rs.respWtr[i] = fn
+		return
+	}
+	if rs.respWtrOv == nil {
+		rs.respWtrOv = map[int][]func(sim.Time){}
+	}
+	rs.respWtrOv[i] = append(rs.respWtrOv[i], fn)
 }
 
 // Suspend stops issuing elements and calls onDrained once in-flight work
@@ -271,7 +316,10 @@ func (rs *remoteStream) advance() {
 		if rs.base != nil {
 			bi := min(i, len(rs.base.done)-1)
 			if bi >= 0 && !rs.base.done[bi] {
-				rs.base.elemReady(bi, rs.advanceEv)
+				if !rs.parked {
+					rs.parked = true
+					rs.base.elemReady(bi, rs.parkedFire)
+				}
 				return
 			}
 		}
@@ -279,7 +327,10 @@ func (rs *remoteStream) advance() {
 		for _, dep := range rs.deps {
 			di := min(i, len(dep.done)-1)
 			if di >= 0 && !dep.done[di] {
-				dep.elemReady(di, rs.advanceEv)
+				if !rs.parked {
+					rs.parked = true
+					dep.elemReady(di, rs.parkedFire)
+				}
 				blocked = true
 				break
 			}
@@ -316,44 +367,6 @@ func (rs *remoteStream) processElem(i int) {
 	m := rs.cr.m
 	line := m.Hier.LineAddr(e.pa)
 	bank := m.Hier.HomeBank(e.pa)
-	net := rs.cr.net()
-
-	afterMigrate := func() {
-		// Forwarded operands (multi-op, Figure 2b) are charged as
-		// offload traffic from the producer's bank.
-		for _, dep := range rs.deps {
-			di := min(i, len(dep.elems)-1)
-			if di < 0 {
-				continue
-			}
-			depBank := m.Hier.HomeBank(dep.elems[di].pa)
-			if depBank != bank {
-				net.Send(&noc.Message{Src: depBank, Dst: bank,
-					Bytes: int(dep.elems[di].size), Class: stats.TrafficOffload})
-			}
-		}
-		// Indirect request hop: base bank → target bank (Figure 5 step 7).
-		// The request carries the address plus, for stores/atomics, the
-		// update value.
-		if rs.base != nil {
-			bi := min(i, len(rs.base.elems)-1)
-			if bi >= 0 {
-				baseBank := m.Hier.HomeBank(rs.base.elems[bi].pa)
-				if baseBank != bank {
-					bytes := 8
-					// Stream-carried update values travel with the
-					// request; loop-invariant operands (histogram's +1)
-					// live in the target SE's configuration.
-					if rs.s.Write && len(rs.s.ValueDepSids) > 0 {
-						bytes += int(e.size)
-					}
-					net.Send(&noc.Message{Src: baseBank, Dst: bank,
-						Bytes: bytes, Class: stats.TrafficOffload})
-				}
-			}
-		}
-		rs.accessElem(i, line, bank)
-	}
 
 	if rs.base == nil && bank != rs.curBank {
 		// Affine/pointer streams migrate with the data (§IV-B). Moving to
@@ -370,17 +383,58 @@ func (rs *remoteStream) processElem(i int) {
 			bytes = 8
 		}
 		rs.curBank = bank
-		net.Send(&noc.Message{Src: from, Dst: bank, Bytes: bytes,
-			Class: stats.TrafficOffload, OnDeliver: afterMigrate})
+		rs.cr.net().Send(&noc.Message{Src: from, Dst: bank, Bytes: bytes,
+			Class: stats.TrafficOffload, OnDeliver: func() { rs.afterMigrate(i, line, bank) }})
 		return
 	}
-	afterMigrate()
+	rs.afterMigrate(i, line, bank)
+}
+
+// afterMigrate charges element i's operand-forwarding and indirect-hop
+// traffic, then performs the bank access.
+func (rs *remoteStream) afterMigrate(i int, line uint64, bank int) {
+	m := rs.cr.m
+	net := rs.cr.net()
+	// Forwarded operands (multi-op, Figure 2b) are charged as offload
+	// traffic from the producer's bank.
+	for _, dep := range rs.deps {
+		di := min(i, len(dep.elems)-1)
+		if di < 0 {
+			continue
+		}
+		depBank := m.Hier.HomeBank(dep.elems[di].pa)
+		if depBank != bank {
+			net.Send(&noc.Message{Src: depBank, Dst: bank,
+				Bytes: int(dep.elems[di].size), Class: stats.TrafficOffload})
+		}
+	}
+	// Indirect request hop: base bank → target bank (Figure 5 step 7).
+	// The request carries the address plus, for stores/atomics, the
+	// update value.
+	if rs.base != nil {
+		bi := min(i, len(rs.base.elems)-1)
+		if bi >= 0 {
+			baseBank := m.Hier.HomeBank(rs.base.elems[bi].pa)
+			if baseBank != bank {
+				bytes := 8
+				// Stream-carried update values travel with the
+				// request; loop-invariant operands (histogram's +1)
+				// live in the target SE's configuration.
+				if rs.s.Write && len(rs.s.ValueDepSids) > 0 {
+					bytes += int(rs.elems[i].size)
+				}
+				net.Send(&noc.Message{Src: baseBank, Dst: bank,
+					Bytes: bytes, Class: stats.TrafficOffload})
+			}
+		}
+	}
+	rs.accessElem(i, line, bank)
 }
 
 // ensureLine resolves a line's availability at its bank, paying the bank
 // access once per line.
 func (rs *remoteStream) ensureLine(bank int, line uint64, cb func(at sim.Time)) {
-	if t, ok := rs.lineDone[line]; ok {
+	if t, ok := rs.lineDone.Get(line); ok {
 		now := rs.cr.m.Engine.Now()
 		if t < now {
 			t = now
@@ -388,43 +442,153 @@ func (rs *remoteStream) ensureLine(bank int, line uint64, cb func(at sim.Time)) 
 		cb(t + 1) // buffered element access
 		return
 	}
-	if pend, ok := rs.linePend[line]; ok {
-		rs.linePend[line] = append(pend, cb)
+	if pend, ok := rs.linePend.Get(line); ok {
+		rs.linePend.Put(line, append(pend, cb))
 		return
 	}
-	rs.linePend[line] = []func(sim.Time){cb}
+	var pend []func(sim.Time)
+	if n := len(rs.pendPool); n > 0 {
+		pend = rs.pendPool[n-1]
+		rs.pendPool = rs.pendPool[:n-1]
+	} else {
+		pend = make([]func(sim.Time), 0, 4)
+	}
+	rs.linePend.Put(line, append(pend, cb))
 	rs.cr.m.Hier.Bank(bank).StreamRead(line, func(bool) {
 		at := rs.cr.m.Engine.Now()
-		rs.lineDone[line] = at
-		pend := rs.linePend[line]
-		delete(rs.linePend, line)
+		rs.lineDone.Put(line, at)
+		pend, _ := rs.linePend.Get(line)
+		rs.linePend.Delete(line)
 		for _, fn := range pend {
 			fn(at)
 		}
+		for j := range pend {
+			pend[j] = nil
+		}
+		rs.pendPool = append(rs.pendPool, pend[:0])
 	})
+}
+
+// elemCtx is the pooled per-in-flight-element completion context. It
+// replaces the closure chains accessElem used to allocate per element
+// (complete → elemDone thunk, plus the atomic lock/ensure/release
+// wrappers): each pool entry binds its callbacks once at creation and is
+// recycled when the element completes, so steady-state element
+// processing allocates nothing. The pool is bounded by the stream's
+// in-flight window.
+type elemCtx struct {
+	rs       *remoteStream
+	i        int
+	line     uint64
+	bank     int
+	modifies bool
+	next     *elemCtx // freelist link
+
+	completeCB func(sim.Time) // ec.complete: TLB + compute, then doneEv
+	doneEv     sim.Event      // ec.fireDone: recycle, then elemDone
+	writeCB    func(bool)     // ec.writeDone: complete(now)
+	lockedCB   func()         // ec.locked: record lock, resolve the line
+	lineCB     func(sim.Time) // ec.atomicLine: post-ensure atomic path
+	relCompEv  sim.Event      // ec.releaseComplete: unlock, complete(now)
+	relComp1Ev sim.Event      // ec.releaseComplete1: unlock, complete(now+1)
+	wrRelCB    func(bool)     // ec.writeReleaseDone: unlock, complete(now)
+}
+
+// getCtx takes a context from the stream's freelist (or builds one,
+// binding its callbacks) and points it at element i.
+func (rs *remoteStream) getCtx(i int, line uint64, bank int) *elemCtx {
+	ec := rs.ctxFree
+	if ec == nil {
+		ec = &elemCtx{rs: rs}
+		ec.completeCB = ec.complete
+		ec.doneEv = ec.fireDone
+		ec.writeCB = ec.writeDone
+		ec.lockedCB = ec.locked
+		ec.lineCB = ec.atomicLine
+		ec.relCompEv = ec.releaseComplete
+		ec.relComp1Ev = ec.releaseComplete1
+		ec.wrRelCB = ec.writeReleaseDone
+	} else {
+		rs.ctxFree = ec.next
+	}
+	ec.i, ec.line, ec.bank = i, line, bank
+	return ec
+}
+
+// complete applies the SE_L3 TLB lookup (one per page, cached) and the
+// bank-side computation latency (scalar PE or SCM/SCC, §III-C), then
+// schedules the element's completion.
+func (ec *elemCtx) complete(at sim.Time) {
+	rs := ec.rs
+	if lat, hit := rs.cr.seTLBLookup(ec.bank, rs.elems[ec.i].pa); !hit {
+		at += lat
+	}
+	if rs.cr.pol.offloadCompute && (len(rs.s.ComputeOps) > 0 || (rs.s.ScalarOp != isa.OpNone && rs.s.ScalarOp != isa.OpFunc)) {
+		scm := rs.cr.scmAt(ec.bank)
+		scalarOK := rs.s.ScalarOp != isa.OpNone && rs.s.ScalarOp != isa.OpFunc && len(rs.s.ComputeOps) <= 2
+		at = computeAt(scm, rs.cr.params, scalarOK, maxi(len(rs.s.ComputeOps), 1), rs.s.Vector, at)
+		rs.cr.shared.ctr.remoteCompute.Inc()
+	}
+	rs.cr.m.Engine.ScheduleAt(at, ec.doneEv)
+}
+
+// fireDone recycles the context before finalizing the element (elemDone
+// may synchronously start new elements, which reuse the slot).
+func (ec *elemCtx) fireDone() {
+	rs, i, line, bank := ec.rs, ec.i, ec.line, ec.bank
+	ec.next = rs.ctxFree
+	rs.ctxFree = ec
+	rs.elemDone(i, line, bank)
+}
+
+func (ec *elemCtx) writeDone(bool) { ec.complete(ec.rs.cr.m.Engine.Now()) }
+
+// locked is the AcquireLock continuation of the atomic path (§IV-C).
+func (ec *elemCtx) locked() {
+	rs := ec.rs
+	rs.lockedLines = append(rs.lockedLines, lockedLine{line: ec.line, bank: ec.bank, modifies: ec.modifies})
+	rs.ensureLine(ec.bank, ec.line, ec.lineCB)
+}
+
+// atomicLine runs once the locked line is available at the bank.
+func (ec *elemCtx) atomicLine(at sim.Time) {
+	rs := ec.rs
+	m := rs.cr.m
+	if rs.cr.pol.rangeSync {
+		m.Engine.ScheduleAt(at, ec.relCompEv) // write-back at commit
+		return
+	}
+	// The first atomic to a line claims it in the L3 (clearing private
+	// copies); later same-line atomics update in place in a cycle.
+	if rs.lineWritten.Contains(ec.line) {
+		m.Engine.ScheduleAt(at, ec.relComp1Ev)
+		return
+	}
+	rs.lineWritten.Put(ec.line, struct{}{})
+	m.Hier.Bank(ec.bank).StreamWrite(ec.line, ec.wrRelCB)
+}
+
+func (ec *elemCtx) releaseComplete() {
+	ec.rs.releaseLock(ec.bank, ec.line)
+	ec.complete(ec.rs.cr.m.Engine.Now())
+}
+
+func (ec *elemCtx) releaseComplete1() {
+	ec.rs.releaseLock(ec.bank, ec.line)
+	ec.complete(ec.rs.cr.m.Engine.Now() + 1)
+}
+
+func (ec *elemCtx) writeReleaseDone(bool) {
+	ec.rs.releaseLock(ec.bank, ec.line)
+	ec.complete(ec.rs.cr.m.Engine.Now())
 }
 
 // accessElem performs the bank access, computation, and write/response.
 func (rs *remoteStream) accessElem(i int, line uint64, bank int) {
 	m := rs.cr.m
 	b := m.Hier.Bank(bank)
-	e := rs.elems[i]
 	rs.visitedBanks[bank] = true
-
-	complete := func(at sim.Time) {
-		// SE_L3 TLB: one lookup per page (cached translation).
-		if lat, hit := rs.cr.seTLBLookup(bank, e.pa); !hit {
-			at += lat
-		}
-		// Computation at the bank (scalar PE or SCM/SCC, §III-C).
-		if rs.cr.pol.offloadCompute && (len(rs.s.ComputeOps) > 0 || (rs.s.ScalarOp != isa.OpNone && rs.s.ScalarOp != isa.OpFunc)) {
-			scm := rs.cr.scmAt(bank)
-			scalarOK := rs.s.ScalarOp != isa.OpNone && rs.s.ScalarOp != isa.OpFunc && len(rs.s.ComputeOps) <= 2
-			at = computeAt(scm, rs.cr.params, scalarOK, maxi(len(rs.s.ComputeOps), 1), rs.s.Vector, at)
-			rs.cr.shared.ctr.remoteCompute.Inc()
-		}
-		m.Engine.ScheduleAt(at, func() { rs.elemDone(i, line, bank) })
-	}
+	ec := rs.getCtx(i, line, bank)
 
 	switch {
 	case rs.s.Atomic && rs.cr.pol.offloadCompute:
@@ -435,49 +599,23 @@ func (rs *remoteStream) accessElem(i int, line uint64, bank int) {
 		// deadlocks with timeouts; releasing at RMW completion avoids the
 		// deadlock while preserving the MRSW-vs-exclusive contention this
 		// models — see DESIGN.md.)
-		modifies := e.changed || !rs.cr.params.MRSWLock
+		ec.modifies = rs.elems[i].changed || !rs.cr.params.MRSWLock
 		rs.cr.shared.ctr.atomicElems.Inc()
-		b.AcquireLock(line, rs.lockKey(), modifies, rs.cr.lockModeKind(), func() {
-			rs.lockedLines = append(rs.lockedLines, lockedLine{line: line, bank: bank, modifies: modifies})
-			rs.ensureLine(bank, line, func(at sim.Time) {
-				if rs.cr.pol.rangeSync {
-					m.Engine.ScheduleAt(at, func() {
-						rs.releaseLock(bank, line)
-						complete(m.Engine.Now()) // write-back at commit
-					})
-					return
-				}
-				// The first atomic to a line claims it in the L3 (clearing
-				// private copies); later same-line atomics update in place
-				// in a cycle.
-				if rs.lineWritten[line] {
-					m.Engine.ScheduleAt(at, func() {
-						rs.releaseLock(bank, line)
-						complete(m.Engine.Now() + 1)
-					})
-					return
-				}
-				rs.lineWritten[line] = true
-				b.StreamWrite(line, func(bool) {
-					rs.releaseLock(bank, line)
-					complete(m.Engine.Now())
-				})
-			})
-		})
+		b.AcquireLock(line, rs.lockKey(), ec.modifies, rs.cr.lockModeKind(), ec.lockedCB)
 	case rs.s.Write:
 		if rs.cr.pol.rangeSync {
-			rs.ensureLine(bank, line, complete) // buffered until commit
+			rs.ensureLine(bank, line, ec.completeCB) // buffered until commit
 			return
 		}
 		// Stores coalesce in the stream buffer and write back per line.
-		if rs.lineWritten[line] {
-			complete(m.Engine.Now() + 1)
+		if rs.lineWritten.Contains(line) {
+			ec.complete(m.Engine.Now() + 1)
 			return
 		}
-		rs.lineWritten[line] = true
-		b.StreamWrite(line, func(bool) { complete(m.Engine.Now()) })
+		rs.lineWritten.Put(line, struct{}{})
+		b.StreamWrite(line, ec.writeCB)
 	default:
-		rs.ensureLine(bank, line, complete)
+		rs.ensureLine(bank, line, ec.completeCB)
 	}
 }
 
@@ -500,10 +638,18 @@ func (rs *remoteStream) elemDone(i int, line uint64, bank int) {
 	rs.done[i] = true
 	rs.inflight--
 	rs.elemsProcessed++
-	for _, w := range rs.waiters[i] {
-		w()
+	if rs.waiter != nil {
+		if w := rs.waiter[i]; w != nil {
+			rs.waiter[i] = nil
+			w()
+			if ws, ok := rs.waiterOv[i]; ok {
+				delete(rs.waiterOv, i)
+				for _, w := range ws {
+					w()
+				}
+			}
+		}
 	}
-	delete(rs.waiters, i)
 
 	if rs.respAt != nil && rs.s.CT != isa.ComputeReduce {
 		bytes := rs.s.RetBytes
@@ -547,12 +693,21 @@ func (rs *remoteStream) doneThroughWindow(w int) bool {
 func (rs *remoteStream) sendResponse(i, bank, bytes int) {
 	rs.cr.net().Send(&noc.Message{Src: bank, Dst: rs.cr.coreID, Bytes: bytes,
 		Class: stats.TrafficOffload, OnDeliver: func() {
-			rs.respAt[i] = rs.cr.m.Engine.Now()
+			at := rs.cr.m.Engine.Now()
+			rs.respAt[i] = at
 			rs.respDone[i] = true
-			for _, w := range rs.respWtrs[i] {
-				w()
+			if rs.respWtr != nil {
+				if w := rs.respWtr[i]; w != nil {
+					rs.respWtr[i] = nil
+					w(at)
+					if ws, ok := rs.respWtrOv[i]; ok {
+						delete(rs.respWtrOv, i)
+						for _, w := range ws {
+							w(at)
+						}
+					}
+				}
 			}
-			delete(rs.respWtrs, i)
 		}})
 }
 
@@ -646,17 +801,20 @@ func (rs *remoteStream) commitWindow(win, endElem int) {
 	cr.net().Send(&noc.Message{Src: cr.coreID, Dst: bank, Bytes: commitBytes,
 		Class: stats.TrafficOffload, OnDeliver: func() {
 			// Write back the window's buffered stores (in element order,
-			// for determinism).
+			// for determinism). The dedup scratch lives on rs and is only
+			// touched inside this synchronous loop, so pipelined commits
+			// reuse it safely.
 			startElem := win * cr.params.RangeWindow
-			seen := map[uint64]bool{}
-			var lines []uint64
+			rs.commitSeen.Clear()
+			lines := rs.commitLines[:0]
 			for i := startElem; i < endElem; i++ {
 				line := cr.m.Hier.LineAddr(rs.elems[i].pa)
-				if !seen[line] {
-					seen[line] = true
+				if !rs.commitSeen.Contains(line) {
+					rs.commitSeen.Put(line, struct{}{})
 					lines = append(lines, line)
 				}
 			}
+			rs.commitLines = lines
 			remaining := len(lines) + 1
 			finishOne := func() {
 				remaining--
@@ -694,7 +852,7 @@ func (rs *remoteStream) finish() {
 	}
 	rs.emit(obs.KindStreamFinish, endBank, uint64(len(rs.elems)))
 	if rs.s.CT == isa.ComputeReduce && len(rs.elems) > 0 && cr.pol.offloadCompute {
-		banks := make([]int, 0, len(rs.visitedBanks))
+		banks := make([]int, 0, 16)
 		for b := 0; b < cr.m.Tiles(); b++ {
 			if rs.visitedBanks[b] {
 				banks = append(banks, b)

@@ -64,22 +64,26 @@ func GenTrace(m *machine.Machine, k *ir.Kernel, p *compiler.Plan, params map[str
 	}
 	innermost := len(k.Loops) - 1
 	var innerIter uint64
-	classOf := func(id ir.ValueRef) compiler.Category {
+	// Classification is static per op: resolve it once up front into
+	// dense tables instead of map lookups per dynamic instruction, and
+	// count dynamic ops in a small array (the category space is tiny).
+	classes := make([]compiler.Category, len(k.Ops))
+	streams := make([]*compiler.Stream, len(k.Ops))
+	for i := range k.Ops {
+		id := ir.ValueRef(i)
 		if p == nil {
 			op := &k.Ops[id]
 			if op.Kind == ir.OpConst || op.Kind == ir.OpParam {
-				return compiler.CatConfig
+				classes[i] = compiler.CatConfig
+			} else {
+				classes[i] = compiler.CatCore
 			}
-			return compiler.CatCore
+			continue
 		}
-		return p.ClassOf(id)
+		classes[i] = p.ClassOf(id)
+		streams[i] = p.StreamOf(id)
 	}
-	streamOf := func(id ir.ValueRef) *compiler.Stream {
-		if p == nil {
-			return nil
-		}
-		return p.StreamOf(id)
-	}
+	var dynOps [int(compiler.CatConfig) + 1]uint64
 	// instances[L] counts how many times loop level L has been entered
 	// (distinct dynamic instances — chains for while loops).
 	instances := make([]uint32, len(k.Loops))
@@ -98,11 +102,11 @@ func GenTrace(m *machine.Machine, k *ir.Kernel, p *compiler.Plan, params map[str
 			if op.Kind == ir.OpLoad || op.Kind == ir.OpStore || op.Kind == ir.OpAtomic {
 				return // recorded by OnMem with the address attached
 			}
-			tr.DynOps[classOf(id)]++
+			dynOps[classes[id]]++
 			tr.Entries = append(tr.Entries, traceEntry{kind: entOp, id: id})
 		},
 		OnMem: func(ev ir.MemEvent) {
-			tr.DynOps[classOf(ev.OpID)]++
+			dynOps[classes[ev.OpID]]++
 			pa := m.Translate(ev.Addr)
 			tr.Entries = append(tr.Entries, traceEntry{
 				kind: entOp, id: ev.OpID, pa: pa, size: uint8(ev.Size),
@@ -111,7 +115,7 @@ func GenTrace(m *machine.Machine, k *ir.Kernel, p *compiler.Plan, params map[str
 			// One stream element per iteration, recorded at the primary
 			// access: chase field loads and the store half of merged RMW
 			// streams share the primary's element.
-			if s := streamOf(ev.OpID); s != nil && ev.OpID == s.AccessOp {
+			if s := streams[ev.OpID]; s != nil && ev.OpID == s.AccessOp {
 				changed := ev.Changed
 				if s.MergedStore != ir.NoValue {
 					changed = true // the merged store will modify the line
@@ -126,6 +130,11 @@ func GenTrace(m *machine.Machine, k *ir.Kernel, p *compiler.Plan, params map[str
 	accs, err := ir.Exec(k, d, params, outerLo, outerHi, hooks)
 	if err != nil {
 		return nil, fmt.Errorf("core: trace generation: %w", err)
+	}
+	for c, n := range dynOps {
+		if n > 0 {
+			tr.DynOps[compiler.Category(c)] = n
+		}
 	}
 	tr.Accs = accs
 	return tr, nil

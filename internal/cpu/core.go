@@ -93,15 +93,25 @@ type Core struct {
 	source OpSource
 	mem    MemFunc
 
-	// Window state.
-	rob        []robEntry // ring, indexed by seq % ROB
+	// Window state. The rings are sized to the next power of two above
+	// ROB so the per-dependence seq->slot mapping is a mask, not a
+	// divide; capacity checks still use cfg.ROB. A ring larger than the
+	// window is harmless: at most ROB entries are in flight, and a
+	// doneTimes shadow is overwritten only ring-size retirements later.
+	robMask    uint64
+	rob        []robEntry // ring, indexed by seq & robMask
 	fetched    uint64     // ops fetched (next seq)
 	retired    uint64     // ops retired
 	lastRetire sim.Time
 	doneTimes  []sim.Time // shadow completions of recently retired ops
 
 	// Issue-queue: ops dispatched but waiting on unresolved deps (OOO).
-	waiting []waitOp
+	// resolveVer counts resolved-bit transitions; drainWaiting skips its
+	// scan when nothing resolved since the last drain (issue eligibility
+	// only changes when a dependency resolves, so the skip is exact).
+	waiting      []waitOp
+	resolveVer   uint64
+	lastDrainVer uint64
 
 	// Issue bandwidth bookkeeping.
 	issueCycle sim.Time
@@ -120,14 +130,14 @@ type Core struct {
 
 	fetchDone bool
 	stalled   bool // waiting on source Wake
-	pumping   bool
-	pumpQd    bool
-	// pumpEvent is the single pump closure, allocated once: the pump
-	// reschedules itself every active cycle, so a per-schedule closure
-	// would be the core model's hottest allocation.
-	pumpEvent sim.Event
-	retryOp   *MicroOp
-	onIdle    func()
+	// ticker drives the pipeline: one pump per active cycle. The pump
+	// parks it (by returning false) whenever forward progress needs an
+	// outside event — a fetch stall, a blocked dispatch, an unresolved
+	// ROB head — so an idle core consumes no engine events at all; memory
+	// completions and source wakeups re-arm it idempotently.
+	ticker  *sim.Recurring
+	retryOp *MicroOp
+	onIdle  func()
 	// recycle returns issued ops to an OpRecycler source for pooling.
 	recycle func(*MicroOp)
 
@@ -142,23 +152,25 @@ func NewCore(engine *sim.Engine, cfg Config, source OpSource, mem MemFunc) *Core
 	if cfg.IssueWidth <= 0 || cfg.ROB <= 0 {
 		panic("cpu: bad core config")
 	}
+	ring := 1
+	for ring < cfg.ROB {
+		ring <<= 1
+	}
 	c := &Core{
 		cfg:       cfg,
 		engine:    engine,
 		source:    source,
 		mem:       mem,
-		rob:       make([]robEntry, cfg.ROB),
-		doneTimes: make([]sim.Time, cfg.ROB),
+		robMask:   uint64(ring - 1),
+		rob:       make([]robEntry, ring),
+		doneTimes: make([]sim.Time, ring),
 		loadRing:  make([]sim.Time, maxInt(cfg.LQ, 1)),
 		storeRing: make([]sim.Time, maxInt(cfg.SQ, 1)),
 	}
 	for k := range c.fu {
 		c.fu[k] = make([]sim.Time, cfg.FUCount[k])
 	}
-	c.pumpEvent = func() {
-		c.pumpQd = false
-		c.pump()
-	}
+	c.ticker = engine.NewRecurring(1, c.pump)
 	if r, ok := source.(OpRecycler); ok {
 		c.recycle = r.Recycle
 	}
@@ -169,13 +181,13 @@ func NewCore(engine *sim.Engine, cfg Config, source OpSource, mem MemFunc) *Core
 func (c *Core) Config() Config { return c.cfg }
 
 // Start begins execution.
-func (c *Core) Start() { c.schedulePump(0) }
+func (c *Core) Start() { c.ticker.Wake() }
 
 // Wake tells a stalled core that its source has ops again.
 func (c *Core) Wake() {
 	if c.stalled {
 		c.stalled = false
-		c.schedulePump(0)
+		c.ticker.Wake()
 	}
 }
 
@@ -188,14 +200,6 @@ func (c *Core) FinishTime() sim.Time { return c.lastRetire }
 // SetOnIdle registers a callback fired once when the stream completes.
 func (c *Core) SetOnIdle(fn func()) { c.onIdle = fn }
 
-func (c *Core) schedulePump(delay sim.Time) {
-	if c.pumpQd {
-		return
-	}
-	c.pumpQd = true
-	c.engine.Schedule(delay, c.pumpEvent)
-}
-
 // completionOf returns the completion time of dependency seq, or ok=false
 // while it is unresolved.
 func (c *Core) completionOf(seq uint64) (sim.Time, bool) {
@@ -204,11 +208,11 @@ func (c *Core) completionOf(seq uint64) (sim.Time, bool) {
 	}
 	if seq < c.retired {
 		if c.retired-seq <= uint64(c.cfg.ROB) {
-			return c.doneTimes[seq%uint64(c.cfg.ROB)], true
+			return c.doneTimes[seq&c.robMask], true
 		}
 		return 0, true
 	}
-	e := &c.rob[seq%uint64(c.cfg.ROB)]
+	e := &c.rob[seq&c.robMask]
 	if !e.resolved {
 		return 0, false
 	}
@@ -218,14 +222,14 @@ func (c *Core) completionOf(seq uint64) (sim.Time, bool) {
 // tryRetire advances retirement over resolved heads.
 func (c *Core) tryRetire() {
 	for c.retired < c.fetched {
-		e := &c.rob[c.retired%uint64(c.cfg.ROB)]
+		e := &c.rob[c.retired&c.robMask]
 		if !e.resolved {
 			return
 		}
 		if e.complete > c.lastRetire {
 			c.lastRetire = e.complete
 		}
-		c.doneTimes[c.retired%uint64(c.cfg.ROB)] = e.complete
+		c.doneTimes[c.retired&c.robMask] = e.complete
 		if e.onRetire != nil {
 			fn, at := e.onRetire, c.lastRetire
 			e.onRetire = nil
@@ -245,22 +249,19 @@ func (c *Core) tryRetire() {
 // memory system stays fine-grained.
 const maxPumpOps = 64
 
-func (c *Core) pump() {
-	if c.pumping {
-		return
-	}
-	c.pumping = true
-	defer func() { c.pumping = false }()
-
+// pump advances the pipeline for one cycle of work. It reports whether
+// the ticker should fire again next cycle; returning false parks the core
+// until a completion event or source wakeup calls ticker.Wake.
+func (c *Core) pump() bool {
 	c.drainWaiting()
 	c.tryRetire()
 	for n := 0; n < maxPumpOps; n++ {
 		if c.fetched-c.retired >= uint64(c.cfg.ROB) {
-			if c.rob[c.retired%uint64(c.cfg.ROB)].resolved {
+			if c.rob[c.retired&c.robMask].resolved {
 				c.tryRetire()
 				continue
 			}
-			return // head unresolved; completion event re-pumps
+			return false // head unresolved; completion event re-pumps
 		}
 		op := c.retryOp
 		if op != nil {
@@ -271,19 +272,19 @@ func (c *Core) pump() {
 			switch res {
 			case FetchStall:
 				c.stalled = true
-				return
+				return false
 			case FetchDone:
 				c.fetchDone = true
 				c.tryRetire()
-				return
+				return false
 			}
 		}
 		if !c.dispatch(op) {
 			c.retryOp = op
-			return // blocked; a completion event re-pumps
+			return false // blocked; a completion event re-pumps
 		}
 	}
-	c.schedulePump(1)
+	return true
 }
 
 // dispatch admits one op into the window. It returns false when dispatch
@@ -343,7 +344,7 @@ func (c *Core) dispatch(op *MicroOp) bool {
 	}
 	seq := c.fetched
 	c.fetched++
-	c.rob[seq%uint64(c.cfg.ROB)] = robEntry{seq: seq, onRetire: op.OnRetire}
+	c.rob[seq&c.robMask] = robEntry{seq: seq, onRetire: op.OnRetire}
 	if unresolved {
 		c.waiting = append(c.waiting, waitOp{op: op, seq: seq, loadSlot: loadSlot, storeSlot: storeSlot})
 		return true
@@ -358,6 +359,13 @@ func (c *Core) dispatch(op *MicroOp) bool {
 // drainWaiting re-checks parked ops after completions; runs to fixpoint so
 // chains of non-memory ops resolve in one pass.
 func (c *Core) drainWaiting() {
+	if c.resolveVer == c.lastDrainVer {
+		return
+	}
+	if len(c.waiting) == 0 {
+		c.lastDrainVer = c.resolveVer
+		return
+	}
 	for {
 		progressed := false
 		remaining := c.waiting[:0]
@@ -386,6 +394,7 @@ func (c *Core) drainWaiting() {
 		}
 		c.waiting = remaining
 		if !progressed {
+			c.lastDrainVer = c.resolveVer
 			return
 		}
 	}
@@ -431,7 +440,7 @@ func (c *Core) issueOp(op *MicroOp, seq uint64, ready sim.Time, loadSlot, storeS
 		op.OnIssue(issue)
 	}
 
-	e := &c.rob[seq%uint64(c.cfg.ROB)]
+	e := &c.rob[seq&c.robMask]
 	if op.Class.IsMem() && op.Mem != nil {
 		c.MemOps++
 		extra := op.ExtraLatency
@@ -445,6 +454,7 @@ func (c *Core) issueOp(op *MicroOp, seq uint64, ready sim.Time, loadSlot, storeS
 			// busy until memory acknowledges.
 			e.resolved = true
 			e.complete = issue + c.cfg.Latency[Store] + op.ExtraLatency
+			c.resolveVer++
 		}
 	} else {
 		lat := c.cfg.Latency[op.Class] + op.ExtraLatency
@@ -454,6 +464,7 @@ func (c *Core) issueOp(op *MicroOp, seq uint64, ready sim.Time, loadSlot, storeS
 		}
 		e.resolved = true
 		e.complete = issue + lat
+		c.resolveVer++
 		if loadSlot >= 0 {
 			c.loadRing[loadSlot] = e.complete
 		}
@@ -468,10 +479,11 @@ func (c *Core) issueOp(op *MicroOp, seq uint64, ready sim.Time, loadSlot, storeS
 // restarts the pipeline.
 func (c *Core) resolveMem(seq uint64, at sim.Time, loadSlot, storeSlot int) {
 	if c.fetched > seq && c.fetched-seq <= uint64(c.cfg.ROB) {
-		e := &c.rob[seq%uint64(c.cfg.ROB)]
+		e := &c.rob[seq&c.robMask]
 		if e.seq == seq && !e.resolved {
 			e.resolved = true
 			e.complete = at
+			c.resolveVer++
 		}
 	}
 	if loadSlot >= 0 {
@@ -483,7 +495,7 @@ func (c *Core) resolveMem(seq uint64, at sim.Time, loadSlot, storeSlot int) {
 	c.drainWaiting()
 	c.tryRetire()
 	if !c.Done() {
-		c.schedulePump(0)
+		c.ticker.Wake()
 	}
 }
 

@@ -145,6 +145,15 @@ func (m *Map[V]) Delete(key uint64) bool {
 	}
 }
 
+// Clear removes every entry, keeping the table's capacity.
+func (m *Map[V]) Clear() {
+	if m.n == 0 {
+		return
+	}
+	clear(m.entries)
+	m.n = 0
+}
+
 // grow rehashes into a table of newCap slots (a power of two >= minCap).
 func (m *Map[V]) grow(newCap int) {
 	old := m.entries

@@ -1,12 +1,12 @@
 package harness
 
 import (
-	"container/list"
 	"fmt"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/flatmap"
 	"repro/internal/ir"
 	"repro/internal/isa"
 	"repro/internal/machine"
@@ -194,37 +194,86 @@ func idealTraffic(m *machine.Machine, w *workloads.Workload, plan *compiler.Plan
 }
 
 // byteLRU is a byte-budget LRU over element addresses (the "perfect
-// private cache" of Figure 1b).
+// private cache" of Figure 1b). Entries are intrusively linked nodes in
+// one grow-only slice, recycled through a freelist and indexed by a flat
+// open-addressed map, so a steady-state touch — hit, miss, or eviction —
+// allocates nothing. The container/list version this replaces allocated a
+// node plus a map cell per miss, which was nearly all of the Fig1b
+// benchmark's garbage.
 type byteLRU struct {
 	budget int
 	used   int
-	ll     *list.List
-	m      map[uint64]*list.Element
+	nodes  []lruNode
+	idx    *flatmap.Map[int32]
+	head   int32 // most recently used, -1 when empty
+	tail   int32 // least recently used, -1 when empty
+	free   int32 // freelist head threaded through next, -1 when empty
 }
 
-type lruEnt struct {
-	addr uint64
-	size int
+type lruNode struct {
+	addr       uint64
+	size       int32
+	prev, next int32
 }
 
 func newByteLRU(budget int) *byteLRU {
-	return &byteLRU{budget: budget, ll: list.New(), m: map[uint64]*list.Element{}}
+	return &byteLRU{budget: budget, idx: flatmap.New[int32](1024), head: -1, tail: -1, free: -1}
+}
+
+func (l *byteLRU) unlink(i int32) {
+	n := &l.nodes[i]
+	if n.prev >= 0 {
+		l.nodes[n.prev].next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next >= 0 {
+		l.nodes[n.next].prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+}
+
+func (l *byteLRU) pushFront(i int32) {
+	n := &l.nodes[i]
+	n.prev = -1
+	n.next = l.head
+	if l.head >= 0 {
+		l.nodes[l.head].prev = i
+	} else {
+		l.tail = i
+	}
+	l.head = i
 }
 
 // touch returns true on a hit; misses insert and evict LRU bytes.
 func (l *byteLRU) touch(addr uint64, size int) bool {
-	if e, ok := l.m[addr]; ok {
-		l.ll.MoveToFront(e)
+	if i, ok := l.idx.Get(addr); ok {
+		if i != l.head {
+			l.unlink(i)
+			l.pushFront(i)
+		}
 		return true
 	}
-	l.m[addr] = l.ll.PushFront(lruEnt{addr, size})
+	i := l.free
+	if i >= 0 {
+		l.free = l.nodes[i].next
+	} else {
+		l.nodes = append(l.nodes, lruNode{})
+		i = int32(len(l.nodes) - 1)
+	}
+	l.nodes[i] = lruNode{addr: addr, size: int32(size)}
+	l.pushFront(i)
+	l.idx.Put(addr, i)
 	l.used += size
-	for l.used > l.budget && l.ll.Len() > 0 {
-		back := l.ll.Back()
-		ent := back.Value.(lruEnt)
-		l.ll.Remove(back)
-		delete(l.m, ent.addr)
-		l.used -= ent.size
+	for l.used > l.budget && l.tail >= 0 {
+		t := l.tail
+		victim := l.nodes[t]
+		l.unlink(t)
+		l.idx.Delete(victim.addr)
+		l.used -= int(victim.size)
+		l.nodes[t].next = l.free
+		l.free = t
 	}
 	return false
 }

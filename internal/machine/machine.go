@@ -66,6 +66,13 @@ func CI() Config {
 }
 
 // Machine is an assembled system.
+//
+// Every clocked component hangs off one sim.Engine and follows its
+// eventless-idle contract: cores park their pipeline ticker when
+// stalled, cache banks and the NoC schedule work only when traffic is
+// in flight, and DRAM is pure state between bursts. Idle tiles
+// therefore cost nothing — the engine's time wheel pops only cycles
+// that actually hold events.
 type Machine struct {
 	Cfg    Config
 	Engine *sim.Engine

@@ -39,6 +39,13 @@ func DefaultConfig() Config {
 }
 
 // Memory is the set of DRAM controllers.
+//
+// The model is eventless while idle, which the engine's idle-cycle
+// skipping depends on: bus occupancy is pure state (nextFree per
+// controller), a burst schedules at most one completion event (none for
+// fire-and-forget writebacks), and there are no refresh or polling
+// ticks. A machine whose cores and streams are parked therefore has an
+// empty event horizon and the clock jumps straight to the next arrival.
 type Memory struct {
 	cfg    Config
 	engine *sim.Engine

@@ -94,9 +94,15 @@ type Network struct {
 	// set: a link is counted when its stamp differs from the current epoch.
 	linkSeen []uint32
 	epoch    uint32
-	// deliverNop is the shared arrival event for fire-and-forget messages,
-	// so accounting-only sends never allocate a closure.
-	deliverNop sim.Event
+	// drainAt is the latest arrival time of any fire-and-forget message.
+	// Instead of one nop event per silent delivery, a single horizon
+	// event (horizonEv, queued while horizonQd) chases this running
+	// maximum: it fires, and if deliveries have pushed the horizon out it
+	// re-enqueues itself at the new time, so a run's drain time still
+	// covers every delivery while idle routers schedule nothing.
+	drainAt   sim.Time
+	horizonQd bool
+	horizonEv sim.Event
 	// Delivered counts total messages for sanity checks.
 	Delivered uint64
 	// reg holds the interned message counters; tracer (usually nil)
@@ -121,7 +127,13 @@ func New(engine *sim.Engine, cfg Config) *Network {
 	n.nextFree = make([]sim.Time, nodes*dirCount)
 	n.busyCycles = make([]uint64, nodes*dirCount)
 	n.linkSeen = make([]uint32, nodes*dirCount)
-	n.deliverNop = func() {}
+	n.horizonEv = func() {
+		if n.drainAt > n.engine.Now() {
+			n.engine.ScheduleAt(n.drainAt, n.horizonEv)
+			return
+		}
+		n.horizonQd = false
+	}
 	n.buildRoutes()
 	return n
 }
@@ -331,9 +343,17 @@ func (n *Network) Utilization() float64 {
 func (n *Network) scheduleDelivery(at sim.Time, fn func()) {
 	n.Delivered++ // counted at send; the counter is only read after a run
 	if fn == nil {
-		// Still schedule an event at the arrival time: a run's drain time
-		// (and so its cycle count) includes fire-and-forget deliveries.
-		n.engine.ScheduleAt(at, n.deliverNop)
+		// A run's drain time (and so its cycle count) must still cover
+		// fire-and-forget deliveries, but scheduling a nop per message
+		// only to hold the clock open wastes an engine event each. Fold
+		// them into the single chasing horizon event instead.
+		if at > n.drainAt {
+			n.drainAt = at
+		}
+		if !n.horizonQd {
+			n.horizonQd = true
+			n.engine.ScheduleAt(n.drainAt, n.horizonEv)
+		}
 		return
 	}
 	n.engine.ScheduleAt(at, fn)

@@ -18,7 +18,7 @@ const StoreSchema = "nearstream-store/v1"
 // SimVersion tags stored results with the simulation code generation.
 // Bump it whenever a change makes previously-correct results stale (any
 // change to the figure digest, i.e. the nsexp -all -quick sha tracked in
-// BENCH_sim.json): entries written by another generation then load as
+// bench/BENCH_sim.json): entries written by another generation then load as
 // wrong-version and are recomputed instead of trusted.
 const SimVersion = "sim-5cdc9620"
 

@@ -8,6 +8,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Time is a simulation timestamp in core clock cycles.
@@ -20,27 +21,75 @@ const MaxTime Time = math.MaxUint64
 type Event func()
 
 // scheduled is one queued event. Events live by value inside the engine's
-// heap slice: Schedule neither allocates a node nor boxes through any.
+// wheel buckets and overflow heap: Schedule neither allocates a node nor
+// boxes through any.
 type scheduled struct {
 	at  Time
 	seq uint64
 	fn  Event
 }
 
+// The near-horizon time wheel covers [now, now+wheelSize). Nearly every
+// event a cycle-level model schedules is a handful of cycles out (cache
+// latencies, link hops, pipeline stages), so wheelSize only has to exceed
+// the longest common component latency — DRAM round-trips of a few hundred
+// cycles — for the heap to stay cold. 1024 slots is the smallest
+// power of two with comfortable margin; the whole wheel (buckets plus
+// occupancy bitmap) stays resident in L2.
+const (
+	wheelBits  = 10
+	wheelSize  = 1 << wheelBits
+	wheelMask  = wheelSize - 1
+	wheelWords = wheelSize / 64
+)
+
+// bucket holds the events of one wheel slot in insertion (= sequence)
+// order. head indexes the next event to fire; the slice is reset, not
+// reallocated, when it empties, so steady-state operation is allocation
+// free. Because all wheel events lie in a window of exactly wheelSize
+// cycles, a slot never holds two distinct timestamps at once.
+type bucket struct {
+	head int
+	ev   []scheduled
+}
+
 // Engine is a deterministic discrete-event scheduler.
 //
-// The queue is an index-based binary min-heap of scheduled values ordered
-// by (time, sequence). Compared to a container/heap of per-event pointer
-// nodes this removes the per-Schedule allocation and interface boxing,
-// which dominate the profile of a simulation that replays millions of
-// events; the ordering contract is unchanged (FIFO within a cycle).
+// Events are kept in a two-level structure. The first level is a time
+// wheel: a power-of-two ring of per-cycle buckets covering the next
+// wheelSize cycles, giving O(1) schedule and pop for the short delays that
+// dominate cycle-level models. The second level is an index-based binary
+// min-heap of scheduled values ordered by (time, sequence) that absorbs
+// the rare far-future events (delay >= wheelSize). An occupancy bitmap
+// over the wheel slots makes "find the next non-empty cycle" a handful of
+// word scans.
+//
+// The ordering contract is unchanged from the heap-only engine: events
+// fire in (time, sequence) order, FIFO within a cycle. At equal
+// timestamps a heap event always fires before a wheel event, which is
+// exactly sequence order: an event enters the heap only while its time is
+// at least wheelSize cycles away and enters the wheel only when closer,
+// so with a monotone clock the heap insertion necessarily happened
+// earlier.
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   []scheduled
+	now Time
+	seq uint64
+
+	// Near level: wheel[t&wheelMask] buckets events for cycle t, with
+	// occ's bit t&wheelMask set while the bucket is non-empty.
+	wheel      []bucket
+	occ        []uint64
+	wheelCount int
+
+	// Far level: overflow min-heap for events >= wheelSize cycles out.
+	queue []scheduled
+
 	stopped bool
+	// recurrings lists every Recurring built on this engine so Reset can
+	// park them (see Reset).
+	recurrings []*Recurring
 	// Executed counts events that have fired, mostly for tests and
 	// runaway-simulation guards.
 	Executed uint64
@@ -48,7 +97,20 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{
+		wheel: make([]bucket, wheelSize),
+		occ:   make([]uint64, wheelWords),
+	}
+	// Seed every bucket with a small slice of one shared backing array so
+	// that scheduling into a never-before-used slot does not allocate; a
+	// slot that ever holds more events grows (and keeps) its own larger
+	// slice through the usual append doubling.
+	const seedCap = 2
+	backing := make([]scheduled, wheelSize*seedCap)
+	for i := range e.wheel {
+		e.wheel[i].ev = backing[i*seedCap : i*seedCap : (i+1)*seedCap]
+	}
+	return e
 }
 
 // Now returns the current simulation time.
@@ -67,6 +129,14 @@ func (e *Engine) ScheduleAt(at Time, fn Event) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
 	e.seq++
+	if at-e.now < wheelSize {
+		slot := int(at & wheelMask)
+		b := &e.wheel[slot]
+		b.ev = append(b.ev, scheduled{at: at, seq: e.seq, fn: fn})
+		e.occ[slot>>6] |= 1 << uint(slot&63)
+		e.wheelCount++
+		return
+	}
 	e.queue = append(e.queue, scheduled{at: at, seq: e.seq, fn: fn})
 	e.siftUp(len(e.queue) - 1)
 }
@@ -110,8 +180,8 @@ func (e *Engine) siftDown(i int) {
 	}
 }
 
-// pop removes and returns the minimum event. The caller guarantees the
-// queue is non-empty.
+// pop removes and returns the minimum heap event. The caller guarantees
+// the heap is non-empty.
 func (e *Engine) pop() scheduled {
 	n := len(e.queue)
 	top := e.queue[0]
@@ -124,8 +194,73 @@ func (e *Engine) pop() scheduled {
 	return top
 }
 
+// popBucket removes the front event of the bucket at slot. When the
+// bucket empties it is reset — and its occupancy bit cleared — before the
+// caller runs the event, so a same-cycle Schedule from inside the
+// callback starts a fresh bucket for the current slot.
+func (e *Engine) popBucket(b *bucket, slot int) scheduled {
+	s := b.ev[b.head]
+	b.ev[b.head].fn = nil
+	b.head++
+	if b.head == len(b.ev) {
+		b.ev = b.ev[:0]
+		b.head = 0
+		e.occ[slot>>6] &^= 1 << uint(slot&63)
+	}
+	e.wheelCount--
+	return s
+}
+
+// nextWheelSlot returns the slot holding the earliest wheel event, or -1
+// when the wheel is empty. All wheel events lie in [now, now+wheelSize),
+// so scanning the occupancy bitmap from now's slot, wrapping once, visits
+// slots in increasing-time order; a slot holds a single timestamp, read
+// off its first pending event via slotTime.
+func (e *Engine) nextWheelSlot() int {
+	if e.wheelCount == 0 {
+		return -1
+	}
+	start := int(e.now & wheelMask)
+	w := start >> 6
+	if x := e.occ[w] &^ (1<<uint(start&63) - 1); x != 0 {
+		return w<<6 | bits.TrailingZeros64(x)
+	}
+	for i := 1; i <= wheelWords; i++ {
+		// The final iteration re-reads word w: its bits at or above
+		// start were just seen clear, so any hit is a wrapped slot.
+		ww := (w + i) & (wheelWords - 1)
+		if x := e.occ[ww]; x != 0 {
+			return ww<<6 | bits.TrailingZeros64(x)
+		}
+	}
+	panic("sim: wheel count positive but occupancy bitmap empty")
+}
+
+func (e *Engine) slotTime(slot int) Time {
+	b := &e.wheel[slot]
+	return b.ev[b.head].at
+}
+
+// peekTime returns the earliest pending timestamp, or MaxTime when the
+// engine is idle.
+func (e *Engine) peekTime() Time {
+	// The current cycle's bucket being non-empty pins the wheel minimum
+	// at now without a bitmap scan (the slot cannot hold any other time).
+	if b := &e.wheel[e.now&wheelMask]; b.head < len(b.ev) {
+		return e.now
+	}
+	t := MaxTime
+	if slot := e.nextWheelSlot(); slot >= 0 {
+		t = e.slotTime(slot)
+	}
+	if len(e.queue) > 0 && e.queue[0].at < t {
+		t = e.queue[0].at
+	}
+	return t
+}
+
 // Pending reports the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.wheelCount + len(e.queue) }
 
 // Stop makes Run and RunUntil return after the current event completes.
 // The stop is one-shot and sticky: every later Step/Run/RunUntil call is
@@ -138,8 +273,11 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Reset returns the engine to its initial state: time zero, empty queue,
-// stop flag and counters cleared. Pending events are discarded. It is the
-// only way to reuse an engine after Stop.
+// stop flag and counters cleared. Pending events are discarded — wheel
+// buckets included — and every Recurring built on the engine is parked
+// (inactive, nothing queued), so a reused engine can neither fire stale
+// events nor be wedged by a Recurring that still believes its tick is in
+// flight. It is the only way to reuse an engine after Stop.
 func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
@@ -149,15 +287,64 @@ func (e *Engine) Reset() {
 		e.queue[i].fn = nil
 	}
 	e.queue = e.queue[:0]
+	if e.wheelCount > 0 {
+		for i := range e.wheel {
+			b := &e.wheel[i]
+			for j := range b.ev {
+				b.ev[j].fn = nil
+			}
+			b.ev = b.ev[:0]
+			b.head = 0
+		}
+		clear(e.occ)
+		e.wheelCount = 0
+	}
+	for i, r := range e.recurrings {
+		r.active = false
+		r.queued = false
+		e.recurrings[i] = nil
+	}
+	e.recurrings = e.recurrings[:0]
 }
 
 // Step fires the single next event, advancing time to it. It reports false
 // when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 || e.stopped {
+	if e.stopped {
 		return false
 	}
-	s := e.pop()
+	// Fast path: the current cycle's bucket has events and no heap event
+	// is due this cycle. (A due heap event fires first — see the ordering
+	// note on Engine.)
+	if b := &e.wheel[e.now&wheelMask]; b.head < len(b.ev) {
+		if len(e.queue) == 0 || e.queue[0].at > e.now {
+			s := e.popBucket(b, int(e.now&wheelMask))
+			e.Executed++
+			s.fn()
+			return true
+		}
+	} else if e.wheelCount == 0 && len(e.queue) == 0 {
+		return false
+	}
+	// Slow path: advance to the earliest pending time across both levels.
+	slot := e.nextWheelSlot()
+	wt := MaxTime
+	if slot >= 0 {
+		wt = e.slotTime(slot)
+	}
+	ht := MaxTime
+	if len(e.queue) > 0 {
+		ht = e.queue[0].at
+	}
+	if ht == MaxTime && wt == MaxTime {
+		return false
+	}
+	var s scheduled
+	if ht <= wt {
+		s = e.pop()
+	} else {
+		s = e.popBucket(&e.wheel[slot], slot)
+	}
 	e.now = s.at
 	e.Executed++
 	s.fn()
@@ -178,8 +365,12 @@ func (e *Engine) Run() Time {
 // nothing further (see Stop). It returns true if the queue drained (no
 // work remains at or before any time).
 func (e *Engine) RunUntil(limit Time) bool {
-	for len(e.queue) > 0 && !e.stopped {
-		if e.queue[0].at > limit {
+	for !e.stopped {
+		t := e.peekTime()
+		if t == MaxTime {
+			break
+		}
+		if t > limit {
 			e.now = limit
 			return false
 		}
@@ -188,7 +379,7 @@ func (e *Engine) RunUntil(limit Time) bool {
 	if !e.stopped && e.now < limit {
 		e.now = limit
 	}
-	return len(e.queue) == 0
+	return e.Pending() == 0
 }
 
 // RunTo fires events with timestamps <= limit like RunUntil, except that
@@ -199,21 +390,35 @@ func (e *Engine) RunUntil(limit Time) bool {
 // snapshots fires exactly the same events at the same times as one Run.
 // It returns true if the queue drained.
 func (e *Engine) RunTo(limit Time) bool {
-	for len(e.queue) > 0 && !e.stopped {
-		if e.queue[0].at > limit {
+	for !e.stopped {
+		t := e.peekTime()
+		if t == MaxTime {
+			break
+		}
+		if t > limit {
 			e.now = limit
 			return false
 		}
 		e.Step()
 	}
-	return len(e.queue) == 0
+	return e.Pending() == 0
 }
 
 // Recurring is a reusable periodic event: one closure is allocated at
 // construction and re-enqueued for every tick, so steady-state ticking is
-// allocation-free (the heap stores events by value). Model code that used
+// allocation-free (the queue stores events by value). Model code that used
 // to capture fresh closures per cycle — core issue loops, drain polls —
 // holds one Recurring instead.
+//
+// A Recurring doubles as the idle-elision primitive: a clocked component
+// returns false from its tick function (or calls Sleep) to stop consuming
+// engine events while it has no work, and any input that could create
+// work calls Wake/WakeAt to re-arm it. Both sides are idempotent, so the
+// component never needs to know whether it is currently ticking. To avoid
+// lost wakeups the component must (1) decide "no work" only from state a
+// waker updates before calling Wake, and (2) call Wake after every such
+// update — a Wake during the tick function itself is honored even when
+// the tick returns false.
 type Recurring struct {
 	e      *Engine
 	period Time
@@ -236,13 +441,21 @@ func (e *Engine) NewRecurring(period Time, fn func() bool) *Recurring {
 		if !r.active {
 			return
 		}
-		if r.fn() {
+		again := r.fn()
+		if r.queued {
+			// fn re-armed the series itself (a Wake reached it during
+			// the tick); that schedule wins over both the periodic
+			// re-enqueue and a false return, else the wakeup is lost.
+			return
+		}
+		if again {
 			r.queued = true
 			r.e.Schedule(r.period, r.tick)
 		} else {
 			r.active = false
 		}
 	}
+	e.recurrings = append(e.recurrings, r)
 	return r
 }
 
@@ -264,6 +477,32 @@ func (r *Recurring) Start(delay Time) {
 // Cancel stops the series after any tick already queued; it may be
 // restarted with Start.
 func (r *Recurring) Cancel() { r.active = false }
+
+// Sleep parks the series: Cancel under the name the idle-elision protocol
+// uses. A sleeping component consumes no engine events until re-armed
+// with Wake or WakeAt.
+func (r *Recurring) Sleep() { r.active = false }
+
+// Wake re-arms the series to tick in the current cycle. Unlike Start it
+// is idempotent: waking an already-active series is a no-op, so wakers
+// need not track the sleep state.
+func (r *Recurring) Wake() { r.WakeAt(r.e.now) }
+
+// WakeAt re-arms the series with its next tick at absolute time at
+// (clamped to now). Idempotent: if a tick is already queued — the series
+// is active, or was parked after the tick was enqueued — the series
+// simply resumes with that tick's original timing; the engine has no
+// event cancellation, so an in-flight tick can never be accelerated.
+func (r *Recurring) WakeAt(at Time) {
+	if at < r.e.now {
+		at = r.e.now
+	}
+	r.active = true
+	if !r.queued {
+		r.queued = true
+		r.e.ScheduleAt(at, r.tick)
+	}
+}
 
 // Active reports whether the series is armed.
 func (r *Recurring) Active() bool { return r.active }

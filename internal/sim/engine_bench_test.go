@@ -46,6 +46,25 @@ func BenchmarkEngineScheduleRunBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineFarScheduleChurn measures the overflow-heap path: every
+// delay lands past the wheel horizon, so this is the worst case the
+// two-level design can hit (and roughly what the old heap-only engine
+// paid on every event).
+func BenchmarkEngineFarScheduleChurn(b *testing.B) {
+	e := NewEngine()
+	fn := Event(func() {})
+	for j := 0; j < 64; j++ {
+		e.Schedule(wheelSize+Time(j%13)+1, fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(wheelSize+Time(i%13)+1, fn)
+		e.Step()
+	}
+}
+
 // BenchmarkEngineRecurring measures timer-wheel-style periodic events: N
 // ticks of a Recurring must cost zero allocations after construction.
 func BenchmarkEngineRecurring(b *testing.B) {

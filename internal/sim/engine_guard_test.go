@@ -61,4 +61,30 @@ func TestEngineHotPathsAllocFree(t *testing.T) {
 	}); a != 0 {
 		t.Errorf("Recurring ticks: %.1f allocs/op, want 0", a)
 	}
+
+	// The far path — events past the wheel horizon landing in the
+	// overflow heap — holds the same contract.
+	far := NewEngine()
+	for j := 0; j < 64; j++ { // grow the heap's backing array once
+		far.Schedule(wheelSize+Time(j%13)+1, fn)
+	}
+	far.Run()
+	if a := testing.AllocsPerRun(1000, func() {
+		far.Schedule(wheelSize+7, fn)
+		far.Step()
+	}); a != 0 {
+		t.Errorf("far Schedule/Step churn: %.1f allocs/op, want 0", a)
+	}
+
+	// So does the idle-elision protocol: parking and re-arming a
+	// Recurring is pure flag-and-queue work.
+	idler := e.NewRecurring(1, func() bool { return false })
+	idler.Start(0)
+	e.Run()
+	if a := testing.AllocsPerRun(1000, func() {
+		idler.Wake()
+		e.Run()
+	}); a != 0 {
+		t.Errorf("Recurring Wake/Sleep churn: %.1f allocs/op, want 0", a)
+	}
 }

@@ -1,0 +1,362 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refScheduler is the heap-only ordering oracle the wheel engine is
+// checked against: a plain sorted queue fired strictly in (time, sequence)
+// order. It reimplements none of the Engine's structure on purpose — any
+// ordering bug the two-level design introduces shows up as a divergence.
+type refScheduler struct {
+	clock Time
+	seq   uint64
+	queue []scheduled
+}
+
+func (r *refScheduler) schedule(delay Time, fn Event) {
+	at := r.clock + delay
+	r.seq++
+	s := scheduled{at: at, seq: r.seq, fn: fn}
+	i := sort.Search(len(r.queue), func(i int) bool {
+		q := r.queue[i]
+		return q.at > s.at || (q.at == s.at && q.seq > s.seq)
+	})
+	r.queue = append(r.queue, scheduled{})
+	copy(r.queue[i+1:], r.queue[i:])
+	r.queue[i] = s
+}
+
+func (r *refScheduler) step() bool {
+	if len(r.queue) == 0 {
+		return false
+	}
+	s := r.queue[0]
+	r.queue = r.queue[1:]
+	r.clock = s.at
+	s.fn()
+	return true
+}
+
+func (r *refScheduler) reset() {
+	r.clock = 0
+	r.seq = 0
+	r.queue = nil
+}
+
+// testScheduler abstracts the engine under test and the oracle so one
+// workload drives both.
+type testScheduler interface {
+	schedule(delay Time, fn Event)
+	step() bool
+	now() Time
+	reset()
+}
+
+type engineAdapter struct{ e *Engine }
+
+func (a engineAdapter) schedule(delay Time, fn Event) { a.e.Schedule(delay, fn) }
+func (a engineAdapter) step() bool                    { return a.e.Step() }
+func (a engineAdapter) now() Time                     { return a.e.now }
+func (a engineAdapter) reset()                        { a.e.Reset() }
+
+func (r *refScheduler) now() Time { return r.clock }
+
+// fired is one log entry: which event ran and when.
+type fired struct {
+	id int
+	at Time
+}
+
+// runWorkload drives a randomized self-scheduling workload on s and
+// returns the firing log. Delays straddle the wheel horizon (so events
+// land in buckets, in the overflow heap, and migrate between runs of the
+// clock), events schedule children from inside callbacks (same-cycle
+// included), a fraction of events are "canceled" by flag before firing,
+// and the whole engine is Reset partway through with a second workload
+// run on the reused instance.
+func runWorkload(s testScheduler, seed int64) []fired {
+	rng := rand.New(rand.NewSource(seed))
+	var log []fired
+	canceled := make(map[int]bool)
+	nextID := 0
+	total := 0
+	const maxEvents = 4000
+
+	randDelay := func() Time {
+		switch rng.Intn(10) {
+		case 0: // far past the wheel horizon
+			return Time(wheelSize + rng.Intn(4*wheelSize))
+		case 1: // exactly at the boundary
+			return wheelSize
+		case 2: // same cycle
+			return 0
+		default: // the common near case
+			return Time(rng.Intn(64) + 1)
+		}
+	}
+
+	var spawn func()
+	spawn = func() {
+		id := nextID
+		nextID++
+		if rng.Intn(8) == 0 {
+			canceled[id] = true
+		}
+		s.schedule(randDelay(), func() {
+			if canceled[id] {
+				return
+			}
+			log = append(log, fired{id: id, at: s.now()})
+			for c := rng.Intn(3); c > 0 && total < maxEvents; c-- {
+				total++
+				spawn()
+			}
+		})
+	}
+
+	phase := func(roots int) {
+		for i := 0; i < roots && total < maxEvents; i++ {
+			total++
+			spawn()
+		}
+		for s.step() {
+		}
+	}
+
+	phase(40)
+	// Reset with events still pending: schedule a batch, fire only some,
+	// then wipe. Nothing from before the reset may fire afterwards.
+	for i := 0; i < 20; i++ {
+		total++
+		spawn()
+	}
+	for i := 0; i < 5; i++ {
+		s.step()
+	}
+	s.reset()
+	log = append(log, fired{id: -1, at: s.now()}) // phase marker
+	phase(40)
+	return log
+}
+
+// TestWheelMatchesReferenceEngine is the property test for the two-level
+// scheduler: under randomized delays, nested scheduling, cancellation and
+// mid-run Reset, the wheel+heap engine must fire exactly the same events
+// at exactly the same times, in exactly the same order, as a heap-only
+// reference.
+func TestWheelMatchesReferenceEngine(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		got := runWorkload(engineAdapter{NewEngine()}, seed)
+		want := runWorkload(&refScheduler{}, seed)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: engine fired %d events, reference %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: firing %d diverges: engine (id=%d at=%d), reference (id=%d at=%d)",
+					seed, i, got[i].id, got[i].at, want[i].id, want[i].at)
+			}
+		}
+	}
+}
+
+// TestHeapBeatsWheelAtEqualTime pins the cross-level ordering invariant
+// directly: an event that entered the overflow heap fires before a wheel
+// event with the same timestamp, because the heap insertion necessarily
+// happened earlier (smaller sequence number).
+func TestHeapBeatsWheelAtEqualTime(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	target := Time(wheelSize + 10)
+	e.ScheduleAt(target, func() { order = append(order, "heap") }) // far: heap
+	e.Schedule(wheelSize, func() {
+		// now = wheelSize: target is 10 cycles out, so this lands in the
+		// wheel — at the same absolute time as the heap event.
+		e.ScheduleAt(target, func() { order = append(order, "wheel") })
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "heap" || order[1] != "wheel" {
+		t.Fatalf("equal-time firing order = %v, want [heap wheel]", order)
+	}
+	if e.Now() != target {
+		t.Fatalf("final time %d, want %d", e.Now(), target)
+	}
+}
+
+// TestRecurringSleepWake covers the idle-elision protocol: Sleep parks
+// the series, Wake re-arms it for the current cycle, and both are
+// idempotent.
+func TestRecurringSleepWake(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	r := e.NewRecurring(2, func() bool {
+		ticks = append(ticks, e.Now())
+		return len(ticks) < 2 // sleep itself after the second tick
+	})
+	r.Start(1)
+	e.Run()
+	if want := []Time{1, 3}; !timesEqual(ticks, want) {
+		t.Fatalf("ticks before sleep = %v, want %v", ticks, want)
+	}
+	if r.Active() {
+		t.Fatal("series still active after its fn returned false")
+	}
+
+	// Waking re-arms at the current cycle; double Wake must not double-fire.
+	e.Schedule(7, func() { r.Wake(); r.Wake() })
+	ticks = ticks[:0]
+	e.Run()
+	if want := []Time{10, 12}; !timesEqual(ticks, want) {
+		t.Fatalf("ticks after Wake = %v, want %v", ticks, want)
+	}
+
+	// Sleep is idempotent and survives being called while parked.
+	r.Sleep()
+	r.Sleep()
+	if r.Active() {
+		t.Fatal("Sleep left the series active")
+	}
+
+	// WakeAt re-arms at an absolute time; a past time clamps to now.
+	e.Schedule(3, func() { r.WakeAt(e.Now() + 5) })
+	ticks = ticks[:0]
+	e.Run()
+	if want := []Time{20, 22}; !timesEqual(ticks, want) {
+		t.Fatalf("ticks after WakeAt = %v, want %v", ticks, want)
+	}
+	r.Sleep()
+	r.WakeAt(0) // far in the past: clamps to now instead of panicking
+	ticks = ticks[:0]
+	e.Run()
+	if len(ticks) == 0 || ticks[0] != 22 {
+		t.Fatalf("WakeAt(past) ticks = %v, want first tick at now (22)", ticks)
+	}
+	r.Sleep()
+}
+
+// TestRecurringWakeWhileTickQueued pins the resume semantics: parking a
+// series does not cancel its queued tick, and re-waking before that tick
+// fires simply resumes the original timing — no duplicate tick, no
+// acceleration (the engine has no event cancellation).
+func TestRecurringWakeWhileTickQueued(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	r := e.NewRecurring(4, func() bool {
+		ticks = append(ticks, e.Now())
+		return true
+	})
+	r.Start(4)
+	e.Schedule(5, func() {
+		r.Sleep() // tick for t=8 is already queued
+		r.Wake()  // must NOT enqueue a second tick at t=5
+	})
+	e.RunUntil(17)
+	if want := []Time{4, 8, 12, 16}; !timesEqual(ticks, want) {
+		t.Fatalf("ticks = %v, want %v (queued tick resumed, not duplicated)", ticks, want)
+	}
+	r.Sleep()
+}
+
+// TestRecurringWakeDuringTick pins the lost-wakeup rule: a Wake that
+// lands while the tick function is running — e.g. a component's own
+// processing produces the input that should keep it awake — wins over the
+// tick returning false.
+func TestRecurringWakeDuringTick(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var r *Recurring
+	r = e.NewRecurring(1, func() bool {
+		ticks++
+		if ticks == 1 {
+			r.WakeAt(e.Now() + 3)
+			return false // "no work" — but the Wake above must win
+		}
+		return false
+	})
+	r.Start(2)
+	e.Run()
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2 (wake during tick was lost)", ticks)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("final time %d, want 5 (second tick at 2+3)", e.Now())
+	}
+	if r.Active() {
+		t.Fatal("series active after final tick returned false with no wake")
+	}
+}
+
+// TestResetClearsWheelAndSleepers is the regression test for reused
+// engines: after Reset, no stale event — wheel bucket, overflow heap, or
+// Recurring tick — may fire, and every Recurring built before the Reset
+// is parked with a consistent "nothing queued" state so it could be
+// restarted without wedging.
+func TestResetClearsWheelAndSleepers(t *testing.T) {
+	e := NewEngine()
+	stale := 0
+	e.Schedule(3, func() { stale++ })                  // wheel bucket
+	e.Schedule(wheelSize+100, func() { stale++ })      // overflow heap
+	r := e.NewRecurring(1, func() bool { stale++; return true })
+	r.Start(1)
+	e.Step() // advance into the window so buckets are mid-rotation
+	if e.Pending() == 0 {
+		t.Fatal("test needs pending events before Reset")
+	}
+
+	e.Reset()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Reset, want 0", e.Pending())
+	}
+	if r.Active() {
+		t.Fatal("Recurring still active after Reset")
+	}
+
+	// The reused engine must run a fresh workload with no interference.
+	fresh := 0
+	for i := 0; i < 2*wheelSize; i += 7 {
+		e.Schedule(Time(i), func() { fresh++ })
+	}
+	end := e.Run()
+	if stale != 1 { // exactly the one tick fired by Step above
+		t.Fatalf("stale events fired after Reset: %d extra", stale-1)
+	}
+	if want := (2*wheelSize - 1) / 7 * 7; end != Time(want) {
+		t.Fatalf("reused engine finished at %d, want %d", end, want)
+	}
+	if fresh != 2*wheelSize/7+1 {
+		t.Fatalf("reused engine fired %d events, want %d", fresh, 2*wheelSize/7+1)
+	}
+
+	// A parked Recurring from before the Reset must be restartable: its
+	// queued flag was cleared along with the queue, so Start arms a real
+	// tick instead of trusting a flushed one.
+	ticks := 0
+	r2 := e.NewRecurring(1, func() bool { ticks++; return false })
+	r2.Start(1)
+	e.Step() // leave a queued tick, then park and wipe
+	r2.Start(1)
+	e.Reset()
+	r2.Start(1)
+	if e.Pending() != 1 {
+		t.Fatalf("restarted Recurring queued %d events, want 1", e.Pending())
+	}
+	e.Run()
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2 (one before Reset, one after restart)", ticks)
+	}
+}
+
+func timesEqual(a, b []Time) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
