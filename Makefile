@@ -21,7 +21,10 @@ test-short:
 	$(GO) test -short ./...
 
 # Race runs simulate 2-4x slower; the harness package alone needs more
-# than go test's default 10m package timeout on small machines.
+# than go test's default 10m package timeout on small machines. The run
+# includes the parallel-DES shard suite (sim/noc/machine shard tests force
+# cross-goroutine windows even on one processor; the harness grid test
+# drives whole figures at -shards {1,2,4} × -j {1,8}).
 test-race:
 	$(GO) test -race -timeout 60m ./...
 
@@ -59,7 +62,7 @@ tier1: build test
 
 # tier2: vet + race over the full suite — including the pooled event
 # queue, lock pool, and flatmap tables, which must stay engine-local
-# (never shared across runner workers), and internal/serve's overlapping
-# submit/cancel/drain traffic; run before merging runner/harness/serve
-# or pooling changes.
+# (never shared across runner workers), internal/serve's overlapping
+# submit/cancel/drain traffic, and the sharded parallel-DES windows; run
+# before merging runner/harness/serve, pooling, or shard-exchange changes.
 tier2: vet test-race

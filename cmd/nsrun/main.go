@@ -33,6 +33,7 @@ func main() {
 		coreTy   = flag.String("core", "OOO8", "IO4, OOO4 or OOO8")
 		seed     = flag.Uint64("seed", 1, "input seed")
 		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 1, "parallel DES engines per simulated machine (output is byte-identical at any value)")
 		progress = flag.Bool("progress", false, "report per-job progress on stderr")
 		cacheDir = flag.String("cache-dir", "", "persistent result store directory (shared with nsd and other runs)")
 		cacheMax = flag.Int64("cache-max", 0, "store size cap in bytes (with -cache-dir; 0 = unlimited)")
@@ -87,6 +88,7 @@ func main() {
 	defer stop()
 
 	pool := runner.NewPool(*jobs)
+	pool.SetShards(*shards)
 	if *cacheDir != "" {
 		st, err := runner.OpenStore(*cacheDir, *cacheMax)
 		if err != nil {

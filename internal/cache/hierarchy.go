@@ -85,6 +85,38 @@ type hierCounters struct {
 	lockAcquires, lockConflicts   obs.Counter
 }
 
+// hierLane is one shard's single-writer slice of the hierarchy's
+// observability state: its own counter registry (Stats sums all lanes, so
+// totals are shard-count-invariant) and its own tracer pointer, so
+// components on different shard engines never share a mutable ring.
+type hierLane struct {
+	reg    *obs.Registry
+	ctr    hierCounters
+	tracer *obs.Tracer
+}
+
+func newHierLane() *hierLane {
+	l := &hierLane{reg: obs.NewRegistry()}
+	l.ctr = hierCounters{
+		l1Hits:          l.reg.Counter("l1.hits"),
+		l1Misses:        l.reg.Counter("l1.misses"),
+		l2Hits:          l.reg.Counter("l2.hits"),
+		l2Misses:        l.reg.Counter("l2.misses"),
+		l2Upgrades:      l.reg.Counter("l2.upgrades"),
+		l2Writebacks:    l.reg.Counter("l2.writebacks"),
+		l3Hits:          l.reg.Counter("l3.hits"),
+		l3Misses:        l.reg.Counter("l3.misses"),
+		l3Recalls:       l.reg.Counter("l3.recalls"),
+		l3Writebacks:    l.reg.Counter("l3.writebacks"),
+		l3Downgrades:    l.reg.Counter("l3.downgrades"),
+		l3Invalidations: l.reg.Counter("l3.invalidations"),
+		prefetchIssued:  l.reg.Counter("prefetch.issued"),
+		lockAcquires:    l.reg.Counter("lock.acquires"),
+		lockConflicts:   l.reg.Counter("lock.conflicts"),
+	}
+	return l
+}
+
 // Hierarchy ties together all tiles' private caches, the L3 banks, the NoC
 // and DRAM.
 type Hierarchy struct {
@@ -96,11 +128,9 @@ type Hierarchy struct {
 	ctrlNodes []int
 	tiles     []*Tile
 	banks     []*Bank
-	// reg holds the interned counters; ctr caches their handles. tracer
-	// (usually nil) receives MSHR events behind an Enabled() branch.
-	reg    *obs.Registry
-	ctr    hierCounters
-	tracer *obs.Tracer
+	// lanes holds per-shard counters and tracers; serial hierarchies have
+	// one lane shared by every component.
+	lanes []*hierLane
 	// PrefetchHook, when non-nil, observes every demand L1 access
 	// (tile, addr, pc, hit) — the Bingo/stride prefetchers attach here.
 	PrefetchHook func(tile int, addr uint64, pc uint64, hit bool)
@@ -115,33 +145,16 @@ func New(engine *sim.Engine, net *noc.Network, dram *mem.Memory, cfg Config) *Hi
 		net:       net,
 		dram:      dram,
 		ctrlNodes: mem.CornerNodes(net.Config().Width, net.Config().Height, dram.Config().Controllers),
-		reg:       obs.NewRegistry(),
-	}
-	h.ctr = hierCounters{
-		l1Hits:          h.reg.Counter("l1.hits"),
-		l1Misses:        h.reg.Counter("l1.misses"),
-		l2Hits:          h.reg.Counter("l2.hits"),
-		l2Misses:        h.reg.Counter("l2.misses"),
-		l2Upgrades:      h.reg.Counter("l2.upgrades"),
-		l2Writebacks:    h.reg.Counter("l2.writebacks"),
-		l3Hits:          h.reg.Counter("l3.hits"),
-		l3Misses:        h.reg.Counter("l3.misses"),
-		l3Recalls:       h.reg.Counter("l3.recalls"),
-		l3Writebacks:    h.reg.Counter("l3.writebacks"),
-		l3Downgrades:    h.reg.Counter("l3.downgrades"),
-		l3Invalidations: h.reg.Counter("l3.invalidations"),
-		prefetchIssued:  h.reg.Counter("prefetch.issued"),
-		lockAcquires:    h.reg.Counter("lock.acquires"),
-		lockConflicts:   h.reg.Counter("lock.conflicts"),
+		lanes:     []*hierLane{newHierLane()},
 	}
 	for i := 0; i < n; i++ {
 		h.tiles = append(h.tiles, &Tile{
-			id: i, h: h,
+			id: i, h: h, engine: engine, lane: h.lanes[0],
 			l1: NewArray(cfg.L1, uint64(i)*2+1),
 			l2: NewArray(cfg.L2, uint64(i)*2+2),
 		})
 		b := &Bank{
-			id: i, h: h,
+			id: i, h: h, engine: engine, lane: h.lanes[0],
 			array: NewArray(cfg.L3Bank, uint64(i)*2+3),
 		}
 		// Size the per-line tables from the geometry: concurrent
@@ -157,16 +170,55 @@ func New(engine *sim.Engine, net *noc.Network, dram *mem.Memory, cfg Config) *Hi
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// AttachShards repartitions the hierarchy over a shard group: the tile and
+// L3 bank at mesh node i schedule on (and count against) the engine and
+// lane of shard shardOf[i]. Call it on a freshly built hierarchy, before
+// any traffic — counters already accumulated stay on the old lane and
+// vanish from Stats.
+func (h *Hierarchy) AttachShards(g *sim.ShardGroup, shardOf []int32) {
+	if len(shardOf) != len(h.tiles) {
+		panic(fmt.Sprintf("cache: shard map covers %d nodes, hierarchy has %d", len(shardOf), len(h.tiles)))
+	}
+	h.lanes = make([]*hierLane, g.Shards())
+	for i := range h.lanes {
+		h.lanes[i] = newHierLane()
+	}
+	h.engine = g.Engine(0)
+	for i, t := range h.tiles {
+		t.engine = g.Engine(int(shardOf[i]))
+		t.lane = h.lanes[shardOf[i]]
+		h.banks[i].engine = t.engine
+		h.banks[i].lane = t.lane
+	}
+}
+
 // Stats snapshots the hierarchy's counters as a stats set (the export and
 // test surface; hot-path counting happens on interned registry slots).
+// With multiple shard lanes the per-lane counts sum, so totals are
+// independent of the shard count.
 func (h *Hierarchy) Stats() *stats.Set {
 	s := stats.NewSet()
-	h.reg.ExportTo(s.Add)
+	for _, l := range h.lanes {
+		l.reg.ExportTo(s.Add)
+	}
 	return s
 }
 
-// SetTracer attaches (or detaches, with nil) an event tracer.
-func (h *Hierarchy) SetTracer(tr *obs.Tracer) { h.tracer = tr }
+// SetTracer attaches (or detaches, with nil) an event tracer to every
+// lane. With more than one shard lane this shares one ring across shard
+// goroutines — racy; parallel machines must give each lane its own tracer
+// via SetLaneTracer and merge afterwards.
+func (h *Hierarchy) SetTracer(tr *obs.Tracer) {
+	for _, l := range h.lanes {
+		l.tracer = tr
+	}
+}
+
+// Lanes reports the number of shard lanes (1 unless AttachShards ran).
+func (h *Hierarchy) Lanes() int { return len(h.lanes) }
+
+// SetLaneTracer attaches a tracer to one shard lane.
+func (h *Hierarchy) SetLaneTracer(i int, tr *obs.Tracer) { h.lanes[i].tracer = tr }
 
 // Tiles returns the number of tiles.
 func (h *Hierarchy) Tiles() int { return len(h.tiles) }
@@ -192,9 +244,13 @@ func (h *Hierarchy) ctrlNodeFor(addr uint64) int {
 }
 
 // Tile is the private L1+L2 of one core, plus its MSHR merge table.
+// engine and lane are the shard bindings: every event the tile schedules
+// and every counter it bumps stays on its own shard.
 type Tile struct {
 	id     int
 	h      *Hierarchy
+	engine *sim.Engine
+	lane   *hierLane
 	l1, l2 *Array
 	// inflight merges concurrent misses to the same line: a present entry
 	// is an outstanding request, holding the completions waiting on it.
@@ -225,7 +281,7 @@ func (t *Tile) Access(addr uint64, write bool, pc uint64, onDone func(Level)) {
 	if h.PrefetchHook != nil {
 		h.PrefetchHook(t.id, addr, pc, hitL1)
 	}
-	h.engine.Schedule(h.cfg.L1.Latency, func() {
+	t.engine.Schedule(h.cfg.L1.Latency, func() {
 		t.afterL1(line, write, onDone)
 	})
 }
@@ -234,18 +290,18 @@ func (t *Tile) afterL1(line uint64, write bool, onDone func(Level)) {
 	h := t.h
 	if l := t.l1.Lookup(line); l != nil {
 		if !write {
-			h.ctr.l1Hits.Inc()
+			t.lane.ctr.l1Hits.Inc()
 			finish(onDone, ServedL1)
 			return
 		}
 		switch l.State {
 		case Modified:
-			h.ctr.l1Hits.Inc()
+			t.lane.ctr.l1Hits.Inc()
 			l.Dirty = true
 			finish(onDone, ServedL1)
 			return
 		case Exclusive:
-			h.ctr.l1Hits.Inc()
+			t.lane.ctr.l1Hits.Inc()
 			l.State = Modified
 			l.Dirty = true
 			if l2 := t.l2.Peek(line); l2 != nil {
@@ -258,23 +314,22 @@ func (t *Tile) afterL1(line uint64, write bool, onDone func(Level)) {
 			// issues GetM/Upg.
 		}
 	}
-	h.ctr.l1Misses.Inc()
-	h.engine.Schedule(h.cfg.L2.Latency, func() {
+	t.lane.ctr.l1Misses.Inc()
+	t.engine.Schedule(h.cfg.L2.Latency, func() {
 		t.afterL2(line, write, onDone)
 	})
 }
 
 func (t *Tile) afterL2(line uint64, write bool, onDone func(Level)) {
-	h := t.h
 	if l := t.l2.Lookup(line); l != nil {
 		if !write {
-			h.ctr.l2Hits.Inc()
+			t.lane.ctr.l2Hits.Inc()
 			t.fillL1(line, l.State)
 			finish(onDone, ServedL2)
 			return
 		}
 		if l.State == Exclusive || l.State == Modified {
-			h.ctr.l2Hits.Inc()
+			t.lane.ctr.l2Hits.Inc()
 			l.State = Modified
 			l.Dirty = true
 			t.fillL1(line, Modified)
@@ -285,11 +340,11 @@ func (t *Tile) afterL2(line uint64, write bool, onDone func(Level)) {
 			return
 		}
 		// Shared: upgrade required. Control-only round trip.
-		h.ctr.l2Upgrades.Inc()
+		t.lane.ctr.l2Upgrades.Inc()
 		t.requestLine(line, reqUpgrade, onDone)
 		return
 	}
-	h.ctr.l2Misses.Inc()
+	t.lane.ctr.l2Misses.Inc()
 	if write {
 		t.requestLine(line, reqGetM, onDone)
 	} else {
@@ -321,7 +376,7 @@ func (t *Tile) fillL2(line uint64, state LineState) {
 			victim.Dirty = true
 		}
 		if victim.Dirty {
-			t.h.ctr.l2Writebacks.Inc()
+			t.lane.ctr.l2Writebacks.Inc()
 			t.h.sendWriteback(t.id, vaddr)
 		}
 	}
@@ -352,8 +407,8 @@ func (t *Tile) requestLine(line uint64, kind reqKind, onDone func(Level)) {
 		return
 	}
 	t.inflight.Put(line, nil)
-	if tr := h.tracer; tr.Enabled() {
-		tr.Emit(obs.Event{Time: uint64(h.engine.Now()), Kind: obs.KindMSHR,
+	if tr := t.lane.tracer; tr.Enabled() {
+		tr.Emit(obs.Event{Time: uint64(t.engine.Now()), Kind: obs.KindMSHR,
 			Tile: int32(t.id), A: uint64(t.inflight.Len()), B: line})
 	}
 	bank := h.banks[h.HomeBank(line)]
@@ -414,8 +469,8 @@ func (t *Tile) completeFill(line uint64, kind reqKind, grant LineState, fromMem 
 	finish(onDone, lv)
 	waiters, _ := t.inflight.Get(line)
 	t.inflight.Delete(line)
-	if tr := t.h.tracer; tr.Enabled() {
-		tr.Emit(obs.Event{Time: uint64(t.h.engine.Now()), Kind: obs.KindMSHR,
+	if tr := t.lane.tracer; tr.Enabled() {
+		tr.Emit(obs.Event{Time: uint64(t.engine.Now()), Kind: obs.KindMSHR,
 			Tile: int32(t.id), A: uint64(t.inflight.Len()), B: line})
 	}
 	for _, w := range waiters {
@@ -434,7 +489,7 @@ func (t *Tile) Prefetch(addr uint64) {
 	if t.inflight.Contains(line) {
 		return
 	}
-	t.h.ctr.prefetchIssued.Inc()
+	t.lane.ctr.prefetchIssued.Inc()
 	t.requestLine(line, reqGetS, nil)
 }
 

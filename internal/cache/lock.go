@@ -145,7 +145,7 @@ func (b *Bank) AcquireLock(line uint64, key int, modifies bool, mode LockMode, g
 		panic("cache: lock holder key must be non-negative")
 	}
 	idx := b.lockFor(line)
-	b.h.ctr.lockAcquires.Inc()
+	b.lane.ctr.lockAcquires.Inc()
 	asWriter := modifies || mode == LockExclusive
 	if b.tryLock(idx, key, asWriter) {
 		granted()
@@ -153,7 +153,7 @@ func (b *Bank) AcquireLock(line uint64, key int, modifies bool, mode LockMode, g
 	}
 	// Conflict path: park a retry closure on the lock. Only this path
 	// allocates; the uncontended acquire above is allocation-free.
-	b.h.ctr.lockConflicts.Inc()
+	b.lane.ctr.lockConflicts.Inc()
 	var wait func()
 	wait = func() {
 		if b.tryLock(idx, key, asWriter) {

@@ -137,6 +137,10 @@ type coreRun struct {
 
 func (cr *coreRun) net() *noc.Network { return cr.m.Net }
 func (cr *coreRun) tile() *cache.Tile { return cr.m.Hier.Tile(cr.coreID) }
+
+// engine returns the engine of the shard owning this core's tile — the
+// only engine the core may schedule on in a partitioned machine.
+func (cr *coreRun) engine() *sim.Engine { return cr.m.EngineOf(cr.coreID) }
 func (cr *coreRun) scmAt(bank int) *SCM {
 	return cr.shared.scms[bank]
 }
@@ -234,6 +238,13 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 	if pol.prefetchers != m.Cfg.EnablePrefetchers {
 		return nil, fmt.Errorf("core: system %v needs prefetchers=%v in the machine config", sys, pol.prefetchers)
 	}
+	// Stream runtimes couple banks and cores directly (shared SCM queues,
+	// cross-stream value deps), which the row-band partition cannot cut;
+	// runner.MachineConfig therefore builds them single-shard. Catch direct
+	// callers that skipped the clamp before nondeterminism can.
+	if m.Shards() > 1 && sys != Base {
+		return nil, fmt.Errorf("core: system %v requires a single-shard machine (got %d shards)", sys, m.Shards())
+	}
 	var plan *compiler.Plan
 	if pol.useStreams {
 		var err error
@@ -254,7 +265,7 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 
 	shared := &runShared{m: m, scms: make([]*SCM, m.Tiles()), sePages: make([]map[uint64]bool, m.Tiles()), ctr: newRunCounters(m.Obs)}
 	for i := range shared.scms {
-		shared.scms[i] = NewSCM(m.Engine, params)
+		shared.scms[i] = NewSCM(m.EngineOf(i), params)
 		shared.sePages[i] = map[uint64]bool{}
 	}
 
@@ -283,7 +294,7 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 		cr.consumeCount = make([]int, nsid)
 		cr.decideModes()
 		cr.buildStreams()
-		cr.core = cpu.NewCore(m.Engine, m.Cfg.CoreType, (*coreSource)(cr), cr.memFunc)
+		cr.core = cpu.NewCore(m.EngineOf(c), m.Cfg.CoreType, (*coreSource)(cr), cr.memFunc)
 		runs = append(runs, cr)
 		for cat, n := range tr.DynOps {
 			res.DynOps[cat] += n
@@ -319,7 +330,7 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 	}
 	runEngine(m, runs)
 	if finished != remainingCores {
-		return nil, fmt.Errorf("core: deadlock — %d/%d cores finished at cycle %d", finished, remainingCores, m.Engine.Now())
+		return nil, fmt.Errorf("core: deadlock — %d/%d cores finished at cycle %d", finished, remainingCores, m.Now())
 	}
 	var last sim.Time
 	for _, cr := range runs {
@@ -328,7 +339,7 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 		}
 		res.OffloadedOps += cr.offloadedDyn
 	}
-	if t := m.Engine.Now(); t > last {
+	if t := m.Now(); t > last {
 		last = t // stream drain beyond last core op
 	}
 	res.Cycles = last
@@ -337,7 +348,7 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 }
 
 // runEngine drives the event loop to completion. With no sampler attached
-// it is exactly m.Engine.Run(). With one, the loop is chopped into
+// it is exactly m.Run(). With one, the loop is chopped into
 // fixed-cadence epochs via RunTo — which fires the same events at the same
 // times and never advances the clock past the last event — and a snapshot
 // of IPC, bank occupancy, link utilization and offload queue depth is
@@ -346,7 +357,7 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 func runEngine(m *machine.Machine, runs []*coreRun) {
 	sam := m.Sampler
 	if sam == nil {
-		m.Engine.Run()
+		m.Run()
 		return
 	}
 	if len(sam.Cols()) == 0 {
@@ -355,10 +366,10 @@ func runEngine(m *machine.Machine, runs []*coreRun) {
 	period := sim.Time(sam.Period)
 	links := float64(m.Net.LinkCount())
 	var lastRetired, lastBusy uint64
-	lastCycle := m.Engine.Now()
+	lastCycle := m.Now()
 	for {
-		drained := m.Engine.RunTo(m.Engine.Now() + period)
-		now := m.Engine.Now()
+		drained := m.RunTo(m.Now() + period)
+		now := m.Now()
 		elapsed := float64(now - lastCycle)
 		var retired uint64
 		var offq int
@@ -385,7 +396,7 @@ func runEngine(m *machine.Machine, runs []*coreRun) {
 		}
 		sam.Record(uint64(now), ipc, float64(bankOcc), lu, float64(offq))
 		lastRetired, lastBusy, lastCycle = retired, busy, now
-		if drained || m.Engine.Stopped() {
+		if drained || m.Stopped() {
 			return
 		}
 	}
@@ -757,10 +768,10 @@ func (cr *coreRun) streamFinished() {
 func (cr *coreRun) memFunc(seq uint64, ref cpu.MemRef, at sim.Time, done func()) {
 	if act, ok := cr.actions.Get(seq); ok {
 		cr.actions.Delete(seq)
-		cr.m.Engine.ScheduleAt(at, func() { act(done) })
+		cr.engine().ScheduleAt(at, func() { act(done) })
 		return
 	}
-	cr.m.Engine.ScheduleAt(at, func() {
+	cr.engine().ScheduleAt(at, func() {
 		// §IV-B alias check: committed core accesses compare against
 		// offloaded streams' reported ranges. On a hit (possibly a false
 		// positive — the check is conservative) the stream drains to a

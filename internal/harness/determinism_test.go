@@ -88,19 +88,75 @@ func TestMemoCacheSharesJobsAcrossFigures(t *testing.T) {
 	}
 }
 
+// TestFigureBytesInvariantAcrossShardGrid is the parallel-DES analogue of
+// the worker-count guarantee above: figure bytes must be identical over
+// the whole {-shards 1, 2, 4} × {-j 1, 8} grid, because sharding only
+// changes which goroutine fires an event, never the event sequence. The
+// reference cell is (-shards 1, -j 1) — today's serial path — and every
+// other cell must reproduce it exactly. Fig 9 runs the Base system, the
+// only one that shards (stream systems clamp to one shard), over a
+// taxonomy-spanning pair; Fig 15's range sweep re-runs Base under
+// parameter overrides.
+func TestFigureBytesInvariantAcrossShardGrid(t *testing.T) {
+	render := func(shards, jobs int) map[string]string {
+		cfg := DefaultConfig()
+		cfg.Shards = shards
+		cfg.Jobs = jobs
+		e := NewExp(cfg)
+		if got := e.Pool().Shards(); got != shards {
+			t.Fatalf("pool shards %d, want %d", got, shards)
+		}
+		out := make(map[string]string)
+		for _, fc := range []struct {
+			id     string
+			subset []string
+			render func(*Exp, []string) (*Table, error)
+		}{
+			{"9", []string{"pathfinder", "hash_join"}, (*Exp).Fig9},
+			{"15", []string{"pathfinder"}, (*Exp).Fig15},
+		} {
+			tab, err := fc.render(e, fc.subset)
+			if err != nil {
+				t.Fatalf("fig %s shards=%d j=%d: %v", fc.id, shards, jobs, err)
+			}
+			out[fc.id] = tab.String()
+		}
+		return out
+	}
+	want := render(1, 1)
+	for _, shards := range []int{2, 4} {
+		for _, jobs := range []int{1, 8} {
+			got := render(shards, jobs)
+			for id, tab := range want {
+				if got[id] != tab {
+					t.Errorf("fig %s differs at shards=%d j=%d vs serial:\n--- serial ---\n%s--- shards=%d j=%d ---\n%s",
+						id, shards, jobs, tab, shards, jobs, got[id])
+				}
+			}
+		}
+	}
+}
+
 // goldenSubset mirrors cmd/nsexp's -quick subset: it spans the taxonomy
 // (MO store, affine load + indirect atomic, indirect reduce, pointer-chase
 // reduce), so the digests below cover every stream kind and system.
 var goldenSubset = []string{"pathfinder", "histogram", "pr_pull", "hash_join"}
 
-// goldenPath is the recorded pre-rewrite figure digests. Regenerate with
+// goldenPath is the recorded figure digests. Regenerate with
 //
 //	UPDATE_GOLDEN=1 go test ./internal/harness -run TestFigureDigestsMatchGolden
 //
 // but only when a figure's output is *meant* to change: the file pins the
-// engine's (time, seq) FIFO ordering contract across event-queue and
-// cache/NoC data-structure rewrites, which must keep every figure
-// byte-identical.
+// engine's event-ordering contract across event-queue and cache/NoC
+// data-structure rewrites, which must keep every figure byte-identical.
+//
+// The digests were last regenerated when the NoC moved to barrier-deferred
+// routing for parallel DES: same-cycle sends are now routed in canonical
+// (send time, src node, per-src sequence) order instead of the old serial
+// engine's global insertion order. The canonical order is a function of
+// the model alone, so from that baseline forward the digests additionally
+// pin shard-count invariance (TestFigureBytesInvariantAcrossShardGrid
+// checks the grid directly).
 const goldenPath = "figure_digests.json"
 
 // TestFigureDigestsMatchGolden renders every figure at CI scale over the

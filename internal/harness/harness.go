@@ -27,8 +27,12 @@ type Config struct {
 	// Jobs bounds how many simulations run concurrently when rendering a
 	// figure (the -j flag); 0 means GOMAXPROCS. Figure output is
 	// byte-identical at any value: each simulation is a self-contained
-	// single-threaded engine and rows are assembled in declaration order.
+	// deterministic machine and rows are assembled in declaration order.
 	Jobs int
+	// Shards partitions each simulated machine into that many parallel DES
+	// engines (the -shards flag; <= 1 means serial). Another execution
+	// knob: figure output is byte-identical at any value.
+	Shards int
 }
 
 // DefaultConfig returns the CI-scale OOO8 configuration.

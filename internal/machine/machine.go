@@ -41,6 +41,13 @@ type Config struct {
 	EnablePrefetchers bool
 	// Seed feeds every deterministic RNG.
 	Seed uint64
+	// Shards partitions the mesh into that many row bands, each simulated
+	// by its own engine in barrier-synchronized windows (conservative
+	// parallel DES; lookahead from the NoC's minimum cross-node latency).
+	// 0 or 1 runs serially — through the same windowed code path, not a
+	// fork. Shards is an execution knob: results are bit-identical at any
+	// value. Clamped to MeshHeight.
+	Shards int
 }
 
 // Default returns the paper's 8×8 OOO8 machine.
@@ -74,12 +81,18 @@ func CI() Config {
 // therefore cost nothing — the engine's time wheel pops only cycles
 // that actually hold events.
 type Machine struct {
-	Cfg    Config
-	Engine *sim.Engine
-	Net    *noc.Network
-	Dram   *mem.Memory
-	Hier   *cache.Hierarchy
-	AS     *tlb.AddressSpace
+	Cfg Config
+	// Group coordinates the per-shard engines; Engine is shard 0's (the
+	// engine of every component in a 1-shard machine, and the scheduling
+	// home for shard-agnostic bookkeeping otherwise). ShardOf maps mesh
+	// node -> owning shard.
+	Group   *sim.ShardGroup
+	Engine  *sim.Engine
+	ShardOf []int32
+	Net     *noc.Network
+	Dram    *mem.Memory
+	Hier    *cache.Hierarchy
+	AS      *tlb.AddressSpace
 	// TLBs are the per-tile L2 TLBs (2k-entry, Table V); SE_L3 TLBs are
 	// separate 1k-entry ones.
 	TLBs    []*tlb.TLB
@@ -92,6 +105,9 @@ type Machine struct {
 	Obs     *obs.Registry
 	Tracer  *obs.Tracer
 	Sampler *obs.Sampler
+	// laneTracers are the per-shard trace rings behind Tracer on parallel
+	// machines; FinishTrace merges them deterministically.
+	laneTracers []*obs.Tracer
 }
 
 // New assembles a machine.
@@ -103,19 +119,41 @@ func New(cfg Config) *Machine {
 	if cfg.Cores == 0 {
 		cfg.Cores = cfg.MeshWidth * cfg.MeshHeight
 	}
-	engine := sim.NewEngine()
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > cfg.MeshHeight {
+		cfg.Shards = cfg.MeshHeight
+	}
+	// Row-band partition: contiguous rows share a shard, so every
+	// cross-shard message crosses at least one full link (the lookahead).
+	group := sim.NewShardGroup(cfg.Shards, noc.Lookahead(cfg.NoC))
+	engine := group.Engine(0)
+	shardOf := make([]int32, cfg.MeshWidth*cfg.MeshHeight)
+	for node := range shardOf {
+		shardOf[node] = int32((node / cfg.MeshWidth) * cfg.Shards / cfg.MeshHeight)
+	}
 	net := noc.New(engine, cfg.NoC)
+	net.AttachShards(group, shardOf)
 	dram := mem.New(engine, cfg.Mem)
 	hier := cache.New(engine, net, dram, cfg.Cache)
+	hier.AttachShards(group, shardOf)
+	ctrlEngines := make([]*sim.Engine, 0, cfg.Mem.Controllers)
+	for _, node := range mem.CornerNodes(cfg.MeshWidth, cfg.MeshHeight, cfg.Mem.Controllers) {
+		ctrlEngines = append(ctrlEngines, group.Engine(int(shardOf[node])))
+	}
+	dram.AttachShards(ctrlEngines)
 	m := &Machine{
-		Cfg:    cfg,
-		Engine: engine,
-		Net:    net,
-		Dram:   dram,
-		Hier:   hier,
-		AS:     tlb.NewAddressSpace(cfg.UseHugePages, cfg.Seed),
-		Stats:  stats.NewSet(),
-		Obs:    obs.NewRegistry(),
+		Cfg:     cfg,
+		Group:   group,
+		Engine:  engine,
+		ShardOf: shardOf,
+		Net:     net,
+		Dram:    dram,
+		Hier:    hier,
+		AS:      tlb.NewAddressSpace(cfg.UseHugePages, cfg.Seed),
+		Stats:   stats.NewSet(),
+		Obs:     obs.NewRegistry(),
 	}
 	for i := 0; i < net.Nodes(); i++ {
 		m.TLBs = append(m.TLBs, tlb.New(tlb.Config{
@@ -138,13 +176,75 @@ func New(cfg Config) *Machine {
 
 // SetTracer attaches one event tracer to every traced component (nil
 // detaches). The components keep their own pointers so the hot-path guard
-// is a single field load + nil check.
+// is a single field load + nil check. Each shard records into its own lane
+// ring (same capacity as tr) — even a 1-shard machine, so the merged trace
+// FinishTrace produces is in the same canonical order at every shard
+// count, not emission order for K = 1 and sorted order otherwise.
 func (m *Machine) SetTracer(tr *obs.Tracer) {
 	m.Tracer = tr
-	m.Hier.SetTracer(tr)
-	m.Net.SetTracer(tr)
-	m.Dram.SetTracer(tr)
+	m.laneTracers = nil
+	if tr == nil {
+		m.Hier.SetTracer(nil)
+		m.Net.SetTracer(nil)
+		m.Dram.SetTracer(nil)
+		return
+	}
+	m.laneTracers = make([]*obs.Tracer, m.Group.Shards())
+	for i := range m.laneTracers {
+		m.laneTracers[i] = obs.NewTracer(tr.Cap())
+		m.Hier.SetLaneTracer(i, m.laneTracers[i])
+	}
+	// The NoC traces only at barrier flushes, which run single-threaded
+	// while every shard is parked: lane 0 is safe.
+	m.Net.SetTracer(m.laneTracers[0])
+	ctrlNodes := mem.CornerNodes(m.Cfg.MeshWidth, m.Cfg.MeshHeight, m.Cfg.Mem.Controllers)
+	for ctrl, node := range ctrlNodes {
+		m.Dram.SetControllerTracer(ctrl, m.laneTracers[m.ShardOf[node]])
+	}
 }
+
+// FinishTrace folds per-shard trace lanes into the attached tracer in
+// canonical order. Call it once, after the run; runner.ExecuteObs does.
+func (m *Machine) FinishTrace() {
+	if m.Tracer == nil || len(m.laneTracers) == 0 {
+		return
+	}
+	obs.MergeTracers(m.Tracer, m.laneTracers...)
+	for i := range m.laneTracers {
+		m.laneTracers[i] = obs.NewTracer(m.Tracer.Cap())
+		m.Hier.SetLaneTracer(i, m.laneTracers[i])
+	}
+}
+
+// EngineOf returns the engine that owns mesh node i; components and cores
+// colocated with node i must schedule all their local work there.
+func (m *Machine) EngineOf(node int) *sim.Engine { return m.Group.Engine(int(m.ShardOf[node])) }
+
+// Shards reports the shard count (>= 1).
+func (m *Machine) Shards() int { return m.Group.Shards() }
+
+// Run drains the machine: every shard's events fire, windows barrier on
+// the NoC exchange, and the final group time (the last event's cycle, as a
+// serial engine would report) returns.
+func (m *Machine) Run() sim.Time { return m.Group.Run() }
+
+// RunTo runs events with timestamps <= limit (the sampler's stepping
+// primitive); it reports whether the machine drained.
+func (m *Machine) RunTo(limit sim.Time) bool { return m.Group.RunTo(limit) }
+
+// Now returns the machine clock (the furthest shard).
+func (m *Machine) Now() sim.Time { return m.Group.Now() }
+
+// ExecutedEvents sums fired events across shards.
+func (m *Machine) ExecutedEvents() uint64 { return m.Group.Executed() }
+
+// Stopped reports whether any shard engine was stopped (deadlock bail-out).
+func (m *Machine) Stopped() bool { return m.Group.Stopped() }
+
+// Close releases the shard group's worker goroutines. Runs that may have
+// executed windows in parallel must Close when done; serial machines are
+// unaffected (Close is an idempotent no-op without workers).
+func (m *Machine) Close() { m.Group.Close() }
 
 // Tiles returns the mesh node count.
 func (m *Machine) Tiles() int { return m.Net.Nodes() }

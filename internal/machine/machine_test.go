@@ -60,7 +60,7 @@ func TestCollectStatsMergesTraffic(t *testing.T) {
 	done := false
 	// An address homed at bank 5, accessed from tile 0, crosses the mesh.
 	m.Hier.Tile(0).Access(0x200000+64*5, false, 0, func(cache.Level) { done = true })
-	m.Engine.Run()
+	m.Run()
 	if !done {
 		t.Fatal("access incomplete")
 	}

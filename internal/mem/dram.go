@@ -47,15 +47,31 @@ func DefaultConfig() Config {
 // ticks. A machine whose cores and streams are parked therefore has an
 // empty event horizon and the clock jumps straight to the next arrival.
 type Memory struct {
-	cfg    Config
-	engine *sim.Engine
+	cfg Config
+	// engines[i] is the engine controller i schedules on — all the same
+	// serial engine until AttachShards rebinds them, one per owning shard.
+	engines []*sim.Engine
 	// nextFree is the earliest cycle each controller's data bus is idle.
 	nextFree []sim.Time
-	// reg holds the interned access counters; tracer (usually nil)
-	// receives per-burst events behind an Enabled() branch.
+	// lanes holds each controller's interned counters and tracer. Lanes are
+	// per controller (not per shard) so a controller only ever writes its
+	// own lane regardless of the partition; Stats sums them.
+	lanes []*memLane
+}
+
+// memLane is one controller's single-writer observability state.
+type memLane struct {
 	reg                           *obs.Registry
 	ctrReads, ctrWrites, ctrBytes obs.Counter
 	tracer                        *obs.Tracer
+}
+
+func newMemLane() *memLane {
+	l := &memLane{reg: obs.NewRegistry()}
+	l.ctrReads = l.reg.Counter("dram.reads")
+	l.ctrWrites = l.reg.Counter("dram.writes")
+	l.ctrBytes = l.reg.Counter("dram.bytes")
+	return l
 }
 
 // New builds the memory system.
@@ -71,25 +87,48 @@ func New(engine *sim.Engine, cfg Config) *Memory {
 	}
 	m := &Memory{
 		cfg:      cfg,
-		engine:   engine,
+		engines:  make([]*sim.Engine, cfg.Controllers),
 		nextFree: make([]sim.Time, cfg.Controllers),
-		reg:      obs.NewRegistry(),
+		lanes:    make([]*memLane, cfg.Controllers),
 	}
-	m.ctrReads = m.reg.Counter("dram.reads")
-	m.ctrWrites = m.reg.Counter("dram.writes")
-	m.ctrBytes = m.reg.Counter("dram.bytes")
+	for i := range m.lanes {
+		m.engines[i] = engine
+		m.lanes[i] = newMemLane()
+	}
 	return m
 }
 
-// Stats snapshots the memory counters as a stats set.
+// AttachShards rebinds each controller to the engine of the shard that owns
+// its mesh node: engines[i] is controller i's engine. Counters and bus
+// state are already per controller, so nothing else moves.
+func (m *Memory) AttachShards(engines []*sim.Engine) {
+	if len(engines) != m.cfg.Controllers {
+		panic(fmt.Sprintf("mem: %d engines for %d controllers", len(engines), m.cfg.Controllers))
+	}
+	copy(m.engines, engines)
+}
+
+// Stats snapshots the memory counters as a stats set, summing the
+// per-controller lanes.
 func (m *Memory) Stats() *stats.Set {
 	s := stats.NewSet()
-	m.reg.ExportTo(s.Add)
+	for _, l := range m.lanes {
+		l.reg.ExportTo(s.Add)
+	}
 	return s
 }
 
-// SetTracer attaches (or detaches, with nil) an event tracer.
-func (m *Memory) SetTracer(tr *obs.Tracer) { m.tracer = tr }
+// SetTracer attaches (or detaches, with nil) an event tracer to every
+// controller. Under a multi-shard partition controllers on different
+// shards would share the ring — racy; use SetControllerTracer per shard.
+func (m *Memory) SetTracer(tr *obs.Tracer) {
+	for _, l := range m.lanes {
+		l.tracer = tr
+	}
+}
+
+// SetControllerTracer attaches a tracer to one controller's lane.
+func (m *Memory) SetControllerTracer(ctrl int, tr *obs.Tracer) { m.lanes[ctrl].tracer = tr }
 
 // Config returns the memory configuration.
 func (m *Memory) Config() Config { return m.cfg }
@@ -106,7 +145,8 @@ func (m *Memory) Access(addr uint64, bytes int, write bool, onDone func()) sim.T
 		panic(fmt.Sprintf("mem: access of %d bytes", bytes))
 	}
 	ctrl := m.ControllerFor(addr)
-	now := m.engine.Now()
+	e, lane := m.engines[ctrl], m.lanes[ctrl]
+	now := e.Now()
 	start := now
 	if m.nextFree[ctrl] > start {
 		start = m.nextFree[ctrl]
@@ -119,12 +159,12 @@ func (m *Memory) Access(addr uint64, bytes int, write bool, onDone func()) sim.T
 	m.nextFree[ctrl] = start + occupancy
 	done := start + occupancy + m.cfg.AccessLatency
 	if write {
-		m.ctrWrites.Inc()
+		lane.ctrWrites.Inc()
 	} else {
-		m.ctrReads.Inc()
+		lane.ctrReads.Inc()
 	}
-	m.ctrBytes.Add(uint64(bytes))
-	if tr := m.tracer; tr.Enabled() {
+	lane.ctrBytes.Add(uint64(bytes))
+	if tr := lane.tracer; tr.Enabled() {
 		var wr uint64
 		if write {
 			wr = 1
@@ -133,7 +173,7 @@ func (m *Memory) Access(addr uint64, bytes int, write bool, onDone func()) sim.T
 			Kind: obs.KindDRAM, Tile: int32(ctrl), A: uint64(bytes), B: wr})
 	}
 	if onDone != nil {
-		m.engine.ScheduleAt(done, onDone)
+		e.ScheduleAt(done, onDone)
 	}
 	return done
 }

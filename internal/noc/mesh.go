@@ -8,6 +8,7 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -110,6 +111,61 @@ type Network struct {
 	reg                     *obs.Registry
 	ctrSends, ctrMulticasts obs.Counter
 	tracer                  *obs.Tracer
+	// sh is non-nil once AttachShards has bound the network to a
+	// ShardGroup; it turns Send/Multicast into capture sites whose
+	// routing is deferred to window barriers (see AttachShards).
+	sh *sharding
+}
+
+// sharding is the cross-shard exchange state of a partitioned network.
+//
+// Link reservation (deliveryTimeAt) is global, non-causal state: a send
+// from any node advances nextFree on every link of its route, so it can
+// never run concurrently from shard goroutines. Instead each shard
+// appends its window's sends to a private outbox, and at the window
+// barrier the ShardGroup's flush hook routes them all, single-threaded,
+// in canonical (send time, src node, per-src sequence) order. The order
+// is a function of the model alone — never of the shard count or the
+// goroutine schedule — so link contention resolves identically for every
+// K, and each delivery is scheduled on its destination shard's engine
+// with the send time as its stamp, which restores the serial engine's
+// intra-cycle position (see sim.Engine.ScheduleStampedAt).
+//
+// Same-node messages bypass the exchange for timing (they use no links
+// and their router-only latency may be below the group's lookahead) and
+// are scheduled immediately on their own shard's engine, exactly like
+// the serial path; only their accounting is deferred to the barrier so
+// counters and traffic stay single-writer.
+type sharding struct {
+	group   *sim.ShardGroup
+	shardOf []int32
+	outbox  [][]pendingSend
+	// sendSeq is the per-src-node send counter, the canonical tiebreak
+	// for same-cycle sends. Each node belongs to exactly one shard, so
+	// the counters are single-writer.
+	sendSeq []uint64
+	scratch []pendingSend
+}
+
+func (sh *sharding) engineOf(node int32) *sim.Engine {
+	return sh.group.Engine(int(sh.shardOf[node]))
+}
+
+// pendingSend is one captured Send or Multicast awaiting barrier routing.
+type pendingSend struct {
+	at       sim.Time // send time
+	seq      uint64   // per-src sequence at the send
+	src, dst int32
+	bytes    int32
+	class    stats.TrafficClass
+	// local marks a same-node message already scheduled on its engine:
+	// the barrier only does its accounting.
+	local bool
+	fn    func()
+	// dsts/mfn describe a multicast (dst is unused); same-node members
+	// were already scheduled at capture, like local above.
+	dsts []int32
+	mfn  func(dst int)
 }
 
 // New builds a network on the given engine.
@@ -141,6 +197,49 @@ func New(engine *sim.Engine, cfg Config) *Network {
 // SetTracer attaches (or with nil detaches) an event tracer. Every Send
 // and multicast delivery emits a KindNoCMsg spanning injection to arrival.
 func (n *Network) SetTracer(tr *obs.Tracer) { n.tracer = tr }
+
+// Lookahead returns the conservative parallel-simulation window a mesh
+// supports: the minimum latency of any cross-node message, two router
+// traversals plus one link hop (serialization contributes at least one
+// further cycle, absorbed by the -1 in the delivery-time formula). A
+// degenerate zero-latency configuration clamps to one cycle; barrier
+// windows then still interleave correctly up to same-cycle ordering ties.
+func Lookahead(cfg Config) sim.Time {
+	la := 2*cfg.RouterLatency + cfg.LinkLatency
+	if la < 1 {
+		la = 1
+	}
+	return la
+}
+
+// AttachShards binds the network to a ShardGroup: shardOf maps every mesh
+// node to the shard whose engine owns its components. From then on
+// Send/Multicast must be invoked from the shard owning m.Src (which is
+// automatic when components only message from their own event context),
+// cross-node deliveries are routed at window barriers (see sharding), and
+// the group's window must not exceed the mesh's Lookahead, or deliveries
+// could land inside a window that already executed.
+func (n *Network) AttachShards(g *sim.ShardGroup, shardOf []int32) {
+	if len(shardOf) != n.Nodes() {
+		panic(fmt.Sprintf("noc: shard map covers %d nodes, mesh has %d", len(shardOf), n.Nodes()))
+	}
+	if g.Window() > Lookahead(n.cfg) {
+		panic(fmt.Sprintf("noc: shard window %d exceeds mesh lookahead %d", g.Window(), Lookahead(n.cfg)))
+	}
+	for _, s := range shardOf {
+		if int(s) < 0 || int(s) >= g.Shards() {
+			panic(fmt.Sprintf("noc: shard %d outside group of %d", s, g.Shards()))
+		}
+	}
+	n.sh = &sharding{
+		group:   g,
+		shardOf: append([]int32(nil), shardOf...),
+		outbox:  make([][]pendingSend, g.Shards()),
+		sendSeq: make([]uint64, n.Nodes()),
+	}
+	n.engine = g.Engine(0) // the horizon event's (and Utilization's) clock
+	g.AddFlush(n.flushShards)
+}
 
 // Stats snapshots the network's interned counters into a stats.Set.
 func (n *Network) Stats() *stats.Set {
@@ -269,14 +368,35 @@ func (n *Network) serializationCycles(bytes int) sim.Time {
 
 // Send routes a message, charges traffic, and schedules OnDeliver at the
 // arrival time. Local (src==dst) messages are delivered after the router
-// latency with no link traffic.
+// latency with no link traffic. On a sharded network cross-node routing
+// is captured and deferred to the window barrier (see sharding).
 func (n *Network) Send(m *Message) {
 	n.check(m.Src)
 	n.check(m.Dst)
+	if sh := n.sh; sh != nil {
+		now := sh.engineOf(int32(m.Src)).Now()
+		sh.sendSeq[m.Src]++
+		p := pendingSend{at: now, seq: sh.sendSeq[m.Src],
+			src: int32(m.Src), dst: int32(m.Dst), bytes: int32(m.Bytes),
+			class: m.Class, fn: m.OnDeliver}
+		if m.Src == m.Dst {
+			// Same-node: no link state touched, and the router-only
+			// latency may undercut the lookahead window — deliver on the
+			// owning engine immediately, exactly like the serial path,
+			// deferring only the accounting.
+			p.local = true
+			if m.OnDeliver != nil {
+				sh.engineOf(int32(m.Src)).ScheduleAt(now+n.cfg.RouterLatency, m.OnDeliver)
+			}
+		}
+		s := sh.shardOf[m.Src]
+		sh.outbox[s] = append(sh.outbox[s], p)
+		return
+	}
 	n.ctrSends.Inc()
 	hops := n.HopCount(m.Src, m.Dst)
 	n.Traffic.Record(m.Class, m.Bytes+n.cfg.HeaderBytes, hops)
-	arrive := n.deliveryTime(m.Src, m.Dst, m.Bytes)
+	arrive := n.deliveryTimeAt(n.engine.Now(), m.Src, m.Dst, m.Bytes)
 	if tr := n.tracer; tr.Enabled() {
 		now := n.engine.Now()
 		tr.Emit(obs.Event{Time: uint64(now), Dur: uint64(arrive - now),
@@ -285,10 +405,9 @@ func (n *Network) Send(m *Message) {
 	n.scheduleDelivery(arrive, m.OnDeliver)
 }
 
-// deliveryTime computes the arrival time of a message sent now, advancing
-// link reservations when contention modelling is on.
-func (n *Network) deliveryTime(src, dst, bytes int) sim.Time {
-	now := n.engine.Now()
+// deliveryTimeAt computes the arrival time of a message sent at now,
+// advancing link reservations when contention modelling is on.
+func (n *Network) deliveryTimeAt(now sim.Time, src, dst, bytes int) sim.Time {
 	if src == dst {
 		return now + n.cfg.RouterLatency
 	}
@@ -329,7 +448,11 @@ func (n *Network) BusyLinkCycles() uint64 {
 // Utilization returns the average fraction of link-cycles occupied so far
 // (Figure 12's companion metric). Zero before any traffic or time.
 func (n *Network) Utilization() float64 {
-	now := uint64(n.engine.Now())
+	clock := n.engine.Now()
+	if n.sh != nil {
+		clock = n.sh.group.Now()
+	}
+	now := uint64(clock)
 	if now == 0 {
 		return 0
 	}
@@ -362,33 +485,35 @@ func (n *Network) scheduleDelivery(at sim.Time, fn func()) {
 // Multicast sends one payload to several destinations along a shared X-Y
 // tree: links common to multiple destinations are charged once, modelling
 // the router multicast support of Table V. OnDeliver (if non-nil) runs once
-// per destination.
+// per destination. On a sharded network remote deliveries are deferred to
+// the window barrier like Send's.
 func (n *Network) Multicast(src int, dsts []int, bytes int, class stats.TrafficClass, onDeliver func(dst int)) {
 	n.check(src)
 	if len(dsts) == 0 {
 		return
 	}
-	// Count links of the multicast tree once each, stamping the scratch
-	// array with a fresh epoch instead of building a per-message set.
-	n.epoch++
-	if n.epoch == 0 { // wrapped: old stamps are ambiguous, clear them
-		clear(n.linkSeen)
-		n.epoch = 1
-	}
-	unique := 0
-	for _, d := range dsts {
-		n.check(d)
-		for _, l := range n.routeLinks(src, d) {
-			if n.linkSeen[l] != n.epoch {
-				n.linkSeen[l] = n.epoch
-				unique++
+	if sh := n.sh; sh != nil {
+		now := sh.engineOf(int32(src)).Now()
+		sh.sendSeq[src]++
+		p := pendingSend{at: now, seq: sh.sendSeq[src], src: int32(src),
+			bytes: int32(bytes), class: class, mfn: onDeliver,
+			dsts: make([]int32, len(dsts))}
+		for i, d := range dsts {
+			n.check(d)
+			p.dsts[i] = int32(d)
+			if d == src && onDeliver != nil {
+				// Same-node member: deliver immediately, like Send.
+				d := d
+				sh.engineOf(int32(src)).ScheduleAt(now+n.cfg.RouterLatency, func() { onDeliver(d) })
 			}
 		}
+		s := sh.shardOf[src]
+		sh.outbox[s] = append(sh.outbox[s], p)
+		return
 	}
-	n.Traffic.Record(class, bytes+n.cfg.HeaderBytes, unique)
-	n.ctrMulticasts.Inc()
+	n.multicastTraffic(src, dsts, nil, bytes, class)
 	for _, d := range dsts {
-		arrive := n.deliveryTime(src, d, bytes)
+		arrive := n.deliveryTimeAt(n.engine.Now(), src, d, bytes)
 		if tr := n.tracer; tr.Enabled() {
 			now := n.engine.Now()
 			tr.Emit(obs.Event{Time: uint64(now), Dur: uint64(arrive - now),
@@ -400,6 +525,137 @@ func (n *Network) Multicast(src int, dsts []int, bytes int, class stats.TrafficC
 		}
 		d := d
 		n.scheduleDelivery(arrive, func() { onDeliver(d) })
+	}
+}
+
+// multicastTraffic charges a multicast tree's traffic: links shared by
+// several destinations count once, stamping the scratch array with a
+// fresh epoch instead of building a per-message set. Exactly one of
+// dsts/dsts32 is non-nil (the serial and deferred call sites).
+func (n *Network) multicastTraffic(src int, dsts []int, dsts32 []int32, bytes int, class stats.TrafficClass) {
+	n.epoch++
+	if n.epoch == 0 { // wrapped: old stamps are ambiguous, clear them
+		clear(n.linkSeen)
+		n.epoch = 1
+	}
+	unique := 0
+	count := func(d int) {
+		n.check(d)
+		for _, l := range n.routeLinks(src, d) {
+			if n.linkSeen[l] != n.epoch {
+				n.linkSeen[l] = n.epoch
+				unique++
+			}
+		}
+	}
+	for _, d := range dsts {
+		count(d)
+	}
+	for _, d := range dsts32 {
+		count(int(d))
+	}
+	n.Traffic.Record(class, bytes+n.cfg.HeaderBytes, unique)
+	n.ctrMulticasts.Inc()
+}
+
+// flushShards is the ShardGroup barrier hook: it drains every shard's
+// outbox, orders the window's sends canonically by (send time, src node,
+// per-src sequence) — a key that does not depend on the shard count or
+// on goroutine scheduling — and routes them against the global link state
+// exactly as the serial Send path would have, scheduling each remote
+// delivery on its destination shard's engine stamped with the send time.
+func (n *Network) flushShards(limit sim.Time) {
+	sh := n.sh
+	buf := sh.scratch[:0]
+	for i := range sh.outbox {
+		buf = append(buf, sh.outbox[i]...)
+		ob := sh.outbox[i]
+		for j := range ob {
+			ob[j] = pendingSend{} // release closure/dsts references
+		}
+		sh.outbox[i] = ob[:0]
+	}
+	if len(buf) == 0 {
+		sh.scratch = buf
+		return
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		a, b := &buf[i], &buf[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for i := range buf {
+		n.routeDeferred(&buf[i], limit)
+		buf[i] = pendingSend{}
+	}
+	sh.scratch = buf[:0]
+}
+
+// routeDeferred performs the serial Send/Multicast bookkeeping for one
+// captured message at the window barrier.
+func (n *Network) routeDeferred(p *pendingSend, limit sim.Time) {
+	sh := n.sh
+	if p.dsts != nil { // multicast
+		n.multicastTraffic(int(p.src), nil, p.dsts, int(p.bytes), p.class)
+		for _, d := range p.dsts {
+			arrive := n.deliveryTimeAt(p.at, int(p.src), int(d), int(p.bytes))
+			if tr := n.tracer; tr.Enabled() {
+				tr.Emit(obs.Event{Time: uint64(p.at), Dur: uint64(arrive - p.at),
+					Kind: obs.KindNoCMsg, Tile: p.src, A: uint64(d), B: uint64(p.bytes)})
+			}
+			n.Delivered++
+			switch {
+			case p.mfn == nil:
+				n.deferHorizon(arrive, limit)
+			case d == p.src:
+				// Delivered at capture time; accounted here.
+			default:
+				d := int(d)
+				mfn := p.mfn
+				sh.engineOf(int32(d)).ScheduleStampedAt(arrive, p.at, func() { mfn(d) })
+			}
+		}
+		return
+	}
+	n.ctrSends.Inc()
+	hops := n.HopCount(int(p.src), int(p.dst))
+	n.Traffic.Record(p.class, int(p.bytes)+n.cfg.HeaderBytes, hops)
+	arrive := n.deliveryTimeAt(p.at, int(p.src), int(p.dst), int(p.bytes))
+	if tr := n.tracer; tr.Enabled() {
+		tr.Emit(obs.Event{Time: uint64(p.at), Dur: uint64(arrive - p.at),
+			Kind: obs.KindNoCMsg, Tile: p.src, A: uint64(p.dst), B: uint64(p.bytes)})
+	}
+	n.Delivered++
+	switch {
+	case p.fn == nil:
+		n.deferHorizon(arrive, limit)
+	case p.local:
+		// Delivered at capture time; accounted here.
+	default:
+		sh.engineOf(p.dst).ScheduleStampedAt(arrive, p.at, p.fn)
+	}
+}
+
+// deferHorizon extends the drain horizon for a fire-and-forget delivery
+// routed at a barrier: the chasing horizon event (on shard 0's engine,
+// which may have run past the arrival already) keeps the group clock open
+// through the latest such arrival.
+func (n *Network) deferHorizon(arrive, limit sim.Time) {
+	if arrive > n.drainAt {
+		n.drainAt = arrive
+	}
+	if !n.horizonQd {
+		n.horizonQd = true
+		at := n.drainAt
+		if min := limit + 1; at < min {
+			at = min
+		}
+		n.engine.ScheduleAt(at, n.horizonEv)
 	}
 }
 

@@ -46,6 +46,6 @@ func BenchmarkDeliveryTimeOnly(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.deliveryTime(i%64, (i*13)%64, 64)
+		n.deliveryTimeAt(n.engine.Now(), i%64, (i*13)%64, 64)
 	}
 }

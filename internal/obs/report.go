@@ -22,6 +22,11 @@ type JobTiming struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// SimCyclesPerSec is simulated cycles per host second.
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	// ShardStallSeconds is the wall-clock time the job's shard engines
+	// spent waiting at window barriers for the slowest shard, summed over
+	// shards (0 for serial jobs — and for parallel ones on an idle
+	// single-processor host, where windows run inline).
+	ShardStallSeconds float64 `json:"shard_stall_seconds,omitempty"`
 }
 
 // JobReport is the per-job section of a run report. All fields except
@@ -63,6 +68,10 @@ type RunEnv struct {
 	Date      string `json:"date,omitempty"`
 	// Workers is the pool's concurrency bound.
 	Workers int `json:"workers,omitempty"`
+	// Shards is the per-job shard-engine count (parallel DES; 0/1 = serial).
+	// Like Workers it is an execution knob: job results are byte-identical
+	// at any value, so it lives in Env, outside the canonical report.
+	Shards int `json:"shards,omitempty"`
 	// WallSeconds is the whole run's host time.
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
 	// PeakRSSBytes is the process's high-water resident set (VmHWM); 0

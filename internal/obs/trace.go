@@ -1,5 +1,7 @@
 package obs
 
+import "sort"
+
 // Kind labels a traced event.
 type Kind uint8
 
@@ -138,4 +140,50 @@ func (t *Tracer) Events() []Event {
 	}
 	out = append(out, t.ring[:t.next]...)
 	return out
+}
+
+// Cap reports the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// MergeTracers replays the union of the lanes' retained events into dst in
+// a canonical full-field order (Time, Kind, Tile, A, B, Dur). A sharded
+// machine records each shard's events into its own lane; because the
+// multiset of events is shard-count-invariant, the sorted replay makes the
+// merged trace byte-identical at any shard count and goroutine schedule.
+// Dropped events (wrapped lanes) are folded into dst's drop count.
+func MergeTracers(dst *Tracer, lanes ...*Tracer) {
+	var all []Event
+	var dropped uint64
+	for _, l := range lanes {
+		all = append(all, l.Events()...)
+		dropped += l.Dropped()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Tile != b.Tile {
+			return a.Tile < b.Tile
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.Dur < b.Dur
+	})
+	dst.total += dropped
+	for _, ev := range all {
+		dst.Emit(ev)
+	}
 }

@@ -4,8 +4,9 @@
 // across worker goroutines with an in-process memo cache keyed by the job
 // digest, so a measurement shared by several figures (every figure's
 // (workload, Base) denominator, for instance) simulates exactly once per
-// process. Each simulation is a self-contained single-threaded sim.Engine,
-// so results are bit-for-bit identical at any worker count.
+// process. Each simulation is a self-contained sim.ShardGroup of
+// deterministic engines, so results are bit-for-bit identical at any
+// worker count and any shard count.
 package runner
 
 import (
@@ -127,9 +128,27 @@ func Execute(j Job) (*Result, error) { return ExecuteObs(j, nil) }
 // Tracing and sampling observe the run without perturbing it, so the
 // Result is identical either way.
 func ExecuteObs(j Job, rec *obs.JobRecord) (*Result, error) {
+	res, _, err := ExecuteShardsObs(j, rec, 1)
+	return res, err
+}
+
+// ExecuteShardsObs is ExecuteObs with the machine partitioned into shards
+// parallel DES engines. Shards is an execution knob like the pool's worker
+// count — the Result and report are bit-identical at any value — so it is
+// not part of Job or its memo key. Stream systems (whose per-bank engines
+// assume a single clock domain for SCM scheduling) are clamped to one
+// shard; only Base fans out. The second return value is the per-shard
+// wall-clock nanoseconds spent stalled at window barriers (nil when the
+// machine ran serially) — a load-balance diagnostic, not a result.
+func ExecuteShardsObs(j Job, rec *obs.JobRecord, shards int) (*Result, []uint64, error) {
 	w := workloads.Get(j.Workload, j.Scale)
 	needPf := j.System == core.Base
-	m := machine.New(MachineConfig(j, needPf))
+	mc := MachineConfig(j, needPf)
+	if j.System == core.Base {
+		mc.Shards = shards
+	}
+	m := machine.New(mc)
+	defer m.Close()
 	if rec != nil {
 		if rec.Trace != nil {
 			m.SetTracer(rec.Trace)
@@ -145,7 +164,7 @@ func ExecuteObs(j Job, rec *obs.JobRecord) (*Result, error) {
 	for it := 0; it < w.Iters; it++ {
 		res, err := core.Run(m, w.Kernel, j.System, params, w.Params, d)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%v: %w", j.Workload, j.System, err)
+			return nil, nil, fmt.Errorf("%s/%v: %w", j.Workload, j.System, err)
 		}
 		for _, n := range res.DynOps {
 			out.TotalOps += n
@@ -153,8 +172,9 @@ func ExecuteObs(j Job, rec *obs.JobRecord) (*Result, error) {
 		out.StreamableOps += res.DynOps[1] + res.DynOps[2] // mem + compute
 		out.OffloadedOps += res.OffloadedOps
 	}
-	out.Cycles = uint64(m.Engine.Now())
-	out.Events = m.Engine.Executed
+	m.FinishTrace()
+	out.Cycles = uint64(m.Now())
+	out.Events = m.ExecutedEvents()
 	if rec != nil {
 		rec.Workload = j.Workload
 		rec.System = j.System.String()
@@ -168,5 +188,9 @@ func ExecuteObs(j Job, rec *obs.JobRecord) (*Result, error) {
 	out.LockAcquires = s.Get("lock.acquires")
 	out.LockConflicts = s.Get("lock.conflicts")
 	out.Energy = energy.Estimate(energy.ForCore(coreTypeName(j.CoreType)), s, out.TotalOps, out.Cycles)
-	return out, nil
+	var stalls []uint64
+	if m.Shards() > 1 {
+		stalls = append(stalls, m.Group.StallNanos()...)
+	}
+	return out, stalls, nil
 }

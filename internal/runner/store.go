@@ -20,7 +20,7 @@ const StoreSchema = "nearstream-store/v1"
 // change to the figure digest, i.e. the nsexp -all -quick sha tracked in
 // bench/BENCH_sim.json): entries written by another generation then load as
 // wrong-version and are recomputed instead of trusted.
-const SimVersion = "sim-5cdc9620"
+const SimVersion = "sim-2848b4cd"
 
 // storeEntry is the JSON envelope of one persisted measurement.
 type storeEntry struct {

@@ -193,6 +193,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE nsd_pool_memo_hits_total counter\nnsd_pool_memo_hits_total %d\n", pool.Hits())
 	fmt.Fprintf(w, "# TYPE nsd_pool_disk_hits_total counter\nnsd_pool_disk_hits_total %d\n", pool.DiskHits())
 	fmt.Fprintf(w, "# TYPE nsd_pool_workers gauge\nnsd_pool_workers %d\n", pool.Workers())
+	fmt.Fprintf(w, "# TYPE nsd_pool_shards gauge\nnsd_pool_shards %d\n", pool.Shards())
+	if stalls := pool.ShardStalls(); len(stalls) > 0 {
+		fmt.Fprintf(w, "# TYPE nsd_shard_window_stall_seconds gauge\n")
+		for i, n := range stalls {
+			fmt.Fprintf(w, "nsd_shard_window_stall_seconds{shard=\"%d\"} %.6f\n", i, float64(n)/1e9)
+		}
+	}
 	if s.store != nil {
 		fmt.Fprintf(w, "# TYPE nsd_store_entries gauge\nnsd_store_entries %d\n", s.store.Len())
 		fmt.Fprintf(w, "# TYPE nsd_store_size_bytes gauge\nnsd_store_size_bytes %d\n", s.store.SizeBytes())
@@ -440,6 +447,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		Command:   "nsd",
 		GoVersion: runtime.Version(),
 		Workers:   pool.Workers(),
+		Shards:    pool.Shards(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	rep.WriteJSON(w)

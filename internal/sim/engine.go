@@ -23,10 +23,31 @@ type Event func()
 // scheduled is one queued event. Events live by value inside the engine's
 // wheel buckets and overflow heap: Schedule neither allocates a node nor
 // boxes through any.
+//
+// stamp is the event's logical scheduling time: the cycle the cause of the
+// event happened. Plain Schedule/ScheduleAt set stamp = now, so ordering
+// by (at, stamp, seq) is exactly the classic (at, seq) FIFO. The shard
+// exchange (ScheduleStampedAt) back-dates stamp to the cross-shard send
+// time, which slots a deferred delivery at the position it would have had
+// if scheduled the moment it was sent — the keystone of the parallel
+// engine's determinism argument (see ShardGroup).
 type scheduled struct {
-	at  Time
-	seq uint64
-	fn  Event
+	at    Time
+	stamp Time
+	seq   uint64
+	fn    Event
+}
+
+// lessSched orders events by (at, stamp, seq): FIFO within a cycle for
+// same-stamp events, causal-time order across stamps.
+func lessSched(a, b *scheduled) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.stamp != b.stamp {
+		return a.stamp < b.stamp
+	}
+	return a.seq < b.seq
 }
 
 // The near-horizon time wheel covers [now, now+wheelSize). Nearly every
@@ -64,13 +85,14 @@ type bucket struct {
 // over the wheel slots makes "find the next non-empty cycle" a handful of
 // word scans.
 //
-// The ordering contract is unchanged from the heap-only engine: events
-// fire in (time, sequence) order, FIFO within a cycle. At equal
-// timestamps a heap event always fires before a wheel event, which is
-// exactly sequence order: an event enters the heap only while its time is
-// at least wheelSize cycles away and enters the wheel only when closer,
-// so with a monotone clock the heap insertion necessarily happened
-// earlier.
+// The ordering contract generalizes the heap-only engine's: events fire
+// in (time, stamp, sequence) order, where stamp is the cycle the event was
+// scheduled (back-dated by ScheduleStampedAt for deferred cross-shard
+// deliveries). For events scheduled through plain Schedule/ScheduleAt the
+// stamp is the monotone engine clock, so (time, stamp, sequence) order
+// coincides exactly with the classic (time, sequence) FIFO-within-a-cycle
+// order; at equal timestamps heap and wheel events are compared by
+// (stamp, sequence) explicitly rather than by structural position.
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
@@ -132,21 +154,58 @@ func (e *Engine) ScheduleAt(at Time, fn Event) {
 	if at-e.now < wheelSize {
 		slot := int(at & wheelMask)
 		b := &e.wheel[slot]
-		b.ev = append(b.ev, scheduled{at: at, seq: e.seq, fn: fn})
+		// Plain schedules carry stamp = now, and now is monotone, so a
+		// bucket's (stamp, seq) order is append order: no sorted insert.
+		b.ev = append(b.ev, scheduled{at: at, stamp: e.now, seq: e.seq, fn: fn})
 		e.occ[slot>>6] |= 1 << uint(slot&63)
 		e.wheelCount++
 		return
 	}
-	e.queue = append(e.queue, scheduled{at: at, seq: e.seq, fn: fn})
+	e.queue = append(e.queue, scheduled{at: at, stamp: e.now, seq: e.seq, fn: fn})
 	e.siftUp(len(e.queue) - 1)
 }
 
-// less orders the heap by (time, sequence): FIFO within a cycle.
-func (e *Engine) less(i, j int) bool {
-	if e.queue[i].at != e.queue[j].at {
-		return e.queue[i].at < e.queue[j].at
+// ScheduleStampedAt runs fn at absolute time at with a back-dated logical
+// scheduling time stamp <= at. It exists for the cross-shard exchange: a
+// message captured at send time stamp and routed at a window barrier is
+// delivered in exactly the order it would have occupied had it been
+// scheduled the moment it was sent, because events fire in
+// (at, stamp, seq) order and plain schedules stamp with the engine clock.
+// Scheduling in the past (at < now) or with stamp > at panics.
+func (e *Engine) ScheduleStampedAt(at, stamp Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
-	return e.queue[i].seq < e.queue[j].seq
+	if stamp > at {
+		panic(fmt.Sprintf("sim: stamp %d after event time %d", stamp, at))
+	}
+	e.seq++
+	s := scheduled{at: at, stamp: stamp, seq: e.seq, fn: fn}
+	if at-e.now < wheelSize {
+		slot := int(at & wheelMask)
+		b := &e.wheel[slot]
+		// A back-dated stamp may order before events already appended;
+		// insert at the sorted position (scanning from the back — barrier
+		// deliveries for one cycle arrive in canonical order, so inserts
+		// cluster near the tail).
+		i := len(b.ev)
+		for i > b.head && lessSched(&s, &b.ev[i-1]) {
+			i--
+		}
+		b.ev = append(b.ev, scheduled{})
+		copy(b.ev[i+1:], b.ev[i:])
+		b.ev[i] = s
+		e.occ[slot>>6] |= 1 << uint(slot&63)
+		e.wheelCount++
+		return
+	}
+	e.queue = append(e.queue, s)
+	e.siftUp(len(e.queue) - 1)
+}
+
+// less orders the heap by (time, stamp, sequence).
+func (e *Engine) less(i, j int) bool {
+	return lessSched(&e.queue[i], &e.queue[j])
 }
 
 func (e *Engine) siftUp(i int) {
@@ -259,7 +318,13 @@ func (e *Engine) peekTime() Time {
 	return t
 }
 
-// Pending reports the number of events waiting to fire.
+// Pending reports the number of events waiting to fire, counting both
+// wheel buckets and the overflow heap. A sleeping Recurring contributes
+// nothing (its tick is only queued while armed), so Pending == 0 is the
+// engine's authoritative "fully idle" test: a drained engine with sleeping
+// components reports zero even though those components could be re-armed
+// by a later Wake. Pending never counts already-fired events, and a
+// stopped engine still reports its queued (frozen) events.
 func (e *Engine) Pending() int { return e.wheelCount + len(e.queue) }
 
 // Stop makes Run and RunUntil return after the current event completes.
@@ -270,6 +335,10 @@ func (e *Engine) Pending() int { return e.wheelCount + len(e.queue) }
 func (e *Engine) Stop() { e.stopped = true }
 
 // Stopped reports whether Stop has been called (and Reset has not).
+// While true, Step/Run/RunUntil/RunTo fire nothing and time is frozen at
+// the stopping event's cycle; Schedule/ScheduleAt still accept events
+// (they stay queued), and Pending still counts them. Reset is the only
+// way to clear the flag and reuse the engine.
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Reset returns the engine to its initial state: time zero, empty queue,
@@ -302,6 +371,7 @@ func (e *Engine) Reset() {
 	for i, r := range e.recurrings {
 		r.active = false
 		r.queued = false
+		r.registered = false
 		e.recurrings[i] = nil
 	}
 	e.recurrings = e.recurrings[:0]
@@ -314,10 +384,10 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	// Fast path: the current cycle's bucket has events and no heap event
-	// is due this cycle. (A due heap event fires first — see the ordering
-	// note on Engine.)
+	// orders before its head. (Equal-time events compare by (stamp, seq) —
+	// see the ordering note on Engine.)
 	if b := &e.wheel[e.now&wheelMask]; b.head < len(b.ev) {
-		if len(e.queue) == 0 || e.queue[0].at > e.now {
+		if len(e.queue) == 0 || e.queue[0].at > e.now || !lessSched(&e.queue[0], &b.ev[b.head]) {
 			s := e.popBucket(b, int(e.now&wheelMask))
 			e.Executed++
 			s.fn()
@@ -326,7 +396,7 @@ func (e *Engine) Step() bool {
 	} else if e.wheelCount == 0 && len(e.queue) == 0 {
 		return false
 	}
-	// Slow path: advance to the earliest pending time across both levels.
+	// Slow path: advance to the earliest pending event across both levels.
 	slot := e.nextWheelSlot()
 	wt := MaxTime
 	if slot >= 0 {
@@ -340,7 +410,12 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	var s scheduled
-	if ht <= wt {
+	useHeap := ht < wt
+	if ht == wt && ht != MaxTime {
+		b := &e.wheel[slot]
+		useHeap = lessSched(&e.queue[0], &b.ev[b.head])
+	}
+	if useHeap {
 		s = e.pop()
 	} else {
 		s = e.popBucket(&e.wheel[slot], slot)
@@ -426,6 +501,12 @@ type Recurring struct {
 	tick   Event
 	active bool
 	queued bool
+	// registered tracks membership in e.recurrings. Reset clears it along
+	// with the tracking list; Start/WakeAt re-register, so a Recurring
+	// restarted on a reused engine is parked again by the next Reset
+	// instead of being left with a queued flag pointing at a wiped queue
+	// (which would swallow every later Wake).
+	registered bool
 }
 
 // NewRecurring builds a recurring event firing every period cycles once
@@ -435,7 +516,7 @@ func (e *Engine) NewRecurring(period Time, fn func() bool) *Recurring {
 	if period == 0 {
 		panic("sim: recurring event needs a non-zero period")
 	}
-	r := &Recurring{e: e, period: period, fn: fn}
+	r := &Recurring{e: e, period: period, fn: fn, registered: true}
 	r.tick = func() {
 		r.queued = false
 		if !r.active {
@@ -467,10 +548,20 @@ func (r *Recurring) Start(delay Time) {
 	if r.active {
 		panic("sim: recurring event started twice")
 	}
+	r.register()
 	r.active = true
 	if !r.queued {
 		r.queued = true
 		r.e.Schedule(delay, r.tick)
+	}
+}
+
+// register re-attaches the series to its engine's Reset tracking after an
+// engine reuse (see the registered field).
+func (r *Recurring) register() {
+	if !r.registered {
+		r.registered = true
+		r.e.recurrings = append(r.e.recurrings, r)
 	}
 }
 
@@ -497,6 +588,7 @@ func (r *Recurring) WakeAt(at Time) {
 	if at < r.e.now {
 		at = r.e.now
 	}
+	r.register()
 	r.active = true
 	if !r.queued {
 		r.queued = true
