@@ -7,6 +7,7 @@
 //
 //	nsrun -workload histogram -system NS -scale ci -core OOO8
 //	nsrun -workload histogram,pathfinder -system Base,NS,NS_decouple -j 4
+//	nsrun -workload spmv -cpuprofile cpu.out -memprofile mem.out
 //	nsrun -list
 package main
 
@@ -16,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -25,7 +28,12 @@ import (
 	"repro/internal/workloads"
 )
 
+// main delegates to run so deferred profile writers flush before exit.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		wname    = flag.String("workload", "histogram", "workload name(s), comma-separated (see -list)")
 		sysName  = flag.String("system", "NS", "system(s), comma-separated: Base INST SINGLE NS_core NS_no_comp NS NS_no_sync NS_decouple")
@@ -35,11 +43,40 @@ func main() {
 		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 1, "parallel DES engines per simulated machine (output is byte-identical at any value)")
 		progress = flag.Bool("progress", false, "report per-job progress on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 		cacheDir = flag.String("cache-dir", "", "persistent result store directory (shared with nsd and other runs)")
 		cacheMax = flag.Int64("cache-max", 0, "store size cap in bytes (with -cache-dir; 0 = unlimited)")
 		list     = flag.Bool("list", false, "list workloads and systems")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("workloads:")
@@ -51,7 +88,7 @@ func main() {
 		for _, s := range nearstream.Systems() {
 			fmt.Printf("  %s\n", s)
 		}
-		return
+		return 0
 	}
 
 	var systems []core.System
@@ -64,7 +101,7 @@ func main() {
 		}
 		if !found {
 			fmt.Fprintf(os.Stderr, "unknown system %q (try -list)\n", name)
-			os.Exit(2)
+			return 2
 		}
 	}
 	wnames := strings.Split(*wname, ",")
@@ -93,7 +130,7 @@ func main() {
 		st, err := runner.OpenStore(*cacheDir, *cacheMax)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		pool.Disk = st
 	}
@@ -109,7 +146,7 @@ func main() {
 	results, err := pool.RunCtx(ctx, jobList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if *cacheDir != "" {
 		fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache, %d from disk\n",
@@ -118,10 +155,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simulations: %d executed, %d served from cache\n",
 			pool.Executed(), pool.Hits())
 	}
+	if mh, mm := pool.MachineReuse(); mh+mm > 0 {
+		dh, dm, _, db := pool.DatasetCacheStats()
+		fmt.Fprintf(os.Stderr, "reuse: machines %d pooled / %d built, datasets %d cached / %d generated (%.1f MB resident)\n",
+			mh, mm, dh, dm, float64(db)/(1<<20))
+	}
 
 	if len(results) == 1 {
 		printFull(results[0])
-		return
+		return 0
 	}
 	fmt.Printf("%-12s %-12s %12s %12s %12s %14s %12s\n",
 		"workload", "system", "cycles", "micro-ops", "offloaded", "traffic(B*hops)", "energy(J)")
@@ -130,6 +172,7 @@ func main() {
 			r.Workload, r.System, r.Cycles, r.TotalOps, r.OffloadedOps,
 			r.TotalTraffic(), r.Energy.Total())
 	}
+	return 0
 }
 
 func printFull(res *nearstream.Result) {

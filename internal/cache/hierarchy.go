@@ -192,6 +192,33 @@ func (h *Hierarchy) AttachShards(g *sim.ShardGroup, shardOf []int32) {
 	}
 }
 
+// Reset returns every tile, bank and counter lane to its just-built
+// state: cold arrays with replaying replacement rngs, empty MSHR/txn/lock
+// tables, zeroed counters, detached tracers. Shard bindings survive.
+// After a completed run the MSHR and transaction tables are empty anyway;
+// clearing them is defensive against an aborted run leaking work into
+// the next job.
+func (h *Hierarchy) Reset() {
+	for _, t := range h.tiles {
+		t.l1.Reset()
+		t.l2.Reset()
+		t.inflight.Clear()
+	}
+	for _, b := range h.banks {
+		b.array.Reset()
+		b.txns.Clear()
+		b.locks.Clear()
+		clear(b.lockPool[:cap(b.lockPool)])
+		b.lockPool = b.lockPool[:0]
+		b.lockFree = b.lockFree[:0]
+	}
+	for _, l := range h.lanes {
+		l.reg.Reset()
+		l.tracer = nil
+	}
+	h.PrefetchHook = nil
+}
+
 // Stats snapshots the hierarchy's counters as a stats set (the export and
 // test surface; hot-path counting happens on interned registry slots).
 // With multiple shard lanes the per-lane counts sum, so totals are

@@ -344,6 +344,12 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 	}
 	res.Cycles = last
 	res.Stats = m.CollectStats()
+	// The run is over: nothing references the trace buffers (the streams
+	// holding element slices died with their coreRuns), so recycle them.
+	for _, cr := range runs {
+		putTrace(cr.trace)
+		cr.trace = nil
+	}
 	return res, nil
 }
 

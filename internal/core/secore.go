@@ -18,27 +18,43 @@ type inCoreStream struct {
 
 	ready   []sim.Time
 	done    []bool
-	waiters map[int][]func()
+	waiters map[int][]func(at sim.Time)
 
 	issued   int
 	consumed int
 	serial   bool
 	base     *inCoreStream
 
-	// Per-line dedupe: consecutive elements on one line share a fetch.
+	// basePending marks an outstanding wait on the base stream: pump
+	// registers at most one base waiter at a time (pumpFn, allocated
+	// once), since every registration would resume the same idempotent
+	// pump loop. Without the guard each pump call while blocked stacks
+	// another waiter closure, and fired waiters immediately re-register
+	// on the next blocked element — a self-sustaining cascade that
+	// dominated the simulator's allocation profile.
+	basePending bool
+	pumpFn      func(sim.Time)
+
+	// Per-line dedupe: consecutive elements on one line share a fetch;
+	// linePend queues the element indices waiting on the owner's fill.
 	lineDone map[uint64]sim.Time
-	linePend map[uint64][]func(sim.Time)
+	linePend map[uint64][]int
 }
 
 func newInCoreStream(cr *coreRun, elems []streamElem, serial bool) *inCoreStream {
-	return &inCoreStream{
+	ics := &inCoreStream{
 		cr: cr, elems: elems, serial: serial,
 		ready:    make([]sim.Time, len(elems)),
 		done:     make([]bool, len(elems)),
-		waiters:  map[int][]func(){},
+		waiters:  map[int][]func(at sim.Time){},
 		lineDone: map[uint64]sim.Time{},
-		linePend: map[uint64][]func(sim.Time){},
+		linePend: map[uint64][]int{},
 	}
+	ics.pumpFn = func(sim.Time) {
+		ics.basePending = false
+		ics.pump()
+	}
+	return ics
 }
 
 // consume is the s_load: done fires when element i's data is in the FIFO.
@@ -58,7 +74,7 @@ func (ics *inCoreStream) consume(i int, done func(at sim.Time)) {
 		done(at)
 		return
 	}
-	ics.waiters[i] = append(ics.waiters[i], func() { done(ics.ready[i]) })
+	ics.waiters[i] = append(ics.waiters[i], done)
 }
 
 // pump issues prefetches up to the FIFO depth ahead of consumption.
@@ -74,7 +90,10 @@ func (ics *inCoreStream) pump() {
 			if bi >= 0 && !ics.base.done[bi] {
 				// Indirect: the index must arrive first; piggyback on the
 				// base stream's FIFO fill.
-				ics.base.consume(bi, func(sim.Time) { ics.pump() })
+				if !ics.basePending {
+					ics.basePending = true
+					ics.base.consume(bi, ics.pumpFn)
+				}
 				return
 			}
 		}
@@ -96,18 +115,18 @@ func (ics *inCoreStream) fetch(i int) {
 		return
 	}
 	if pend, okPend := ics.linePend[line]; okPend {
-		ics.linePend[line] = append(pend, func(at sim.Time) { ics.complete(i, at+1) })
+		ics.linePend[line] = append(pend, i)
 		return
 	}
-	ics.linePend[line] = []func(sim.Time){}
+	ics.linePend[line] = nil // key presence marks the in-flight fill
 	ics.cr.tile().Access(e.pa, false, sePrefetchPC, func(cache.Level) {
 		at := ics.cr.m.Engine.Now()
 		ics.lineDone[line] = at
 		pend := ics.linePend[line]
 		delete(ics.linePend, line)
 		ics.complete(i, at)
-		for _, fn := range pend {
-			fn(at)
+		for _, j := range pend {
+			ics.complete(j, at+1)
 		}
 	})
 }
@@ -120,7 +139,7 @@ func (ics *inCoreStream) complete(i int, at sim.Time) {
 		ics.ready[i] = ics.cr.m.Engine.Now()
 		ics.done[i] = true
 		for _, w := range ics.waiters[i] {
-			w()
+			w(ics.ready[i])
 		}
 		delete(ics.waiters, i)
 		ics.pump()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/compiler"
 	"repro/internal/ir"
@@ -55,13 +56,41 @@ type streamElem struct {
 	changed bool   // atomics: whether the value changed (MRSW)
 }
 
-// GenTrace interprets kernel k over [outerLo, outerHi) with plan p,
-// producing the core's trace. The machine supplies address translation.
-func GenTrace(m *machine.Machine, k *ir.Kernel, p *compiler.Plan, params map[string]uint64, d *ir.Data, outerLo, outerHi uint64) (*Trace, error) {
-	tr := &Trace{
+// tracePool recycles Trace objects across runs. A paper-scale kernel's
+// entry and stream-element buffers reach tens of millions of elements;
+// regrowing them geometrically from nil dominated the interpreter's
+// wall-clock (growslice memmove), so reuse keeps the warmed capacity.
+// Every lookup into StreamElems is by sid, so stale keys left truncated
+// to length 0 by getTrace are indistinguishable from absent ones.
+var tracePool = sync.Pool{New: func() any {
+	return &Trace{
 		DynOps:      map[compiler.Category]uint64{},
 		StreamElems: map[int][]streamElem{},
 	}
+}}
+
+// getTrace checks a cleared Trace out of the pool. Accs is never reused:
+// it escapes into the RunResult.
+func getTrace() *Trace {
+	tr := tracePool.Get().(*Trace)
+	tr.Entries = tr.Entries[:0]
+	clear(tr.DynOps)
+	for sid, s := range tr.StreamElems {
+		tr.StreamElems[sid] = s[:0]
+	}
+	tr.Iters = 0
+	tr.Accs = nil
+	return tr
+}
+
+// putTrace returns a trace whose buffers are no longer referenced —
+// callers must not hold on to Entries or StreamElems slices past this.
+func putTrace(tr *Trace) { tracePool.Put(tr) }
+
+// GenTrace interprets kernel k over [outerLo, outerHi) with plan p,
+// producing the core's trace. The machine supplies address translation.
+func GenTrace(m *machine.Machine, k *ir.Kernel, p *compiler.Plan, params map[string]uint64, d *ir.Data, outerLo, outerHi uint64) (*Trace, error) {
+	tr := getTrace()
 	innermost := len(k.Loops) - 1
 	var innerIter uint64
 	// Classification is static per op: resolve it once up front into

@@ -1,0 +1,84 @@
+package ir
+
+import "fmt"
+
+// arenaMinWords sizes the first arena chunk (64 Ki words = 512 KiB);
+// later chunks double, so an arena reaches any workload footprint in a
+// few allocations and then serves every subsequent job from held memory.
+const arenaMinWords = 1 << 16
+
+// Arena is a reusable bump allocator for array element storage: one
+// growing list of large []uint64 chunks, carved sequentially by Take and
+// rewound wholesale by Reset. A Data built over an arena keeps
+// AllocArrays off the garbage collector in steady state — the runner
+// hands each job an arena from a free list and takes it back when the
+// job completes.
+//
+// Lifetime rule: everything Taken from an arena dies with the job that
+// took it. Results, traces and cached datasets must copy out any bits
+// they keep (runner.DatasetCache does), because Reset hands the same
+// memory to the next job. An Arena is single-goroutine, like the job
+// that owns it.
+type Arena struct {
+	chunks [][]uint64
+	cur    int // chunk currently being carved
+	off    int // next free word in chunks[cur]
+}
+
+// NewArena returns an empty arena; chunks are allocated on first use.
+func NewArena() *Arena { return &Arena{} }
+
+// Take returns a zeroed slice of n words carved from the arena. The
+// slice is full-capacity-clamped so an append by the caller can never
+// bleed into a neighbouring array.
+func (ar *Arena) Take(n uint64) []uint64 {
+	if n > uint64(int(^uint(0)>>1)) {
+		panic(fmt.Sprintf("ir: arena take of %d words overflows int", n))
+	}
+	need := int(n)
+	if need == 0 {
+		return nil
+	}
+	for {
+		if ar.cur < len(ar.chunks) {
+			c := ar.chunks[ar.cur]
+			if len(c)-ar.off >= need {
+				s := c[ar.off : ar.off+need : ar.off+need]
+				ar.off += need
+				clear(s)
+				return s
+			}
+			// Leftover words in this chunk are skipped, not reclaimed:
+			// the waste is bounded by one array per chunk and vanishes
+			// at the next Reset.
+			ar.cur++
+			ar.off = 0
+			continue
+		}
+		size := arenaMinWords
+		if k := len(ar.chunks); k > 0 {
+			size = 2 * len(ar.chunks[k-1])
+		}
+		if size < need {
+			size = need
+		}
+		ar.chunks = append(ar.chunks, make([]uint64, size))
+	}
+}
+
+// Reset rewinds the arena to empty, keeping every chunk for reuse.
+// Memory handed out by previous Takes is recycled: the owner of those
+// slices must be done with them.
+func (ar *Arena) Reset() {
+	ar.cur, ar.off = 0, 0
+}
+
+// HeldBytes reports the total chunk bytes the arena retains (pool
+// accounting and tests).
+func (ar *Arena) HeldBytes() int64 {
+	var words int64
+	for _, c := range ar.chunks {
+		words += int64(len(c))
+	}
+	return words * 8
+}

@@ -110,8 +110,12 @@ type Machine struct {
 	laneTracers []*obs.Tracer
 }
 
-// New assembles a machine.
-func New(cfg Config) *Machine {
+// Normalize canonicalizes a config the way New does: NoC dimensions
+// follow the mesh, zero Cores means every tile, Shards clamps to
+// [1, MeshHeight]. Two configs that normalize equal build byte-identical
+// machines, so the normalized value (a comparable struct) is the digest
+// the runner's machine pool keys its free lists by.
+func Normalize(cfg Config) Config {
 	if cfg.MeshWidth <= 0 || cfg.MeshHeight <= 0 {
 		panic("machine: bad mesh")
 	}
@@ -125,6 +129,12 @@ func New(cfg Config) *Machine {
 	if cfg.Shards > cfg.MeshHeight {
 		cfg.Shards = cfg.MeshHeight
 	}
+	return cfg
+}
+
+// New assembles a machine.
+func New(cfg Config) *Machine {
+	cfg = Normalize(cfg)
 	// Row-band partition: contiguous rows share a shard, so every
 	// cross-shard message crosses at least one full link (the lookahead).
 	group := sim.NewShardGroup(cfg.Shards, noc.Lookahead(cfg.NoC))
@@ -172,6 +182,43 @@ func New(cfg Config) *Machine {
 		}
 	}
 	return m
+}
+
+// Reset returns the machine to its just-built state so a pooled machine
+// can run another job: engines rewound, links and buses idle, caches and
+// TLBs cold with their replacement rngs replaying from the seed, the
+// address space forgetting every mapping, all counters zeroed, tracers
+// and sampler detached. The Reset contract is observational equivalence
+// to New(m.Cfg) — a job run on a Reset machine must produce bit-identical
+// results — which holds because every piece of run state is either
+// cleared here or rebuilt per run (cores and SE state live in core.Run,
+// not on the Machine). Shard structure, precomputed routes and interned
+// counter ids survive: they are functions of Cfg alone.
+func (m *Machine) Reset() {
+	m.SetTracer(nil)
+	m.Sampler = nil
+	m.Group.Reset()
+	m.Net.Reset()
+	m.Dram.Reset()
+	m.Hier.Reset()
+	m.AS.Reset()
+	for _, t := range m.TLBs {
+		t.Reset()
+	}
+	for _, t := range m.SETLBs {
+		t.Reset()
+	}
+	m.Stats.Reset()
+	m.Obs.Reset()
+	for _, u := range m.PFUnits {
+		u.Reset()
+	}
+	if m.Cfg.EnablePrefetchers {
+		// Hier.Reset clears the hook along with the rest of the run state.
+		m.Hier.PrefetchHook = func(tile int, addr uint64, pc uint64, hit bool) {
+			m.PFUnits[tile].Observe(addr, pc)
+		}
+	}
 }
 
 // SetTracer attaches one event tracer to every traced component (nil

@@ -241,6 +241,35 @@ func (n *Network) AttachShards(g *sim.ShardGroup, shardOf []int32) {
 	g.AddFlush(n.flushShards)
 }
 
+// Reset returns the network to its just-built state: idle links, zero
+// traffic and counters, no pending drain horizon. Precomputed routes and
+// the shard binding survive — they are functions of the configuration,
+// not of any run. Outboxes are normally drained by the final barrier;
+// clearing them here is defensive (an aborted run must not leak sends
+// into the next job).
+func (n *Network) Reset() {
+	n.Traffic.Reset()
+	clear(n.nextFree)
+	clear(n.busyCycles)
+	clear(n.linkSeen)
+	n.epoch = 0
+	n.drainAt = 0
+	n.horizonQd = false
+	n.Delivered = 0
+	n.reg.Reset()
+	n.tracer = nil
+	if sh := n.sh; sh != nil {
+		clear(sh.sendSeq)
+		for i := range sh.outbox {
+			ob := sh.outbox[i]
+			for j := range ob {
+				ob[j] = pendingSend{}
+			}
+			sh.outbox[i] = ob[:0]
+		}
+	}
+}
+
 // Stats snapshots the network's interned counters into a stats.Set.
 func (n *Network) Stats() *stats.Set {
 	s := stats.NewSet()

@@ -62,6 +62,14 @@ func (r *Registry) ExportTo(add func(name string, v uint64)) {
 	}
 }
 
+// Reset zeroes every counter value while keeping the interning table, so
+// Counter handles issued before the reset stay valid. Component reuse
+// (machine pooling) depends on this: a pooled component re-interns the
+// same names and must land on the same ids.
+func (r *Registry) Reset() {
+	clear(r.vals)
+}
+
 // Counter is a dense-id handle into a Registry. Incrementing is a slice
 // element add: no map access, no allocation.
 type Counter struct {

@@ -194,6 +194,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE nsd_pool_disk_hits_total counter\nnsd_pool_disk_hits_total %d\n", pool.DiskHits())
 	fmt.Fprintf(w, "# TYPE nsd_pool_workers gauge\nnsd_pool_workers %d\n", pool.Workers())
 	fmt.Fprintf(w, "# TYPE nsd_pool_shards gauge\nnsd_pool_shards %d\n", pool.Shards())
+	mh, mm := pool.MachineReuse()
+	fmt.Fprintf(w, "# TYPE nsd_machine_pool_hits_total counter\nnsd_machine_pool_hits_total %d\n", mh)
+	fmt.Fprintf(w, "# TYPE nsd_machine_pool_misses_total counter\nnsd_machine_pool_misses_total %d\n", mm)
+	dh, dm, dev, db := pool.DatasetCacheStats()
+	fmt.Fprintf(w, "# TYPE nsd_dataset_cache_hits_total counter\nnsd_dataset_cache_hits_total %d\n", dh)
+	fmt.Fprintf(w, "# TYPE nsd_dataset_cache_misses_total counter\nnsd_dataset_cache_misses_total %d\n", dm)
+	fmt.Fprintf(w, "# TYPE nsd_dataset_cache_evictions_total counter\nnsd_dataset_cache_evictions_total %d\n", dev)
+	fmt.Fprintf(w, "# TYPE nsd_dataset_cache_bytes gauge\nnsd_dataset_cache_bytes %d\n", db)
 	if stalls := pool.ShardStalls(); len(stalls) > 0 {
 		fmt.Fprintf(w, "# TYPE nsd_shard_window_stall_seconds gauge\n")
 		for i, n := range stalls {

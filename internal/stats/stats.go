@@ -68,6 +68,13 @@ func (s *Set) Merge(other *Set) {
 	}
 }
 
+// Reset zeroes the set: after it, the set is indistinguishable from a
+// fresh one (a counter exists only once touched, so clearing the map —
+// not zeroing entries — preserves Names()/String() equivalence).
+func (s *Set) Reset() {
+	clear(s.counters)
+}
+
 // String formats all counters, one per line, sorted by name.
 func (s *Set) String() string {
 	var b strings.Builder
@@ -134,6 +141,11 @@ func (t *Traffic) Total() uint64 {
 		sum += v
 	}
 	return sum
+}
+
+// Reset zeroes the accumulation.
+func (t *Traffic) Reset() {
+	*t = Traffic{}
 }
 
 // Merge adds other's accumulation into t.

@@ -65,6 +65,7 @@ type AddressSpace struct {
 	UseHugePages bool
 	nextVA       uint64
 	nextPA       uint64
+	seed         uint64
 	rng          *sim.Rand
 }
 
@@ -76,8 +77,21 @@ func NewAddressSpace(useHuge bool, seed uint64) *AddressSpace {
 		UseHugePages: useHuge,
 		nextVA:       HugePageSize, // keep page 0 unmapped
 		nextPA:       HugePageSize,
+		seed:         seed,
 		rng:          sim.NewRand(seed),
 	}
+}
+
+// Reset forgets every mapping and restarts the allocators, replaying the
+// same seed: a Reset address space hands out exactly the addresses a
+// fresh one would. The page-table maps are cleared, not reallocated, so
+// steady-state reuse stays off the allocator.
+func (as *AddressSpace) Reset() {
+	clear(as.PT.base)
+	clear(as.PT.huge)
+	as.nextVA = HugePageSize
+	as.nextPA = HugePageSize
+	as.rng = sim.NewRand(as.seed)
 }
 
 // Alloc reserves size bytes and returns the virtual base address. The
@@ -211,6 +225,18 @@ func (t *TLB) Shootdown(va uint64) {
 			}
 		}
 	}
+}
+
+// Reset returns the TLB to its just-built state: every entry invalid,
+// the LRU clock at zero, and all counters cleared. Unlike Flush it does
+// not count as a context switch — pooled-machine reuse must leave the
+// stats indistinguishable from a fresh build.
+func (t *TLB) Reset() {
+	for _, set := range t.data {
+		clear(set)
+	}
+	t.clock = 0
+	t.Stats.Reset()
 }
 
 // Flush invalidates the whole TLB (context switch).

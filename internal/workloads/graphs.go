@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/sim"
@@ -68,6 +69,43 @@ func Kronecker(scaleLog2 int, edgeFactor int, seed uint64) *Graph {
 	return g
 }
 
+// kronKey identifies one generated graph.
+type kronKey struct {
+	logN, ef int
+	seed     uint64
+}
+
+var (
+	kronMu    sync.Mutex
+	kronCache = map[kronKey]*Graph{}
+)
+
+// kronecker memoizes Kronecker per (scale, edge factor, seed). Workload
+// constructors run on every Get call — once per executed job — and
+// regenerating a multi-million-edge graph each time dominates their
+// cost. A Graph is immutable after construction (loadGraph and the
+// workload closures only read it), so sharing one instance across
+// concurrent jobs is safe. The cache is small and unbounded by design:
+// at most one graph per (scale, seed) pair ever used by a process.
+func kronecker(logN, ef int, seed uint64) *Graph {
+	key := kronKey{logN, ef, seed}
+	kronMu.Lock()
+	if g, ok := kronCache[key]; ok {
+		kronMu.Unlock()
+		return g
+	}
+	kronMu.Unlock()
+	g := Kronecker(logN, ef, seed)
+	kronMu.Lock()
+	if prev, ok := kronCache[key]; ok {
+		g = prev // a racing generator won; both built identical graphs
+	} else {
+		kronCache[key] = g
+	}
+	kronMu.Unlock()
+	return g
+}
+
 // graphScale returns the Kronecker scale parameters.
 func graphScale(scale Scale) (logN, edgeFactor int) {
 	if scale == ScalePaper {
@@ -115,7 +153,7 @@ const inf = ^uint64(0)
 // frontier is every node, worst case).
 func bfsPush(scale Scale) *Workload {
 	logN, ef := graphScale(scale)
-	g := Kronecker(logN, ef, 42)
+	g := kronecker(logN, ef, 42)
 	b := ir.NewKernel("bfs_push")
 	graphArrays(b, g, false)
 	b.Array("depth", ir.I64, g.Nodes)
@@ -161,7 +199,7 @@ func bfsPush(scale Scale) *Workload {
 // contribution to its out-neighbors (Table VI "Ind. Atomic").
 func prPush(scale Scale) *Workload {
 	logN, ef := graphScale(scale)
-	g := Kronecker(logN, ef, 43)
+	g := kronecker(logN, ef, 43)
 	b := ir.NewKernel("pr_push")
 	graphArrays(b, g, false)
 	b.Array("contrib", ir.F32, g.Nodes).Array("next", ir.F32, g.Nodes)
@@ -191,7 +229,7 @@ func prPush(scale Scale) *Workload {
 // (Table VI "Ind. Atomic", weights in [1,255]).
 func sssp(scale Scale) *Workload {
 	logN, ef := graphScale(scale)
-	g := Kronecker(logN, ef, 44)
+	g := kronecker(logN, ef, 44)
 	b := ir.NewKernel("sssp")
 	graphArrays(b, g, true)
 	b.Array("dist", ir.I64, g.Nodes).Array("distNext", ir.I64, g.Nodes)
@@ -227,7 +265,7 @@ func sssp(scale Scale) *Workload {
 // frontier member (Table VI "Ind. Reduce", associative Or).
 func bfsPull(scale Scale) *Workload {
 	logN, ef := graphScale(scale)
-	g := Kronecker(logN, ef, 45)
+	g := kronecker(logN, ef, 45)
 	b := ir.NewKernel("bfs_pull")
 	graphArrays(b, g, false)
 	b.Array("depth", ir.I64, g.Nodes).Array("found", ir.I64, g.Nodes)
@@ -266,7 +304,7 @@ func bfsPull(scale Scale) *Workload {
 // (Table VI "Ind. Reduce", associative Add).
 func prPull(scale Scale) *Workload {
 	logN, ef := graphScale(scale)
-	g := Kronecker(logN, ef, 46)
+	g := kronecker(logN, ef, 46)
 	b := ir.NewKernel("pr_pull")
 	graphArrays(b, g, false)
 	b.Array("contrib", ir.F32, g.Nodes).Array("score", ir.F32, g.Nodes)
