@@ -20,7 +20,9 @@
 //	GET    /api/v1/jobs/{id}/events  per-job progress over SSE
 //	DELETE /api/v1/jobs/{id}       cancel
 //	GET    /api/v1/report          cumulative obs run report
-//	GET    /metrics                Prometheus text format
+//	GET    /api/v1/live            daemon-wide live metrics over SSE (?interval_ms=)
+//	GET    /metrics                Prometheus text format (counters, gauges, histograms)
+//	GET    /debug/pprof/           Go runtime profiles (heap, goroutine, profile, trace)
 //	GET    /healthz
 //
 // A full queue answers 429 with Retry-After; SIGTERM/SIGINT drains

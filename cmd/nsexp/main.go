@@ -12,6 +12,7 @@
 //	nsexp -fig 9 -progress       # per-job progress (+rate/ETA) on stderr
 //	nsexp -fig 9 -trace t.json   # Chrome trace_event JSON (Perfetto-loadable)
 //	nsexp -fig 9 -report r.json  # machine-readable per-job run report
+//	nsexp -fig 9 -stall-report - # where-the-cycles-went stall attribution
 //	nsexp -fig 9 -sample s.csv   # per-epoch IPC/occupancy/utilization series
 //	nsexp -fig 9 -cpuprofile cpu.out -memprofile mem.out
 //	                             # profile the simulator itself (go tool pprof)
@@ -67,6 +68,7 @@ func run() int {
 		memProf     = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON of every simulated job to this file")
 		reportOut   = flag.String("report", "", "write a machine-readable JSON run report to this file")
+		stallOut    = flag.String("stall-report", "", "write a flat where-the-cycles-went stall table (cycle attribution) to this file (- for stdout)")
 		sampleOut   = flag.String("sample", "", "write per-epoch time-series samples to this file (.json for JSON, else CSV)")
 		sampleEvery = flag.Uint64("sample-every", obs.DefaultSamplePeriod, "sampling epoch in cycles (with -sample)")
 		traceEvents = flag.Int("trace-events", obs.DefaultTraceEvents, "per-job trace ring capacity (with -trace)")
@@ -134,7 +136,7 @@ func run() int {
 	}
 
 	var collector *nearstream.Collector
-	if *traceOut != "" || *reportOut != "" || *sampleOut != "" {
+	if *traceOut != "" || *reportOut != "" || *sampleOut != "" || *stallOut != "" {
 		events, period := 0, uint64(0)
 		if *traceOut != "" {
 			events = *traceEvents
@@ -143,6 +145,10 @@ func run() int {
 			period = *sampleEvery
 		}
 		collector = nearstream.NewCollector(events, period)
+		// -stall-report (and any -report alongside it) needs per-job
+		// cycle attribution; charging is count/cycle bumps on interned
+		// lanes, so results stay byte-identical either way.
+		collector.Attribution = *stallOut != "" || *reportOut != ""
 		exp.Observe(collector)
 	}
 
@@ -217,7 +223,7 @@ func run() int {
 			mh, mm, dh, dm, float64(db)/(1<<20))
 	}
 	if collector != nil {
-		if err := writeObsOutputs(collector, exp, start, *traceOut, *reportOut, *sampleOut); err != nil {
+		if err := writeObsOutputs(collector, exp, start, *traceOut, *reportOut, *sampleOut, *stallOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -225,9 +231,13 @@ func run() int {
 	return 0
 }
 
-// writeObsOutputs exports the collector's trace, report and sample files.
-func writeObsOutputs(c *nearstream.Collector, exp *nearstream.Experiment, start time.Time, traceOut, reportOut, sampleOut string) error {
+// writeObsOutputs exports the collector's trace, report, sample and
+// stall-table files.
+func writeObsOutputs(c *nearstream.Collector, exp *nearstream.Experiment, start time.Time, traceOut, reportOut, sampleOut, stallOut string) error {
 	writeTo := func(path string, write func(f *os.File) error) error {
+		if path == "-" {
+			return write(os.Stdout)
+		}
 		f, err := os.Create(path)
 		if err != nil {
 			return err
@@ -269,6 +279,12 @@ func writeObsOutputs(c *nearstream.Collector, exp *nearstream.Experiment, start 
 			PeakRSSBytes: obs.PeakRSSBytes(),
 		}
 		if err := writeTo(reportOut, func(f *os.File) error { return rep.WriteJSON(f) }); err != nil {
+			return err
+		}
+	}
+	if stallOut != "" {
+		rep := c.Report()
+		if err := writeTo(stallOut, func(f *os.File) error { return obs.WriteStallTable(f, rep) }); err != nil {
 			return err
 		}
 	}

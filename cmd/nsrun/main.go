@@ -7,7 +7,8 @@
 //
 //	nsrun -workload histogram -system NS -scale ci -core OOO8
 //	nsrun -workload histogram,pathfinder -system Base,NS,NS_decouple -j 4
-//	nsrun -workload spmv -cpuprofile cpu.out -memprofile mem.out
+//	nsrun -workload sssp -cpuprofile cpu.out -memprofile mem.out
+//	nsrun -workload sssp -system NS -stall-report -   # cycle attribution table
 //	nsrun -list
 package main
 
@@ -24,6 +25,7 @@ import (
 
 	nearstream "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/workloads"
 )
@@ -47,6 +49,7 @@ func run() int {
 		memProf  = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 		cacheDir = flag.String("cache-dir", "", "persistent result store directory (shared with nsd and other runs)")
 		cacheMax = flag.Int64("cache-max", 0, "store size cap in bytes (with -cache-dir; 0 = unlimited)")
+		stallOut = flag.String("stall-report", "", "write a flat where-the-cycles-went stall table (cycle attribution) to this file (- for stdout)")
 		list     = flag.Bool("list", false, "list workloads and systems")
 	)
 	flag.Parse()
@@ -126,6 +129,12 @@ func run() int {
 
 	pool := runner.NewPool(*jobs)
 	pool.SetShards(*shards)
+	var collector *nearstream.Collector
+	if *stallOut != "" {
+		collector = nearstream.NewCollector(0, 0)
+		collector.Attribution = true
+		pool.Obs = collector
+	}
 	if *cacheDir != "" {
 		st, err := runner.OpenStore(*cacheDir, *cacheMax)
 		if err != nil {
@@ -161,6 +170,13 @@ func run() int {
 			mh, mm, dh, dm, float64(db)/(1<<20))
 	}
 
+	if collector != nil {
+		if werr := writeStallTable(collector, *stallOut); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			return 1
+		}
+	}
+
 	if len(results) == 1 {
 		printFull(results[0])
 		return 0
@@ -173,6 +189,24 @@ func run() int {
 			r.TotalTraffic(), r.Energy.Total())
 	}
 	return 0
+}
+
+// writeStallTable renders the collector's cycle attribution as a flat
+// per-component stall table ("-" writes to stdout).
+func writeStallTable(c *nearstream.Collector, path string) error {
+	rep := c.Report()
+	if path == "-" {
+		return obs.WriteStallTable(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteStallTable(f, rep); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func printFull(res *nearstream.Result) {

@@ -3,6 +3,7 @@ package cache
 import (
 	"repro/internal/flatmap"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -72,6 +73,7 @@ func (b *Bank) PendingTxns() int { return b.txns.Len() }
 // release, with no re-submission round trip.
 func (b *Bank) submit(line uint64, work txnWork) {
 	if q, busy := b.txns.Get(line); busy {
+		b.lane.attrib.Charge(obs.StallBankConflict, 0)
 		b.txns.Put(line, append(q, work))
 		return
 	}

@@ -93,6 +93,9 @@ type hierLane struct {
 	reg    *obs.Registry
 	ctr    hierCounters
 	tracer *obs.Tracer
+	// attrib is the lane's cycle-attribution target (nil = off); like the
+	// tracer it is single-writer per shard and merged after the run.
+	attrib *obs.Attribution
 }
 
 func newHierLane() *hierLane {
@@ -215,6 +218,7 @@ func (h *Hierarchy) Reset() {
 	for _, l := range h.lanes {
 		l.reg.Reset()
 		l.tracer = nil
+		l.attrib = nil
 	}
 	h.PrefetchHook = nil
 }
@@ -246,6 +250,12 @@ func (h *Hierarchy) Lanes() int { return len(h.lanes) }
 
 // SetLaneTracer attaches a tracer to one shard lane.
 func (h *Hierarchy) SetLaneTracer(i int, tr *obs.Tracer) { h.lanes[i].tracer = tr }
+
+// SetLaneAttrib attaches a cycle-attribution lane to one shard lane (nil
+// detaches). Parallel machines give each shard its own and merge after
+// the run; every charge site fires at a deterministic protocol event, so
+// the merged totals are shard-count-invariant.
+func (h *Hierarchy) SetLaneAttrib(i int, a *obs.Attribution) { h.lanes[i].attrib = a }
 
 // Tiles returns the number of tiles.
 func (h *Hierarchy) Tiles() int { return len(h.tiles) }
@@ -426,6 +436,7 @@ func (t *Tile) requestLine(line uint64, kind reqKind, onDone func(Level)) {
 	// merged read completion does not grant write permission). To stay
 	// simple and conservative, merge everything and re-check permission.
 	if q, ok := t.inflight.Get(line); ok {
+		t.lane.attrib.Charge(obs.StallMSHRMerge, 0)
 		t.inflight.Put(line, append(q, func(lv Level) {
 			// Re-run the access: permissions may still be insufficient
 			// (e.g. read brought S, this needs M).

@@ -1,5 +1,7 @@
 package cache
 
+import "repro/internal/obs"
+
 // Line locking for streaming atomics (§IV-C). The target cache line is
 // locked in the L3 while an offloaded atomic's read-modify-write and (under
 // range-sync) its commit round trip are in flight.
@@ -154,6 +156,7 @@ func (b *Bank) AcquireLock(line uint64, key int, modifies bool, mode LockMode, g
 	// Conflict path: park a retry closure on the lock. Only this path
 	// allocates; the uncontended acquire above is allocation-free.
 	b.lane.ctr.lockConflicts.Inc()
+	b.lane.attrib.Charge(obs.StallLineLock, 0)
 	var wait func()
 	wait = func() {
 		if b.tryLock(idx, key, asWriter) {

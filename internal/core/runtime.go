@@ -86,6 +86,9 @@ type runShared struct {
 	scms    []*SCM
 	sePages []map[uint64]bool // per-bank SE_L3 translation cache
 	ctr     runCounters
+	// attrib receives the SE_L3 stall charges (nil = off). Stream systems
+	// run single-shard (Run clamps below), so the one lane is race-free.
+	attrib *obs.Attribution
 }
 
 // coreRun drives one core's partition.
@@ -264,6 +267,7 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 	parts := Partition(total, cores)
 
 	shared := &runShared{m: m, scms: make([]*SCM, m.Tiles()), sePages: make([]map[uint64]bool, m.Tiles()), ctr: newRunCounters(m.Obs)}
+	shared.attrib = m.AttributionLane(0)
 	for i := range shared.scms {
 		shared.scms[i] = NewSCM(m.EngineOf(i), params)
 		shared.sePages[i] = map[uint64]bool{}
@@ -295,6 +299,7 @@ func Run(m *machine.Machine, k *ir.Kernel, sys System, params Params, kparams ma
 		cr.decideModes()
 		cr.buildStreams()
 		cr.core = cpu.NewCore(m.EngineOf(c), m.Cfg.CoreType, (*coreSource)(cr), cr.memFunc)
+		cr.core.SetAttribution(m.AttributionLane(int(m.ShardOf[c])))
 		runs = append(runs, cr)
 		for cat, n := range tr.DynOps {
 			res.DynOps[cat] += n

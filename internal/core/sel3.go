@@ -311,6 +311,7 @@ func (rs *remoteStream) advance() {
 	for rs.idx < len(rs.elems) && rs.inflight < rs.maxInflight() {
 		i := rs.idx
 		if !rs.creditOK(i) {
+			rs.cr.shared.attrib.Charge(obs.StallOffloadQueue, 0)
 			return
 		}
 		if rs.base != nil {
@@ -318,6 +319,7 @@ func (rs *remoteStream) advance() {
 			if bi >= 0 && !rs.base.done[bi] {
 				if !rs.parked {
 					rs.parked = true
+					rs.cr.shared.attrib.Charge(obs.StallElementWait, 0)
 					rs.base.elemReady(bi, rs.parkedFire)
 				}
 				return
@@ -329,6 +331,7 @@ func (rs *remoteStream) advance() {
 			if di >= 0 && !dep.done[di] {
 				if !rs.parked {
 					rs.parked = true
+					rs.cr.shared.attrib.Charge(obs.StallElementWait, 0)
 					dep.elemReady(di, rs.parkedFire)
 				}
 				blocked = true
@@ -341,6 +344,11 @@ func (rs *remoteStream) advance() {
 		rs.idx++
 		rs.inflight++
 		rs.processElem(i)
+	}
+	if rs.idx < len(rs.elems) && rs.inflight >= rs.maxInflight() {
+		// The element pipeline (stream buffer) is full: the next element
+		// waits for an in-flight one to complete.
+		rs.cr.shared.attrib.Charge(obs.StallOffloadQueue, 0)
 	}
 	rs.maybeFinish()
 }
@@ -373,6 +381,7 @@ func (rs *remoteStream) processElem(i int) {
 		// an already-visited bank only re-sends the changing fields
 		// (§IV-D): core id, stream id, iteration.
 		rs.cr.shared.ctr.migrations.Inc()
+		rs.cr.shared.attrib.Charge(obs.StallMigration, 0)
 		rs.emit(obs.KindStreamMigrate, bank, uint64(bank))
 		from := rs.curBank
 		if from < 0 {

@@ -3,6 +3,7 @@ package cpu
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -144,6 +145,11 @@ type Core struct {
 	// Stats.
 	OpsRetired uint64
 	MemOps     uint64
+
+	// attrib is the core's cycle-attribution lane (nil = off). Every
+	// pipeline park charges its blocking cause; charges are count-only
+	// (the park's duration is decided by the event that re-pumps).
+	attrib *obs.Attribution
 }
 
 // NewCore builds a core. mem may be nil when the source never produces
@@ -199,6 +205,11 @@ func (c *Core) FinishTime() sim.Time { return c.lastRetire }
 
 // SetOnIdle registers a callback fired once when the stream completes.
 func (c *Core) SetOnIdle(fn func()) { c.onIdle = fn }
+
+// SetAttribution attaches a cycle-attribution lane (nil detaches). On a
+// sharded machine the lane must be the one owned by the shard the core's
+// engine belongs to.
+func (c *Core) SetAttribution(a *obs.Attribution) { c.attrib = a }
 
 // completionOf returns the completion time of dependency seq, or ok=false
 // while it is unresolved.
@@ -261,6 +272,7 @@ func (c *Core) pump() bool {
 				c.tryRetire()
 				continue
 			}
+			c.attrib.Charge(obs.StallROBFull, 0)
 			return false // head unresolved; completion event re-pumps
 		}
 		op := c.retryOp
@@ -272,6 +284,7 @@ func (c *Core) pump() bool {
 			switch res {
 			case FetchStall:
 				c.stalled = true
+				c.attrib.Charge(obs.StallFetchStarved, 0)
 				return false
 			case FetchDone:
 				c.fetchDone = true
@@ -297,6 +310,7 @@ func (c *Core) dispatch(op *MicroOp) bool {
 	ready := c.engine.Now()
 	if isLoad {
 		if c.loadRing[c.loadIdx] == sim.MaxTime {
+			c.attrib.Charge(obs.StallLSQFull, 0)
 			return false // LQ full
 		}
 		if t := c.loadRing[c.loadIdx]; t > ready {
@@ -305,6 +319,7 @@ func (c *Core) dispatch(op *MicroOp) bool {
 	}
 	if isStore {
 		if c.storeRing[c.storeIdx] == sim.MaxTime {
+			c.attrib.Charge(obs.StallLSQFull, 0)
 			return false // SQ full
 		}
 		if t := c.storeRing[c.storeIdx]; t > ready {
@@ -325,9 +340,13 @@ func (c *Core) dispatch(op *MicroOp) bool {
 	}
 	if unresolved {
 		if c.cfg.InOrder {
+			// The front op blocks on unresolved work, the in-order analogue
+			// of an unresolved ROB head.
+			c.attrib.Charge(obs.StallROBFull, 0)
 			return false // in-order issue stalls at the front
 		}
 		if len(c.waiting) >= c.cfg.IQ {
+			c.attrib.Charge(obs.StallIQFull, 0)
 			return false // issue queue full
 		}
 	}

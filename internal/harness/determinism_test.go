@@ -1,13 +1,17 @@
 package harness
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestFigureOutputDeterministicAcrossWorkers is the headline guarantee of
@@ -132,6 +136,48 @@ func TestFigureBytesInvariantAcrossShardGrid(t *testing.T) {
 					t.Errorf("fig %s differs at shards=%d j=%d vs serial:\n--- serial ---\n%s--- shards=%d j=%d ---\n%s",
 						id, shards, jobs, tab, shards, jobs, got[id])
 				}
+			}
+		}
+	}
+}
+
+// TestAttributionReportInvariantAcrossShardGrid extends the grid
+// guarantee to the cycle-attribution profiler: the canonical run report
+// (Timing and Exec stripped, stalls/histograms kept) must be
+// byte-identical over {-shards 1, 2, 4} × {-j 1, 8}, because every
+// charge site fires at a deterministic simulation event. Fig 9 over a
+// taxonomy-spanning pair covers Base (the sharding system) plus every
+// stream system's SE/cache/NoC/DRAM charges.
+func TestAttributionReportInvariantAcrossShardGrid(t *testing.T) {
+	render := func(shards, jobs int) string {
+		cfg := DefaultConfig()
+		cfg.Shards = shards
+		cfg.Jobs = jobs
+		e := NewExp(cfg)
+		c := obs.NewCollector(0, 0)
+		c.Attribution = true
+		e.Pool().Obs = c
+		if _, err := e.Fig9([]string{"pathfinder", "hash_join"}); err != nil {
+			t.Fatalf("fig 9 shards=%d j=%d: %v", shards, jobs, err)
+		}
+		var buf bytes.Buffer
+		if err := c.Report().Canonical().WriteJSON(&buf); err != nil {
+			t.Fatalf("report shards=%d j=%d: %v", shards, jobs, err)
+		}
+		return buf.String()
+	}
+	want := render(1, 1)
+	if !strings.Contains(want, `"attribution"`) {
+		t.Fatalf("serial report carries no attribution section:\n%s", want)
+	}
+	if strings.Contains(want, `"exec"`) {
+		t.Fatalf("canonical report kept the execution-dependent exec section:\n%s", want)
+	}
+	for _, shards := range []int{2, 4} {
+		for _, jobs := range []int{1, 8} {
+			if got := render(shards, jobs); got != want {
+				t.Errorf("canonical attribution report differs at shards=%d j=%d vs serial:\n--- serial ---\n%s--- shards=%d j=%d ---\n%s",
+					shards, jobs, want, shards, jobs, got)
 			}
 		}
 	}

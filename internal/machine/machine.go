@@ -108,6 +108,11 @@ type Machine struct {
 	// laneTracers are the per-shard trace rings behind Tracer on parallel
 	// machines; FinishTrace merges them deterministically.
 	laneTracers []*obs.Tracer
+	// Attrib is the run's cycle-attribution sink, nil unless a run opts in
+	// via SetAttribution; laneAttribs are the per-shard single-writer lanes
+	// behind it, folded in by FinishAttribution.
+	Attrib      *obs.Attribution
+	laneAttribs []*obs.Attribution
 }
 
 // Normalize canonicalizes a config the way New does: NoC dimensions
@@ -196,6 +201,7 @@ func New(cfg Config) *Machine {
 // counter ids survive: they are functions of Cfg alone.
 func (m *Machine) Reset() {
 	m.SetTracer(nil)
+	m.SetAttribution(nil)
 	m.Sampler = nil
 	m.Group.Reset()
 	m.Net.Reset()
@@ -248,6 +254,98 @@ func (m *Machine) SetTracer(tr *obs.Tracer) {
 	for ctrl, node := range ctrlNodes {
 		m.Dram.SetControllerTracer(ctrl, m.laneTracers[m.ShardOf[node]])
 	}
+}
+
+// SetAttribution attaches a cycle-attribution sink to every charge site
+// (nil detaches), following the SetTracer shape: each shard charges into
+// its own lane, the NoC (mutated only single-threaded, in canonical order)
+// uses lane 0, and each DRAM controller uses its owning shard's lane.
+// Charge sites fire at deterministic simulation events, so the totals
+// FinishAttribution folds into a are shard-count-invariant.
+func (m *Machine) SetAttribution(a *obs.Attribution) {
+	m.Attrib = a
+	m.laneAttribs = nil
+	ctrlNodes := mem.CornerNodes(m.Cfg.MeshWidth, m.Cfg.MeshHeight, m.Cfg.Mem.Controllers)
+	if a == nil {
+		for i := 0; i < m.Group.Shards(); i++ {
+			m.Hier.SetLaneAttrib(i, nil)
+		}
+		m.Net.SetAttribution(nil)
+		for ctrl := range ctrlNodes {
+			m.Dram.SetControllerAttrib(ctrl, nil)
+		}
+		return
+	}
+	m.laneAttribs = make([]*obs.Attribution, m.Group.Shards())
+	for i := range m.laneAttribs {
+		m.laneAttribs[i] = obs.NewAttribution()
+		m.Hier.SetLaneAttrib(i, m.laneAttribs[i])
+	}
+	m.Net.SetAttribution(m.laneAttribs[0])
+	for ctrl, node := range ctrlNodes {
+		m.Dram.SetControllerAttrib(ctrl, m.laneAttribs[m.ShardOf[node]])
+	}
+}
+
+// AttributionLane returns shard i's attribution lane (nil while
+// detached). Cores and SE state built per run charge into the lane of
+// the shard that owns their engine.
+func (m *Machine) AttributionLane(shard int) *obs.Attribution {
+	if len(m.laneAttribs) == 0 {
+		return nil
+	}
+	return m.laneAttribs[shard]
+}
+
+// FinishAttribution folds the per-shard lanes into the attached sink.
+// Call it once, after the run; runner.executeJob does. Merging is a
+// component-wise sum, so the result is lane-order-independent.
+func (m *Machine) FinishAttribution() {
+	if m.Attrib == nil {
+		return
+	}
+	for _, l := range m.laneAttribs {
+		m.Attrib.Merge(l)
+		l.Reset()
+	}
+}
+
+// ExecProfile snapshots the execution-dependent side of a run's profile:
+// shard count, windows, idle-cycle elision, wheel occupancy, and the
+// per-shard barrier critical path. Everything here varies with -shards
+// (and the stall seconds with host load), so it belongs in the report's
+// non-canonical Exec section, never in canonical output.
+func (m *Machine) ExecProfile() *obs.ExecReport {
+	rep := &obs.ExecReport{Shards: m.Group.Shards(), Windows: m.Group.Windows()}
+	var occ obs.Hist
+	for i := 0; i < m.Group.Shards(); i++ {
+		e := m.Group.Engine(i)
+		rep.IdleElidedCycles += e.IdleElided
+		buckets, count, sum := e.WheelOccupancy()
+		for b, n := range buckets {
+			occ.Buckets[b] += n
+		}
+		occ.Count += count
+		occ.Sum += sum
+	}
+	if occ.Count > 0 {
+		h := obs.ReportHist("wheel_occupancy", &occ)
+		rep.WheelOccupancy = &h
+	}
+	for _, ns := range m.Group.StallNanos() {
+		rep.ShardStallSeconds = append(rep.ShardStallSeconds, float64(ns)/1e9)
+	}
+	var anyLag bool
+	for _, n := range m.Group.LaggardWindows() {
+		if n != 0 {
+			anyLag = true
+			break
+		}
+	}
+	if anyLag {
+		rep.LaggardWindows = append(rep.LaggardWindows, m.Group.LaggardWindows()...)
+	}
+	return rep
 }
 
 // FinishTrace folds per-shard trace lanes into the attached tracer in

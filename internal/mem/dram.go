@@ -64,6 +64,9 @@ type memLane struct {
 	reg                           *obs.Registry
 	ctrReads, ctrWrites, ctrBytes obs.Counter
 	tracer                        *obs.Tracer
+	// attrib receives the controller's queue-wait charges (nil = off);
+	// single-writer per controller like the tracer.
+	attrib *obs.Attribution
 }
 
 func newMemLane() *memLane {
@@ -116,6 +119,7 @@ func (m *Memory) Reset() {
 	for _, l := range m.lanes {
 		l.reg.Reset()
 		l.tracer = nil
+		l.attrib = nil
 	}
 }
 
@@ -141,6 +145,12 @@ func (m *Memory) SetTracer(tr *obs.Tracer) {
 // SetControllerTracer attaches a tracer to one controller's lane.
 func (m *Memory) SetControllerTracer(ctrl int, tr *obs.Tracer) { m.lanes[ctrl].tracer = tr }
 
+// SetControllerAttrib attaches a cycle-attribution lane to one
+// controller (nil detaches). Each access charges the cycles it queued
+// behind the controller's busy data bus; the waits depend only on the
+// access sequence, which is shard-count-invariant.
+func (m *Memory) SetControllerAttrib(ctrl int, a *obs.Attribution) { m.lanes[ctrl].attrib = a }
+
 // Config returns the memory configuration.
 func (m *Memory) Config() Config { return m.cfg }
 
@@ -161,6 +171,13 @@ func (m *Memory) Access(addr uint64, bytes int, write bool, onDone func()) sim.T
 	start := now
 	if m.nextFree[ctrl] > start {
 		start = m.nextFree[ctrl]
+	}
+	if a := lane.attrib; a != nil {
+		wait := uint64(start - now)
+		if wait > 0 {
+			a.Charge(obs.StallDRAMQueue, wait)
+		}
+		a.Observe(obs.HistDRAMQueueWait, wait)
 	}
 	// Bus occupancy: ceil(bytes / (BytesPerCycleX10/10)).
 	occupancy := sim.Time((bytes*10 + m.cfg.BytesPerCycleX10 - 1) / m.cfg.BytesPerCycleX10)

@@ -45,3 +45,40 @@ func TestSendAllocFreeWithTracer(t *testing.T) {
 		})
 	}
 }
+
+// TestSendAllocFreeWithAttribution is the same contract for the
+// cycle-attribution profiler: Send must stay allocation-free both with
+// attribution off (nil lane — the default; Charge is a single branch)
+// and with a lane attached, where the link-backpressure charge and wait
+// histogram are fixed-array adds.
+func TestSendAllocFreeWithAttribution(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		lane *obs.Attribution
+	}{
+		{"disabled", nil},
+		{"enabled", obs.NewAttribution()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, n := testNet(8, 8)
+			n.SetAttribution(tc.lane)
+			m := &Message{Src: 0, Dst: 63, Bytes: 64, Class: stats.TrafficData}
+			for i := 0; i < 256; i++ { // warm the engine queue capacity
+				n.Send(m)
+				e.Run()
+			}
+			i := 0
+			if a := testing.AllocsPerRun(500, func() {
+				m.Src, m.Dst = i%64, (i*13)%64
+				i++
+				n.Send(m)
+				e.Run()
+			}); a != 0 {
+				t.Errorf("Send with %s attribution: %.1f allocs/op, want 0", tc.name, a)
+			}
+			if tc.lane != nil && tc.lane.Hists[obs.HistNoCLinkWait].Count == 0 {
+				t.Error("enabled lane observed no link waits")
+			}
+		})
+	}
+}

@@ -111,6 +111,12 @@ type Network struct {
 	reg                     *obs.Registry
 	ctrSends, ctrMulticasts obs.Counter
 	tracer                  *obs.Tracer
+	// attrib (usually nil) receives link-backpressure charges from
+	// deliveryTimeAt. Link reservation is global state mutated only
+	// single-threaded — serially, or at window barriers in canonical send
+	// order — so one lane is safe at any shard count and the charged waits
+	// are shard-count-invariant.
+	attrib *obs.Attribution
 	// sh is non-nil once AttachShards has bound the network to a
 	// ShardGroup; it turns Send/Multicast into capture sites whose
 	// routing is deferred to window barriers (see AttachShards).
@@ -198,6 +204,13 @@ func New(engine *sim.Engine, cfg Config) *Network {
 // and multicast delivery emits a KindNoCMsg spanning injection to arrival.
 func (n *Network) SetTracer(tr *obs.Tracer) { n.tracer = tr }
 
+// SetAttribution attaches (or with nil detaches) a cycle-attribution
+// lane. Every link traversal charges its queueing wait — the cycles a
+// message sat behind earlier traffic on a link — and feeds the link-wait
+// histogram. Like the tracer on a sharded network, the single lane is
+// written only at barrier flushes, so lane 0 of the machine's set is safe.
+func (n *Network) SetAttribution(a *obs.Attribution) { n.attrib = a }
+
 // Lookahead returns the conservative parallel-simulation window a mesh
 // supports: the minimum latency of any cross-node message, two router
 // traversals plus one link hop (serialization contributes at least one
@@ -258,6 +271,7 @@ func (n *Network) Reset() {
 	n.Delivered = 0
 	n.reg.Reset()
 	n.tracer = nil
+	n.attrib = nil
 	if sh := n.sh; sh != nil {
 		clear(sh.sendSeq)
 		for i := range sh.outbox {
@@ -450,6 +464,13 @@ func (n *Network) deliveryTimeAt(now sim.Time, src, dst, bytes int) sim.Time {
 		start := t
 		if free := n.nextFree[l]; free > start {
 			start = free
+		}
+		if a := n.attrib; a != nil {
+			wait := uint64(start - t)
+			if wait > 0 {
+				a.Charge(obs.StallLinkBackpressure, wait)
+			}
+			a.Observe(obs.HistNoCLinkWait, wait)
 		}
 		n.nextFree[l] = start + ser
 		n.busyCycles[l] += uint64(ser)

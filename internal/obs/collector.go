@@ -15,6 +15,14 @@ type JobRecord struct {
 	Trace *Tracer
 	// Sampler is the job's time series (nil when sampling is off).
 	Sampler *Sampler
+	// Attrib is the job's merged cycle-attribution lane (nil when
+	// attribution is off). The executing worker attaches it to its machine
+	// and merges the per-shard lanes back into it after the run.
+	Attrib *Attribution
+	// Exec is the execution-dependent attribution remainder the worker
+	// fills after the run (nil when attribution is off or the job was
+	// served from a cache).
+	Exec *ExecReport
 }
 
 // Collector gathers per-job observability across a runner pool's workers.
@@ -26,6 +34,8 @@ type Collector struct {
 	TraceEvents int
 	// SamplePeriod is the sampling epoch in cycles (0 = sampling off).
 	SamplePeriod uint64
+	// Attribution enables per-job cycle attribution (stall accounting).
+	Attribution bool
 
 	mu   sync.Mutex
 	recs map[string]*JobRecord
@@ -54,6 +64,9 @@ func (c *Collector) Job(key string) *JobRecord {
 	}
 	if c.SamplePeriod > 0 {
 		r.Sampler = NewSampler(c.SamplePeriod)
+	}
+	if c.Attribution {
+		r.Attrib = NewAttribution()
 	}
 	c.recs[key] = r
 	return r
@@ -100,6 +113,10 @@ func (c *Collector) Report() *RunReport {
 		jr := r.JobReport
 		jr.TraceDropped = r.Trace.Dropped()
 		jr.Samples = r.Sampler.Len()
+		if r.Attrib != nil {
+			jr.Attribution = r.Attrib.Report()
+			jr.Attribution.Exec = r.Exec
+		}
 		rep.Jobs = append(rep.Jobs, jr)
 	}
 	return rep

@@ -27,11 +27,13 @@ func PromName(name string) string {
 	return string(b)
 }
 
-// WritePrometheus renders every interned counter of a registry (zeros
-// included, so the scraped series set is stable) in the Prometheus text
-// exposition format, sorted by original name for deterministic output.
-// The registry itself is single-goroutine; callers sharing one across
-// HTTP handlers wrap this call in their own lock.
+// WritePrometheus renders every interned counter and histogram of a
+// registry (zeros included, so the scraped series set is stable) in the
+// Prometheus text exposition format, sorted by original name for
+// deterministic output. Metrics with registered HELP text (SetHelp) gain
+// a `# HELP` line so scrapers classify them correctly. The registry
+// itself is single-goroutine; callers sharing one across HTTP handlers
+// wrap this call in their own lock.
 func WritePrometheus(w io.Writer, r *Registry) error {
 	names := make([]string, len(r.names))
 	copy(names, r.names)
@@ -39,7 +41,42 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 	bw := bufio.NewWriter(w)
 	for _, name := range names {
 		pn := PromName(name)
+		if help := r.Help(name); help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", pn, help)
+		}
 		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, r.Get(name))
 	}
+	hnames := make([]string, len(r.hnames))
+	copy(hnames, r.hnames)
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := r.hists[r.hindex[name]]
+		writePromHistogram(bw, PromName(name), r.Help(name), &h)
+	}
 	return bw.Flush()
+}
+
+// writePromHistogram renders one log-bucketed histogram as a Prometheus
+// histogram: cumulative _bucket series with le = 2^i - 1 up to the
+// highest non-empty bucket, the mandatory +Inf bucket, then _sum and
+// _count.
+func writePromHistogram(bw *bufio.Writer, pn, help string, h *Hist) {
+	if help != "" {
+		fmt.Fprintf(bw, "# HELP %s %s\n", pn, help)
+	}
+	fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+	top := -1
+	for i, c := range h.Buckets {
+		if c != 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += h.Buckets[i]
+		fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", pn, BucketUpper(i), cum)
+	}
+	fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+	fmt.Fprintf(bw, "%s_sum %d\n", pn, h.Sum)
+	fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
 }

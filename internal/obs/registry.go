@@ -21,11 +21,21 @@ type Registry struct {
 	index map[string]int
 	names []string
 	vals  []uint64
+
+	// Histograms live beside the counters with the same interning scheme:
+	// a dense-id handle whose Observe is a few fixed-array adds.
+	hindex map[string]int
+	hnames []string
+	hists  []Hist
+
+	// help holds optional HELP text per metric name (counter or
+	// histogram), emitted by WritePrometheus so scrapers classify series.
+	help map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{index: map[string]int{}}
+	return &Registry{index: map[string]int{}, hindex: map[string]int{}}
 }
 
 // Counter interns name (idempotently) and returns its increment handle.
@@ -62,12 +72,51 @@ func (r *Registry) ExportTo(add func(name string, v uint64)) {
 	}
 }
 
-// Reset zeroes every counter value while keeping the interning table, so
-// Counter handles issued before the reset stay valid. Component reuse
-// (machine pooling) depends on this: a pooled component re-interns the
-// same names and must land on the same ids.
+// Histogram interns name (idempotently) and returns its observe handle.
+func (r *Registry) Histogram(name string) Histogram {
+	if r.hindex == nil {
+		r.hindex = map[string]int{}
+	}
+	if id, ok := r.hindex[name]; ok {
+		return Histogram{r: r, id: int32(id)}
+	}
+	id := len(r.hists)
+	r.hindex[name] = id
+	r.hnames = append(r.hnames, name)
+	r.hists = append(r.hists, Hist{})
+	return Histogram{r: r, id: int32(id)}
+}
+
+// SetHelp attaches HELP text to a metric name (counter or histogram) for
+// the Prometheus exposition.
+func (r *Registry) SetHelp(name, text string) {
+	if r.help == nil {
+		r.help = map[string]string{}
+	}
+	r.help[name] = text
+}
+
+// Help returns the HELP text registered for name ("" if none).
+func (r *Registry) Help(name string) string { return r.help[name] }
+
+// ExportHists feeds every non-empty histogram to add, in interning order.
+func (r *Registry) ExportHists(add func(name string, h *Hist)) {
+	for i := range r.hists {
+		if r.hists[i].Count != 0 {
+			add(r.hnames[i], &r.hists[i])
+		}
+	}
+}
+
+// Reset zeroes every counter value and histogram while keeping the
+// interning tables, so Counter/Histogram handles issued before the reset
+// stay valid. Component reuse (machine pooling) depends on this: a pooled
+// component re-interns the same names and must land on the same ids.
 func (r *Registry) Reset() {
 	clear(r.vals)
+	for i := range r.hists {
+		r.hists[i] = Hist{}
+	}
 }
 
 // Counter is a dense-id handle into a Registry. Incrementing is a slice
@@ -85,3 +134,17 @@ func (c Counter) Add(v uint64) { c.r.vals[c.id] += v }
 
 // Get returns the current value.
 func (c Counter) Get() uint64 { return c.r.vals[c.id] }
+
+// Histogram is a dense-id handle to a log-bucketed histogram in a
+// Registry. Observing is a few fixed-array adds: no map access, no
+// allocation.
+type Histogram struct {
+	r  *Registry
+	id int32
+}
+
+// Observe records one value.
+func (h Histogram) Observe(v uint64) { h.r.hists[h.id].Observe(v) }
+
+// Snapshot returns a copy of the histogram's current state.
+func (h Histogram) Snapshot() Hist { return h.r.hists[h.id] }

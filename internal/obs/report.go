@@ -54,6 +54,10 @@ type JobReport struct {
 	Samples int `json:"samples,omitempty"`
 	// Err is the job's failure, if any.
 	Err string `json:"error,omitempty"`
+	// Attribution is the job's cycle-attribution section (nil when
+	// attribution was off). Its Stalls/Hists are canonical; its Exec
+	// subsection is execution-dependent and stripped by Canonical.
+	Attribution *AttributionReport `json:"attribution,omitempty"`
 	// Timing isolates every wall-clock-dependent field.
 	Timing JobTiming `json:"timing"`
 }
@@ -97,6 +101,15 @@ func (r *RunReport) Canonical() *RunReport {
 	out.Jobs = make([]JobReport, len(r.Jobs))
 	for i, j := range r.Jobs {
 		j.Timing = JobTiming{}
+		if j.Attribution != nil && j.Attribution.Exec != nil {
+			// The Exec subsection describes the execution (shard partition,
+			// barrier waits, idle elision) rather than the simulated machine,
+			// so it varies with -shards; strip it like Timing, keeping the
+			// canonical Stalls/Hists.
+			a := *j.Attribution
+			a.Exec = nil
+			j.Attribution = &a
+		}
 		out.Jobs[i] = j
 	}
 	return &out

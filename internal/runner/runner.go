@@ -181,6 +181,9 @@ func executeJob(j Job, rec *obs.JobRecord, shards int, env *execEnv) (*Result, [
 		if rec.Trace != nil {
 			m.SetTracer(rec.Trace)
 		}
+		if rec.Attrib != nil {
+			m.SetAttribution(rec.Attrib)
+		}
 		m.Sampler = rec.Sampler
 	}
 	var arena *ir.Arena
@@ -211,6 +214,10 @@ func executeJob(j Job, rec *obs.JobRecord, shards int, env *execEnv) (*Result, [
 		out.OffloadedOps += res.OffloadedOps
 	}
 	m.FinishTrace()
+	m.FinishAttribution()
+	if rec != nil && rec.Attrib != nil {
+		rec.Exec = m.ExecProfile()
+	}
 	out.Cycles = uint64(m.Now())
 	out.Events = m.ExecutedEvents()
 	if rec != nil {

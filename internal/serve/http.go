@@ -3,8 +3,10 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -133,6 +135,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/report", s.handleReport)
+	mux.HandleFunc("GET /api/v1/live", s.handleLive)
+	// Go runtime profiling: /debug/pprof/ indexes the stock profiles
+	// (heap, goroutine, block, mutex, …); profile and trace sample on
+	// demand. Registered on this mux explicitly — the daemon never serves
+	// http.DefaultServeMux.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.met.inc(s.met.requests)
 		mux.ServeHTTP(w, r)
@@ -184,39 +196,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// promMetric renders one hand-maintained metric with its # HELP and
+// # TYPE headers (the interned registry metrics get theirs from
+// obs.WritePrometheus).
+func promMetric(w io.Writer, name, typ, help string, v any) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.writeTo(w)
 	// Pool- and store-level gauges, scraped at request time.
 	pool := s.exp.Pool()
-	fmt.Fprintf(w, "# TYPE nsd_pool_executed_total counter\nnsd_pool_executed_total %d\n", pool.Executed())
-	fmt.Fprintf(w, "# TYPE nsd_pool_memo_hits_total counter\nnsd_pool_memo_hits_total %d\n", pool.Hits())
-	fmt.Fprintf(w, "# TYPE nsd_pool_disk_hits_total counter\nnsd_pool_disk_hits_total %d\n", pool.DiskHits())
-	fmt.Fprintf(w, "# TYPE nsd_pool_workers gauge\nnsd_pool_workers %d\n", pool.Workers())
-	fmt.Fprintf(w, "# TYPE nsd_pool_shards gauge\nnsd_pool_shards %d\n", pool.Shards())
+	promMetric(w, "nsd_pool_executed_total", "counter", "Simulations the shared pool actually ran.", pool.Executed())
+	promMetric(w, "nsd_pool_memo_hits_total", "counter", "Job requests served from the in-process memo cache.", pool.Hits())
+	promMetric(w, "nsd_pool_disk_hits_total", "counter", "Job requests served from the persistent result store.", pool.DiskHits())
+	promMetric(w, "nsd_pool_workers", "gauge", "Pool worker-goroutine bound.", pool.Workers())
+	promMetric(w, "nsd_pool_shards", "gauge", "Per-job shard-engine count (1 = serial machines).", pool.Shards())
 	mh, mm := pool.MachineReuse()
-	fmt.Fprintf(w, "# TYPE nsd_machine_pool_hits_total counter\nnsd_machine_pool_hits_total %d\n", mh)
-	fmt.Fprintf(w, "# TYPE nsd_machine_pool_misses_total counter\nnsd_machine_pool_misses_total %d\n", mm)
+	promMetric(w, "nsd_machine_pool_hits_total", "counter", "Jobs that ran on a pooled (Reset) machine.", mh)
+	promMetric(w, "nsd_machine_pool_misses_total", "counter", "Jobs that built a machine fresh.", mm)
 	dh, dm, dev, db := pool.DatasetCacheStats()
-	fmt.Fprintf(w, "# TYPE nsd_dataset_cache_hits_total counter\nnsd_dataset_cache_hits_total %d\n", dh)
-	fmt.Fprintf(w, "# TYPE nsd_dataset_cache_misses_total counter\nnsd_dataset_cache_misses_total %d\n", dm)
-	fmt.Fprintf(w, "# TYPE nsd_dataset_cache_evictions_total counter\nnsd_dataset_cache_evictions_total %d\n", dev)
-	fmt.Fprintf(w, "# TYPE nsd_dataset_cache_bytes gauge\nnsd_dataset_cache_bytes %d\n", db)
+	promMetric(w, "nsd_dataset_cache_hits_total", "counter", "Workload datasets copied from the in-process cache.", dh)
+	promMetric(w, "nsd_dataset_cache_misses_total", "counter", "Workload datasets generated fresh.", dm)
+	promMetric(w, "nsd_dataset_cache_evictions_total", "counter", "Dataset cache LRU evictions.", dev)
+	promMetric(w, "nsd_dataset_cache_bytes", "gauge", "Dataset cache resident bytes.", db)
 	if stalls := pool.ShardStalls(); len(stalls) > 0 {
+		fmt.Fprintf(w, "# HELP nsd_shard_window_stall_seconds Cumulative wall time each shard spent stalled at window barriers.\n")
 		fmt.Fprintf(w, "# TYPE nsd_shard_window_stall_seconds gauge\n")
 		for i, n := range stalls {
 			fmt.Fprintf(w, "nsd_shard_window_stall_seconds{shard=\"%d\"} %.6f\n", i, float64(n)/1e9)
 		}
 	}
 	if s.store != nil {
-		fmt.Fprintf(w, "# TYPE nsd_store_entries gauge\nnsd_store_entries %d\n", s.store.Len())
-		fmt.Fprintf(w, "# TYPE nsd_store_size_bytes gauge\nnsd_store_size_bytes %d\n", s.store.SizeBytes())
+		promMetric(w, "nsd_store_entries", "gauge", "Entries in the persistent result store.", s.store.Len())
+		promMetric(w, "nsd_store_size_bytes", "gauge", "Persistent result store size on disk.", s.store.SizeBytes())
 		loads, hits, puts, evictions, corrupt := s.store.Stats()
-		fmt.Fprintf(w, "# TYPE nsd_store_loads_total counter\nnsd_store_loads_total %d\n", loads)
-		fmt.Fprintf(w, "# TYPE nsd_store_load_hits_total counter\nnsd_store_load_hits_total %d\n", hits)
-		fmt.Fprintf(w, "# TYPE nsd_store_puts_total counter\nnsd_store_puts_total %d\n", puts)
-		fmt.Fprintf(w, "# TYPE nsd_store_evictions_total counter\nnsd_store_evictions_total %d\n", evictions)
-		fmt.Fprintf(w, "# TYPE nsd_store_corrupt_total counter\nnsd_store_corrupt_total %d\n", corrupt)
+		promMetric(w, "nsd_store_loads_total", "counter", "Store lookups attempted.", loads)
+		promMetric(w, "nsd_store_load_hits_total", "counter", "Store lookups that found a result.", hits)
+		promMetric(w, "nsd_store_puts_total", "counter", "Results written to the store.", puts)
+		promMetric(w, "nsd_store_evictions_total", "counter", "Store entries evicted by the size cap.", evictions)
+		promMetric(w, "nsd_store_corrupt_total", "counter", "Store entries discarded as corrupt.", corrupt)
 	}
 }
 
@@ -459,4 +479,86 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	rep.WriteJSON(w)
+}
+
+// liveSnapshot is one /api/v1/live SSE payload: the gauges a dashboard
+// would poll from /metrics, pushed instead.
+type liveSnapshot struct {
+	Time              string    `json:"time"`
+	Executed          uint64    `json:"executed"`
+	MemoHits          uint64    `json:"memo_hits"`
+	DiskHits          uint64    `json:"disk_hits"`
+	Workers           int       `json:"workers"`
+	Shards            int       `json:"shards"`
+	Tasks             int       `json:"tasks"`
+	InFlight          int       `json:"in_flight"`
+	ShardStallSeconds []float64 `json:"shard_stall_seconds,omitempty"`
+}
+
+// live builds the current snapshot.
+func (s *Server) live() liveSnapshot {
+	pool := s.exp.Pool()
+	snap := liveSnapshot{
+		Time:     now().UTC().Format(time.RFC3339Nano),
+		Executed: pool.Executed(),
+		MemoHits: pool.Hits(),
+		DiskHits: pool.DiskHits(),
+		Workers:  pool.Workers(),
+		Shards:   pool.Shards(),
+	}
+	for _, n := range pool.ShardStalls() {
+		snap.ShardStallSeconds = append(snap.ShardStallSeconds, float64(n)/1e9)
+	}
+	s.mu.Lock()
+	snap.Tasks = len(s.order)
+	snap.InFlight = s.admitted
+	s.mu.Unlock()
+	return snap
+}
+
+// handleLive streams daemon-wide metrics snapshots as server-sent events
+// (event: metrics), one immediately and then one per interval
+// (?interval_ms=, default 1000, floor 100) until the client disconnects
+// or the daemon drains.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	interval := time.Second
+	if v := r.URL.Query().Get("interval_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, "bad interval_ms %q", v)
+			return
+		}
+		if ms < 100 {
+			ms = 100
+		}
+		interval = time.Duration(ms) * time.Millisecond
+	}
+	s.met.inc(s.met.sseClients)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		buf, err := json.Marshal(s.live())
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: metrics\ndata: %s\n\n", buf)
+		flusher.Flush()
+		select {
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			return
+		}
+	}
 }

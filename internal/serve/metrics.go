@@ -26,10 +26,31 @@ type metrics struct {
 	jobsMemo       obs.Counter
 	jobsDisk       obs.Counter
 	sseClients     obs.Counter
+	taskWall       obs.Histogram
+}
+
+// counterHelp is the # HELP text emitted for each daemon counter; keyed
+// by the registry (dotted) name.
+var counterHelp = map[string]string{
+	"nsd.http.requests":               "HTTP requests received, all routes.",
+	"nsd.tasks.submitted":             "Tasks admitted past admission control.",
+	"nsd.tasks.completed":             "Tasks that reached state done.",
+	"nsd.tasks.failed":                "Tasks that reached state failed.",
+	"nsd.tasks.canceled":              "Tasks canceled by a client or shutdown.",
+	"nsd.tasks.rejected.queue_full":   "Submissions rejected because the task queue was full.",
+	"nsd.tasks.rejected.client_limit": "Submissions rejected by the per-client in-flight limit.",
+	"nsd.jobs.simulated":              "Jobs that actually simulated (not memo or disk hits).",
+	"nsd.jobs.memo_hits":              "Jobs served from the in-process memo cache.",
+	"nsd.jobs.disk_hits":              "Jobs served from the persistent result store.",
+	"nsd.sse.streams":                 "Server-sent-event streams opened (/events and /live).",
+	"nsd.task.wall_ms":                "Task wall time from admission to terminal state, in milliseconds.",
 }
 
 func newMetrics() *metrics {
 	reg := obs.NewRegistry()
+	for name, help := range counterHelp {
+		reg.SetHelp(name, help)
+	}
 	return &metrics{
 		reg:            reg,
 		requests:       reg.Counter("nsd.http.requests"),
@@ -43,6 +64,7 @@ func newMetrics() *metrics {
 		jobsMemo:       reg.Counter("nsd.jobs.memo_hits"),
 		jobsDisk:       reg.Counter("nsd.jobs.disk_hits"),
 		sseClients:     reg.Counter("nsd.sse.streams"),
+		taskWall:       reg.Histogram("nsd.task.wall_ms"),
 	}
 }
 
@@ -50,6 +72,13 @@ func newMetrics() *metrics {
 func (m *metrics) inc(c obs.Counter) {
 	m.mu.Lock()
 	c.Inc()
+	m.mu.Unlock()
+}
+
+// observeTaskWall records one finished task's wall time.
+func (m *metrics) observeTaskWall(ms uint64) {
+	m.mu.Lock()
+	m.taskWall.Observe(ms)
 	m.mu.Unlock()
 }
 

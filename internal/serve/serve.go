@@ -206,6 +206,8 @@ func (s *Server) runTask(ctx context.Context, t *task) {
 	defer s.wg.Done()
 	defer s.release(t.client)
 	defer t.cancel() // release the context's resources
+	start := now()
+	defer func() { s.met.observeTaskWall(uint64(now().Sub(start).Milliseconds())) }()
 	t.setRunning()
 
 	onProgress := func(ev runner.Progress) {

@@ -485,6 +485,100 @@ func TestServeMetricsAndReport(t *testing.T) {
 	}
 }
 
+// TestServeIntrospectionSurfaces pins the daemon's live-introspection
+// API: /metrics carries # HELP/# TYPE headers for every metric and a
+// task-wall-time histogram once a task has finished, /debug/pprof/
+// serves the Go profile index, and /api/v1/live streams metrics
+// snapshots over SSE (with a 400 on a malformed interval).
+func TestServeIntrospectionSurfaces(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var st taskStatus
+	postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c1",
+		jobRequest{Workload: "histogram", System: "NS"}, &st)
+	waitState(t, ts.URL, st.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	for _, want := range []string{
+		"# HELP nsd_tasks_submitted Tasks admitted past admission control.\n",
+		"# TYPE nsd_tasks_submitted counter\n",
+		"# HELP nsd_pool_executed_total Simulations the shared pool actually ran.\n",
+		"# TYPE nsd_task_wall_ms histogram\n",
+		"nsd_task_wall_ms_bucket{le=\"+Inf\"} 1\n",
+		"nsd_task_wall_ms_count 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Every exposed metric family must carry a # TYPE header.
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := strings.SplitN(strings.SplitN(line, " ", 2)[0], "{", 2)[0]
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !strings.Contains(body, "# TYPE "+family+" ") && !strings.Contains(body, "# TYPE "+name+" ") {
+			t.Errorf("metric %s exposed without a # TYPE header", name)
+		}
+	}
+
+	pprofResp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofBody := readAll(t, pprofResp)
+	pprofResp.Body.Close()
+	if pprofResp.StatusCode != http.StatusOK || !strings.Contains(pprofBody, "goroutine") {
+		t.Fatalf("pprof index = %d, body %q", pprofResp.StatusCode, pprofBody)
+	}
+
+	live, err := http.Get(ts.URL + "/api/v1/live?interval_ms=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := live.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("live content type = %q", ct)
+	}
+	sc := bufio.NewScanner(live.Body)
+	var event, data string
+	for sc.Scan() && data == "" {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			event = v
+		}
+		if v, ok := strings.CutPrefix(line, "data: "); ok {
+			data = v
+		}
+	}
+	live.Body.Close()
+	if event != "metrics" {
+		t.Fatalf("live event type = %q, want metrics", event)
+	}
+	var snap struct {
+		Time     string `json:"time"`
+		Executed uint64 `json:"executed"`
+		Tasks    int    `json:"tasks"`
+	}
+	if err := json.Unmarshal([]byte(data), &snap); err != nil {
+		t.Fatalf("bad live payload %q: %v", data, err)
+	}
+	if snap.Time == "" || snap.Executed != 1 || snap.Tasks != 1 {
+		t.Fatalf("live snapshot = %+v, want executed=1 tasks=1", snap)
+	}
+
+	if bad := getJSON(t, ts.URL+"/api/v1/live?interval_ms=nope", &errorBody{}); bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad interval_ms = %d, want 400", bad.StatusCode)
+	}
+}
+
 // TestServeValidation covers the 400/404 surfaces.
 func TestServeValidation(t *testing.T) {
 	s := newTestServer(t, nil)

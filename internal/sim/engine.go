@@ -115,7 +115,24 @@ type Engine struct {
 	// Executed counts events that have fired, mostly for tests and
 	// runaway-simulation guards.
 	Executed uint64
+	// IdleElided accumulates simulated cycles the slow path jumped over
+	// without visiting — the engine's idle-elision savings. Like Executed
+	// it is always on (one add per slow-path step) and host-side only: it
+	// never feeds back into the model. On a sharded group each engine
+	// counts its own gaps, so the total depends on the partition — report
+	// consumers treat it as execution data, not model data.
+	IdleElided uint64
+	// occHist buckets the wheel occupancy (pending wheel events) observed
+	// at each slow-path step by bit length; occSum/occObs carry the sum
+	// and count for mean occupancy. Read via WheelOccupancy.
+	occHist [occBuckets]uint64
+	occSum  uint64
+	occObs  uint64
 }
+
+// occBuckets is the log-bucket count of the wheel-occupancy histogram:
+// value v lands in bucket bits.Len64(v), so 64-bit values need 0..64.
+const occBuckets = 65
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
@@ -352,6 +369,10 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.stopped = false
 	e.Executed = 0
+	e.IdleElided = 0
+	e.occHist = [occBuckets]uint64{}
+	e.occSum = 0
+	e.occObs = 0
 	for i := range e.queue {
 		e.queue[i].fn = nil
 	}
@@ -420,10 +441,27 @@ func (e *Engine) Step() bool {
 	} else {
 		s = e.popBucket(&e.wheel[slot], slot)
 	}
+	if s.at > e.now {
+		// Every cycle in (now, s.at) had no event and was never visited;
+		// the jump itself lands on an event cycle, so it elides gap-1.
+		e.IdleElided += uint64(s.at-e.now) - 1
+	}
+	e.occHist[bits.Len64(uint64(e.wheelCount))]++
+	e.occSum += uint64(e.wheelCount)
+	e.occObs++
 	e.now = s.at
 	e.Executed++
 	s.fn()
 	return true
+}
+
+// WheelOccupancy returns the slow-path wheel-occupancy observations:
+// per-log2-bucket counts (bucket i holds occupancies of bit length i),
+// the observation count and the occupancy sum. Fast-path steps (events in
+// the current cycle's bucket) are not observed — the histogram samples
+// the wheel each time the scheduler has to look for the next cycle.
+func (e *Engine) WheelOccupancy() (buckets [occBuckets]uint64, count, sum uint64) {
+	return e.occHist, e.occObs, e.occSum
 }
 
 // Run fires events until the queue drains or Stop is called. It returns the

@@ -88,3 +88,40 @@ func TestEngineHotPathsAllocFree(t *testing.T) {
 		t.Errorf("Recurring Wake/Sleep churn: %.1f allocs/op, want 0", a)
 	}
 }
+
+// TestEngineProfilingCountersAlwaysOnAndFree pins the execution-profile
+// counters the attribution profiler reads (idle-elision savings, wheel
+// occupancy): they are always on — no enable switch — so they must be
+// pure array/field adds. The alloc guard runs them on the slow path,
+// then checks both actually recorded.
+func TestEngineProfilingCountersAlwaysOnAndFree(t *testing.T) {
+	e := NewEngine()
+	fn := Event(func() {})
+	// Sparse far-apart events force the slow path (occupancy observed
+	// there) and idle gaps (elided rather than ticked through).
+	e.Schedule(1, fn)
+	e.Run()
+	gap := Time(1000)
+	if a := testing.AllocsPerRun(500, func() {
+		e.Schedule(gap, fn)
+		e.Run()
+	}); a != 0 {
+		t.Errorf("profiled slow-path churn: %.1f allocs/op, want 0", a)
+	}
+	if e.IdleElided == 0 {
+		t.Error("idle gaps ran without recording IdleElided cycles")
+	}
+	// Occupancy is observed at the slow-path step after the due event
+	// pops, so a single in-flight event legitimately observes 0 — only
+	// the observation count is load-bearing here.
+	if _, count, _ := e.WheelOccupancy(); count == 0 {
+		t.Errorf("slow-path steps recorded no wheel occupancy (count=%d)", count)
+	}
+	e.Reset()
+	if e.IdleElided != 0 {
+		t.Error("Reset kept IdleElided")
+	}
+	if _, count, _ := e.WheelOccupancy(); count != 0 {
+		t.Error("Reset kept wheel-occupancy observations")
+	}
+}

@@ -48,10 +48,13 @@ type ShardGroup struct {
 
 	// windows counts barrier-synchronized windows executed; stallNanos[i]
 	// accumulates the wall-clock time shard i sat at barriers waiting for
-	// the window's slowest shard (always zero in serial execution). Both
-	// are host-side diagnostics: they never feed back into the model.
+	// the window's slowest shard (always zero in serial execution), and
+	// laggard[i] counts the windows where shard i WAS the slowest — the
+	// shard on the barrier critical path. All are host-side diagnostics:
+	// they never feed back into the model.
 	windows    uint64
 	stallNanos []uint64
+	laggard    []uint64
 	busy       []time.Duration
 }
 
@@ -75,6 +78,7 @@ func NewShardGroup(k int, window Time) *ShardGroup {
 		engines:    make([]*Engine, k),
 		window:     window,
 		stallNanos: make([]uint64, k),
+		laggard:    make([]uint64, k),
 		busy:       make([]time.Duration, k),
 	}
 	for i := range g.engines {
@@ -158,6 +162,7 @@ func (g *ShardGroup) Reset() {
 	}
 	g.windows = 0
 	clear(g.stallNanos)
+	clear(g.laggard)
 }
 
 // Windows reports how many barrier-synchronized windows have executed.
@@ -167,6 +172,13 @@ func (g *ShardGroup) Windows() uint64 { return g.windows }
 // waiting at window barriers for the slowest shard. The slice is owned by
 // the group; callers must not mutate it.
 func (g *ShardGroup) StallNanos() []uint64 { return g.stallNanos }
+
+// LaggardWindows returns, per shard, how many windows that shard was the
+// slowest — the critical-path view complementing StallNanos: a shard with
+// a large laggard count is the one the others wait for. Like the stall
+// times it is wall-clock data (always zero in serial execution) and the
+// slice is owned by the group.
+func (g *ShardGroup) LaggardWindows() []uint64 { return g.laggard }
 
 // Close stops the worker goroutines, if any were started. The group (and
 // its engines) remain usable afterwards — the next window restarts the
@@ -237,6 +249,7 @@ func (g *ShardGroup) runWindow(limit Time) {
 			ch <- limit
 		}
 		var slowest time.Duration
+		laggard := 0
 		for range g.engines {
 			d := <-g.done
 			g.busy[d.shard] = d.busy
@@ -246,7 +259,11 @@ func (g *ShardGroup) runWindow(limit Time) {
 		}
 		for i, b := range g.busy {
 			g.stallNanos[i] += uint64((slowest - b).Nanoseconds())
+			if b == slowest {
+				laggard = i // ties resolve to the highest shard id
+			}
 		}
+		g.laggard[laggard]++
 	}
 	g.runFlush(limit)
 	g.windows++
