@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race test-short bench benchcmp tier1 tier2 all
+.PHONY: build vet test test-race test-short bench benchcmp tier1 tier2 fleet-e2e all
 
 all: tier1
 
@@ -27,6 +27,13 @@ test-short:
 # drives whole figures at -shards {1,2,4} × -j {1,8}).
 test-race:
 	$(GO) test -race -timeout 60m ./...
+
+# fleet-e2e: the coordinator/worker smoke under the race detector —
+# 1 coordinator + 2 in-process workers sharing a cache dir, figure sha
+# asserted against a local single-process run, one worker killed
+# mid-sweep with the exactly-once store-write oracle checked after.
+fleet-e2e:
+	$(GO) test -race -timeout 30m -run 'TestFleetE2E' -v ./internal/fleet/
 
 # bench: regenerate the tracked bench/BENCH_sim.json performance baseline.
 # Macro benchmarks (BenchmarkMatrix: whole figure pipelines) run once per

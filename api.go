@@ -174,6 +174,20 @@ func (e *Experiment) UseStore(s *Store) {
 // DiskHits reports how many jobs were served from the persistent store.
 func (e *Experiment) DiskHits() uint64 { return e.exp.Pool().DiskHits() }
 
+// UseRemote installs a remote executor on the experiment's pool: fresh
+// jobs that miss the memo cache (and the persistent store, if attached)
+// are delegated to fn instead of simulating locally. This is the hook
+// behind nsd's fleet coordinator mode (internal/fleet dispatches through
+// it to worker daemons); any custom distribution layer can plug in the
+// same way. Set before the first Figure call. Figure output remains
+// byte-identical — only where each simulation runs changes.
+func (e *Experiment) UseRemote(fn func(ctx context.Context, j Job) (*Result, error)) {
+	e.exp.Pool().Remote = fn
+}
+
+// RemoteJobs reports how many jobs the remote executor resolved.
+func (e *Experiment) RemoteJobs() uint64 { return e.exp.Pool().RemoteJobs() }
+
 // QuickWorkloads is the taxonomy-spanning 4-workload subset behind the
 // CLIs' -quick flag and the daemon's ?quick= figure submissions.
 func QuickWorkloads() []string { return harness.QuickSet() }

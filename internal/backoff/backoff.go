@@ -1,0 +1,107 @@
+// Package backoff is the repo's one retry-delay policy: capped
+// exponential growth with full jitter, context-aware sleeping, and
+// server-supplied Retry-After hints taking precedence over the computed
+// delay. It is shared by the fleet coordinator's dispatch loop, the
+// serve HTTP client, and the result store's advisory-lock polling, so
+// every retry path in the system backs off the same way ("Exponential
+// Backoff And Jitter", the AWS architecture note: full jitter avoids the
+// synchronized retry herds that plain exponential delays produce when
+// many clients fail together).
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes a retry-delay schedule. The zero value is usable and
+// means Default().
+type Policy struct {
+	// Base is the attempt-0 delay ceiling (the delay is uniform in
+	// [0, min(Max, Base<<attempt)]). <= 0 means 100ms.
+	Base time.Duration
+	// Max caps the un-jittered delay. <= 0 means 5s.
+	Max time.Duration
+	// NoJitter disables the uniform draw, making Delay return the full
+	// capped exponential value — deterministic, for tests.
+	NoJitter bool
+
+	// Rand overrides the jitter source (returns a float64 in [0, 1));
+	// nil means a process-wide seeded source. Tests inject a constant.
+	Rand func() float64
+}
+
+// Default is the policy used when callers leave fields zero: 100ms base,
+// 5s cap, full jitter.
+func Default() Policy { return Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second} }
+
+// jitterMu guards the shared fallback source; rand.Rand is not
+// goroutine-safe and retry paths fire from many goroutines.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func (p Policy) norm() Policy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	return p
+}
+
+// Delay computes the wait before retry number attempt (0-based).
+// retryAfter is a server hint (e.g. a 429's Retry-After header), 0 when
+// absent: a hint below the cap is honored exactly — the server knows
+// when capacity frees up better than the exponential schedule does — and
+// a hint above the cap is clamped to it.
+func (p Policy) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	p = p.norm()
+	if retryAfter > 0 {
+		if retryAfter > p.Max {
+			return p.Max
+		}
+		return retryAfter
+	}
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		d <<= 1
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if p.NoJitter {
+		return d
+	}
+	f := p.Rand
+	if f == nil {
+		f = func() float64 {
+			jitterMu.Lock()
+			defer jitterMu.Unlock()
+			return jitterRand.Float64()
+		}
+	}
+	return time.Duration(f() * float64(d))
+}
+
+// Wait sleeps for Delay(attempt, retryAfter) or until ctx is done,
+// returning ctx.Err() in the latter case. A zero delay returns
+// immediately (still checking ctx).
+func (p Policy) Wait(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	d := p.Delay(attempt, retryAfter)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,102 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDelaySchedule pins the capped-exponential schedule and the
+// Retry-After override, with jitter disabled or injected so every case
+// is deterministic.
+func TestDelaySchedule(t *testing.T) {
+	cases := []struct {
+		name       string
+		p          Policy
+		attempt    int
+		retryAfter time.Duration
+		want       time.Duration
+	}{
+		{"attempt0-base", Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, NoJitter: true}, 0, 0, 100 * time.Millisecond},
+		{"attempt1-doubles", Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, NoJitter: true}, 1, 0, 200 * time.Millisecond},
+		{"attempt3-exponential", Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, NoJitter: true}, 3, 0, 800 * time.Millisecond},
+		{"cap-clamps", Policy{Base: 100 * time.Millisecond, Max: 1 * time.Second, NoJitter: true}, 10, 0, 1 * time.Second},
+		{"huge-attempt-no-overflow", Policy{Base: 1 * time.Second, Max: 30 * time.Second, NoJitter: true}, 1000, 0, 30 * time.Second},
+		{"zero-policy-defaults", Policy{NoJitter: true}, 0, 0, 100 * time.Millisecond},
+		{"retry-after-honored", Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, NoJitter: true}, 0, 3 * time.Second, 3 * time.Second},
+		{"retry-after-clamped-to-cap", Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, NoJitter: true}, 0, 10 * time.Second, 2 * time.Second},
+		{"retry-after-beats-schedule", Policy{Base: 1 * time.Second, Max: 5 * time.Second, NoJitter: true}, 5, 500 * time.Millisecond, 500 * time.Millisecond},
+		{"jitter-zero-draw", Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, Rand: func() float64 { return 0 }}, 4, 0, 0},
+		{"jitter-half-draw", Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, Rand: func() float64 { return 0.5 }}, 1, 0, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.p.Delay(c.attempt, c.retryAfter); got != c.want {
+				t.Fatalf("Delay(%d, %v) = %v, want %v", c.attempt, c.retryAfter, got, c.want)
+			}
+		})
+	}
+}
+
+// TestDelayJitterBounded checks the default full-jitter draw stays in
+// [0, capped exponential].
+func TestDelayJitterBounded(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	for attempt := 0; attempt < 6; attempt++ {
+		ceil := p.norm().Base << attempt
+		if ceil > p.norm().Max {
+			ceil = p.norm().Max
+		}
+		for i := 0; i < 100; i++ {
+			if d := p.Delay(attempt, 0); d < 0 || d > ceil {
+				t.Fatalf("attempt %d: jittered delay %v outside [0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+// TestWaitCtxCancel pins that Wait aborts promptly on context
+// cancellation instead of sleeping out the full delay.
+func TestWaitCtxCancel(t *testing.T) {
+	p := Policy{Base: 10 * time.Second, Max: 10 * time.Second, NoJitter: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := p.Wait(ctx, 0, 0); err != context.Canceled {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Wait slept %v past cancellation", elapsed)
+	}
+}
+
+// TestWaitAlreadyCanceled: a pre-canceled context returns immediately,
+// even for a zero delay.
+func TestWaitAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{Base: time.Hour, Max: time.Hour, NoJitter: true}
+	if err := p.Wait(ctx, 3, 0); err != context.Canceled {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	zero := Policy{Rand: func() float64 { return 0 }}
+	if err := zero.Wait(ctx, 0, 0); err != context.Canceled {
+		t.Fatalf("zero-delay Wait = %v, want context.Canceled", err)
+	}
+}
+
+// TestWaitSleeps sanity-checks that an uncanceled Wait actually elapses
+// the computed delay.
+func TestWaitSleeps(t *testing.T) {
+	p := Policy{Base: 20 * time.Millisecond, Max: 20 * time.Millisecond, NoJitter: true}
+	start := time.Now()
+	if err := p.Wait(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("Wait returned after %v, want >= ~20ms", elapsed)
+	}
+}

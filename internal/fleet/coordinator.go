@@ -1,0 +1,434 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/serve"
+)
+
+// Options parameterizes a Coordinator.
+type Options struct {
+	// Workers seeds the fleet with worker base URLs; more can join at
+	// runtime via POST /api/v1/fleet/register.
+	Workers []string
+	// HeartbeatEvery paces the liveness probe loop (/readyz per worker).
+	// <= 0 means 2s.
+	HeartbeatEvery time.Duration
+	// DeadAfter is how long a worker may fail probes before it is
+	// declared dead and its key range rebalanced. <= 0 means
+	// 3×HeartbeatEvery.
+	DeadAfter time.Duration
+	// Replicas is the ring's vnode count per worker (<= 0 means
+	// DefaultReplicas).
+	Replicas int
+	// Retry paces dispatch retries after a worker failure (zero value =
+	// backoff.Default).
+	Retry backoff.Policy
+	// Attempts bounds dispatch tries per job across workers (<= 0 means 6).
+	Attempts int
+	// HTTP overrides the per-worker HTTP client (nil = serve.Client's
+	// default).
+	HTTP *http.Client
+}
+
+// worker is one registered daemon and its dispatch bookkeeping.
+type worker struct {
+	url    string
+	client *serve.Client
+
+	inflight   atomic.Int64
+	dispatched atomic.Uint64
+	failures   atomic.Uint64
+
+	mu       sync.Mutex
+	state    string // "live", "draining", "dead"
+	lastSeen time.Time
+}
+
+// Worker states reported in the fleet topology.
+const (
+	WorkerLive     = "live"
+	WorkerDraining = "draining"
+	WorkerDead     = "dead"
+)
+
+// errNoWorkers is returned (wrapped) when the ring is empty.
+var errNoWorkers = errors.New("fleet: no live workers")
+
+// permanentErr marks a dispatch failure that is the job's own (the
+// simulation failed on the worker): retrying on another worker would
+// deterministically fail again, so Execute surfaces it immediately.
+type permanentErr struct{ err error }
+
+func (p *permanentErr) Error() string { return p.err.Error() }
+
+// Coordinator owns the worker registry, the placement ring and the
+// dispatch path. Its Execute method is installed as the coordinator
+// daemon's runner.Pool.Remote hook: the pool's memo map single-flights
+// each distinct job in front of it, so Execute sees each key once per
+// coordinator process (and re-sees it only if a first dispatch failed).
+// Safe for concurrent use.
+type Coordinator struct {
+	opt  Options
+	ring *Ring
+
+	mu      sync.Mutex
+	workers map[string]*worker
+
+	met fleetMetrics
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// fleetMetrics is the coordinator's counter set, exported under
+// nsd_fleet_* via WriteMetrics (appended to the daemon's /metrics).
+type fleetMetrics struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+
+	dispatched obs.Counter // dispatch attempts handed to a worker
+	completed  obs.Counter // dispatches that returned a result
+	failures   obs.Counter // dispatch attempts that errored
+	retries    obs.Counter // jobs re-dispatched after a failure
+	rebalances obs.Counter // workers removed from the ring (death/drain)
+	latency    obs.Histogram
+}
+
+var fleetHelp = map[string]string{
+	"nsd.fleet.dispatched":  "Job dispatches handed to a worker daemon.",
+	"nsd.fleet.completed":   "Dispatches that returned a worker-simulated result.",
+	"nsd.fleet.failures":    "Dispatch attempts that ended in an error.",
+	"nsd.fleet.retries":     "Jobs re-dispatched after a worker failure.",
+	"nsd.fleet.rebalances":  "Ring removals (worker death or drain) that rebalanced keys.",
+	"nsd.fleet.dispatch_ms": "Per-job dispatch round-trip, submit to result fetch, in milliseconds.",
+}
+
+// New builds a coordinator over opt.Workers. Call Start to begin
+// heartbeat probing and Stop on shutdown.
+func New(opt Options) *Coordinator {
+	if opt.HeartbeatEvery <= 0 {
+		opt.HeartbeatEvery = 2 * time.Second
+	}
+	if opt.DeadAfter <= 0 {
+		opt.DeadAfter = 3 * opt.HeartbeatEvery
+	}
+	if opt.Attempts <= 0 {
+		opt.Attempts = 6
+	}
+	reg := obs.NewRegistry()
+	for name, help := range fleetHelp {
+		reg.SetHelp(name, help)
+	}
+	c := &Coordinator{
+		opt:     opt,
+		ring:    NewRing(opt.Replicas),
+		workers: make(map[string]*worker),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	c.met.reg = reg
+	c.met.dispatched = reg.Counter("nsd.fleet.dispatched")
+	c.met.completed = reg.Counter("nsd.fleet.completed")
+	c.met.failures = reg.Counter("nsd.fleet.failures")
+	c.met.retries = reg.Counter("nsd.fleet.retries")
+	c.met.rebalances = reg.Counter("nsd.fleet.rebalances")
+	c.met.latency = reg.Histogram("nsd.fleet.dispatch_ms")
+	for _, url := range opt.Workers {
+		c.AddWorker(url)
+	}
+	return c
+}
+
+func (c *Coordinator) inc(ctr obs.Counter) {
+	c.met.mu.Lock()
+	ctr.Inc()
+	c.met.mu.Unlock()
+}
+
+// AddWorker registers (or revives) a worker by base URL and joins it to
+// the ring. Idempotent: re-registration refreshes liveness, which is how
+// a restarted worker heals itself before the next heartbeat round.
+func (c *Coordinator) AddWorker(url string) {
+	url = strings.TrimRight(url, "/")
+	c.mu.Lock()
+	w, ok := c.workers[url]
+	if !ok {
+		w = &worker{
+			url: url,
+			client: &serve.Client{
+				Base:     url,
+				HTTP:     c.opt.HTTP,
+				Retry:    c.opt.Retry,
+				ClientID: "fleet-coordinator",
+			},
+		}
+		c.workers[url] = w
+	}
+	c.mu.Unlock()
+	c.markLive(w)
+}
+
+// lookup returns the worker for a URL, nil if unknown.
+func (c *Coordinator) lookup(url string) *worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workers[url]
+}
+
+// markLive records a successful probe and (re)joins the ring.
+func (c *Coordinator) markLive(w *worker) {
+	w.mu.Lock()
+	w.state = WorkerLive
+	w.lastSeen = time.Now()
+	w.mu.Unlock()
+	c.ring.Add(w.url)
+}
+
+// noteSuccess refreshes liveness after a completed dispatch: a worker
+// streaming results is alive no matter what a timed-out probe said.
+// Draining workers are left alone (they finish in-flight work but must
+// not rejoin the ring).
+func (c *Coordinator) noteSuccess(w *worker) {
+	w.mu.Lock()
+	draining := w.state == WorkerDraining
+	if !draining {
+		w.state = WorkerLive
+		w.lastSeen = time.Now()
+	}
+	w.mu.Unlock()
+	if !draining {
+		c.ring.Add(w.url)
+	}
+}
+
+// markGone moves a worker out of the ring in the given state; its key
+// range falls to the ring successors (the rebalance).
+func (c *Coordinator) markGone(w *worker, state string) {
+	w.mu.Lock()
+	w.state = state
+	w.mu.Unlock()
+	if c.ring.Remove(w.url) {
+		c.inc(c.met.rebalances)
+	}
+}
+
+// Start launches the heartbeat loop. Stop tears it down.
+func (c *Coordinator) Start() {
+	go func() {
+		defer close(c.done)
+		tick := time.NewTicker(c.opt.HeartbeatEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-tick.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop ends the heartbeat loop (idempotent; safe before Start — the
+// loop exits on its first tick check).
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+}
+
+// probeAll heartbeats every worker concurrently: /readyz OK revives,
+// 503 means draining (leave the ring now, gracefully), connection
+// failure past the DeadAfter grace declares death.
+func (c *Coordinator) probeAll() {
+	c.mu.Lock()
+	ws := make([]*worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			// The probe deadline is DeadAfter, not HeartbeatEvery: on a
+			// CPU-saturated host (every worker mid-simulation) a round-trip
+			// can take longer than the probe period, and a tight deadline
+			// would mass-declare healthy-but-busy workers dead.
+			ctx, cancel := context.WithTimeout(context.Background(), c.opt.DeadAfter)
+			defer cancel()
+			err := w.client.Readyz(ctx)
+			switch {
+			case err == nil:
+				c.markLive(w)
+			case serve.StatusCode(err) == http.StatusServiceUnavailable:
+				c.markGone(w, WorkerDraining)
+			default:
+				w.mu.Lock()
+				expired := time.Since(w.lastSeen) > c.opt.DeadAfter
+				w.mu.Unlock()
+				if expired {
+					c.markGone(w, WorkerDead)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Execute dispatches one job to its ring owner and returns the worker's
+// measurement. This is the runner.Pool.Remote hook: callers (the
+// coordinator pool) have already deduped by key, so each distinct job
+// reaches here once. A worker failure marks it dead, rebalances the
+// ring and retries on the new owner under the backoff policy; a
+// deterministic job failure (the simulation itself erred on the worker)
+// is surfaced immediately without retry.
+func (c *Coordinator) Execute(ctx context.Context, j runner.Job) (*runner.Result, error) {
+	key := j.Key()
+	var lastErr error
+	for attempt := 0; attempt < c.opt.Attempts; attempt++ {
+		if attempt > 0 {
+			c.inc(c.met.retries)
+			if err := c.opt.Retry.Wait(ctx, attempt-1, 0); err != nil {
+				return nil, err
+			}
+		}
+		owner, ok := c.ring.Owner(key)
+		if !ok {
+			// An empty ring heals through the probe loop or a worker
+			// re-registration, both outside the backoff schedule: wait a
+			// full heartbeat period for a revival before trying again.
+			lastErr = errNoWorkers
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(c.opt.HeartbeatEvery):
+			}
+			continue
+		}
+		w := c.lookup(owner)
+		if w == nil {
+			lastErr = errNoWorkers
+			continue
+		}
+		res, err := c.dispatch(ctx, w, j, key)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		var perm *permanentErr
+		if errors.As(err, &perm) {
+			return nil, perm.err
+		}
+		if code := serve.StatusCode(err); code >= 400 && code < 500 && code != http.StatusTooManyRequests {
+			// A structural answer (bad request, unknown workload): every
+			// worker would refuse identically, so don't burn the fleet.
+			return nil, err
+		}
+		lastErr = err
+		w.failures.Add(1)
+		c.inc(c.met.failures)
+		// The client already retried transient answers under backoff, so
+		// a dispatch error means the worker is unreachable or refusing:
+		// declare it dead now and rebalance. If it was a blip, the next
+		// heartbeat (or its re-registration) revives it.
+		c.markGone(w, WorkerDead)
+	}
+	return nil, fmt.Errorf("fleet: job %s undispatched after %d attempts: %w", key, c.opt.Attempts, lastErr)
+}
+
+// dispatch runs one job on one worker: submit, follow the SSE feed to a
+// terminal state (falling back to status polling on a stream cut), then
+// fetch the result.
+func (c *Coordinator) dispatch(ctx context.Context, w *worker, j runner.Job, key string) (*runner.Result, error) {
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
+	w.dispatched.Add(1)
+	c.inc(c.met.dispatched)
+	start := time.Now()
+
+	st, err := w.client.SubmitJob(ctx, serve.JobRequestFor(j))
+	if err != nil {
+		return nil, err
+	}
+	var termErr string
+	state, err := w.client.FollowEvents(ctx, st.ID, func(ev serve.Event) {
+		if ev.Type == "state" {
+			termErr = ev.Error
+		}
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			c.cancelRemote(w, st.ID)
+			return nil, ctx.Err()
+		}
+		// Stream cut mid-task (worker blip, proxy timeout): the task may
+		// well still finish — poll status before declaring the dispatch
+		// failed.
+		state, termErr, err = c.pollTerminal(ctx, w, st.ID)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch state {
+	case serve.StateDone:
+		jr, err := w.client.JobResult(ctx, st.ID)
+		if err != nil {
+			return nil, err
+		}
+		if jr.Key != key {
+			return nil, fmt.Errorf("fleet: worker %s returned key %s for job %s", w.url, jr.Key, key)
+		}
+		c.met.mu.Lock()
+		c.met.completed.Inc()
+		c.met.latency.Observe(uint64(time.Since(start).Milliseconds()))
+		c.met.mu.Unlock()
+		c.noteSuccess(w)
+		return jr.Result, nil
+	case serve.StateFailed:
+		return nil, &permanentErr{fmt.Errorf("fleet: worker %s: job %s failed: %s", w.url, key, termErr)}
+	default:
+		// Canceled on the worker (drain or kill): retryable elsewhere.
+		return nil, fmt.Errorf("fleet: worker %s canceled job %s", w.url, key)
+	}
+}
+
+// pollTerminal polls a task's status until it is terminal.
+func (c *Coordinator) pollTerminal(ctx context.Context, w *worker, id string) (state, errMsg string, err error) {
+	for attempt := 0; ; attempt++ {
+		st, err := w.client.Status(ctx, id)
+		if err != nil {
+			return "", "", err
+		}
+		if serve.TerminalState(st.State) {
+			return st.State, st.Error, nil
+		}
+		if err := c.opt.Retry.Wait(ctx, attempt, 0); err != nil {
+			return "", "", err
+		}
+	}
+}
+
+// cancelRemote best-effort cancels a dispatched task after the
+// coordinator-side context died, so the worker stops burning cycles on
+// an answer nobody wants.
+func (c *Coordinator) cancelRemote(w *worker, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	probe := *w.client
+	probe.Attempts = 1
+	probe.Cancel(ctx, id)
+}

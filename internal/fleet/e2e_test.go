@@ -1,0 +1,266 @@
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/serve"
+)
+
+// e2eSubset picks the Figure 12 workload subset for fleet end-to-end
+// tests: two workloads (8 jobs) normally, one (4 jobs) under the race
+// detector.
+func e2eSubset() []string {
+	if raceEnabled {
+		return []string{"histogram"}
+	}
+	return []string{"pathfinder", "histogram"}
+}
+
+// localFigure renders the figure on a plain single-process harness —
+// the byte-identity reference — and returns its sha plus the distinct
+// simulated-job count (the exactly-once oracle's expected value).
+func localFigure(t *testing.T, subset []string) (sha string, distinct uint64) {
+	t.Helper()
+	cfg := harness.DefaultConfig()
+	cfg.Jobs = 2
+	exp := harness.NewExp(cfg)
+	tbl, err := exp.Figure("12", subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(tbl.String()))
+	return hex.EncodeToString(sum[:]), exp.Pool().Executed()
+}
+
+// newCoordinatorDaemon assembles coordinator mode the way cmd/nsd does:
+// a memory-only daemon whose pool delegates fresh jobs to the fleet.
+func newCoordinatorDaemon(t *testing.T, workerURLs ...string) (*serve.Server, *Coordinator, *httptest.Server) {
+	t.Helper()
+	cfg := serve.Config{Harness: harness.DefaultConfig()}
+	cfg.Harness.Jobs = 4
+	cs, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := New(Options{
+		Workers:        workerURLs,
+		Retry:          fastRetry,
+		Attempts:       8,
+		HeartbeatEvery: 100 * time.Millisecond,
+		DeadAfter:      500 * time.Millisecond,
+	})
+	cs.SetRemote(coord.Execute)
+	cs.SetFleetEnv(func() any { return coord.Snapshot() })
+	cs.AddMetrics(coord.WriteMetrics)
+	coord.Start()
+	t.Cleanup(coord.Stop)
+	ts := httptest.NewServer(coord.Wrap(cs.Handler()))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		cs.Shutdown(ctx)
+	})
+	return cs, coord, ts
+}
+
+// shutdownAll drains the given daemons so every in-flight (and zombie)
+// task has finished and all counters are final.
+func shutdownAll(t *testing.T, servers ...*serve.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, s := range servers {
+		if err := s.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFleetE2EFigure is the headline guarantee: a figure submitted to a
+// coordinator fronting two workers renders byte-identically to a
+// single-process run, with zero local simulation on the coordinator and
+// each distinct job simulated exactly once fleet-wide (store write-count
+// oracle over the workers' shared cache directory).
+func TestFleetE2EFigure(t *testing.T) {
+	subset := e2eSubset()
+	wantSHA, distinct := localFigure(t, subset)
+
+	cacheDir := t.TempDir()
+	w1, t1 := newWorker(t, cacheDir)
+	w2, t2 := newWorker(t, cacheDir)
+	cs, _, cts := newCoordinatorDaemon(t, t1.URL, t2.URL)
+
+	client := &serve.Client{Base: cts.URL, Retry: fastRetry, ClientID: "e2e"}
+	ctx := context.Background()
+	st, err := client.SubmitFigure(ctx, "12", "workloads="+strings.Join(subset, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetSourced := 0
+	state, err := client.FollowEvents(ctx, st.ID, func(ev serve.Event) {
+		if ev.Type == "progress" && ev.Source == "fleet" {
+			fleetSourced++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != serve.StateDone {
+		t.Fatalf("figure task ended %s", state)
+	}
+	fig, err := client.FigureResult(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.SHA256 != wantSHA {
+		t.Fatalf("fleet figure sha %s != local %s\nfleet table:\n%s", fig.SHA256, wantSHA, fig.Text)
+	}
+	if fleetSourced != int(distinct) {
+		t.Fatalf("%d fleet-sourced progress events, want %d", fleetSourced, distinct)
+	}
+
+	// Topology surfaces in the coordinator's run report Env (and is
+	// stripped from the canonical section by construction).
+	resp, err := http.Get(cts.URL + "/api/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"fleet"`) {
+		t.Fatal("run report Env lacks the fleet topology")
+	}
+	// Fleet metric families ride the daemon's /metrics.
+	resp, err = http.Get(cts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, family := range []string{"nsd_fleet_dispatched", "nsd_fleet_workers{state=\"live\"} 2", "nsd_fleet_inflight"} {
+		if !strings.Contains(string(metrics), family) {
+			t.Fatalf("/metrics lacks %q:\n%s", family, metrics)
+		}
+	}
+
+	shutdownAll(t, cs, w1, w2)
+
+	// Exactly-once, three ways: the coordinator simulated nothing and
+	// delegated every distinct job; the workers simulated each distinct
+	// job once between them; the shared store holds one write per job.
+	if got := cs.Exp().Pool().Executed(); got != 0 {
+		t.Fatalf("coordinator simulated %d jobs locally, want 0", got)
+	}
+	if got := cs.Exp().Pool().RemoteJobs(); got != distinct {
+		t.Fatalf("coordinator delegated %d jobs, want %d", got, distinct)
+	}
+	ex1, ex2 := w1.Exp().Pool().Executed(), w2.Exp().Pool().Executed()
+	if ex1+ex2 != distinct {
+		t.Fatalf("workers executed %d+%d, want %d total", ex1, ex2, distinct)
+	}
+	if ex1 == 0 || ex2 == 0 {
+		t.Logf("note: worker split %d/%d — all keys hashed to one worker", ex1, ex2)
+	}
+	_, _, puts1, _, _ := w1.Store().Stats()
+	_, _, puts2, _, _ := w2.Store().Stats()
+	if puts1+puts2 != distinct {
+		t.Fatalf("store writes %d+%d, want %d (exactly one per distinct job)", puts1, puts2, distinct)
+	}
+}
+
+// TestFleetE2EWorkerKill kills a worker mid-sweep: the coordinator must
+// rebalance its key range to the survivor and still complete the figure
+// byte-identically, with the store oracle proving no job simulated
+// twice — even for jobs the dead worker had in flight (the survivor
+// blocks on the store envelope lock, then loads the finished result).
+func TestFleetE2EWorkerKill(t *testing.T) {
+	subset := e2eSubset()
+	wantSHA, distinct := localFigure(t, subset)
+
+	cacheDir := t.TempDir()
+	w1, t1 := newWorker(t, cacheDir)
+	w2, t2 := newWorker(t, cacheDir)
+	cs, coord, cts := newCoordinatorDaemon(t, t1.URL, t2.URL)
+
+	client := &serve.Client{Base: cts.URL, Retry: fastRetry, ClientID: "e2e-kill"}
+	ctx := context.Background()
+	st, err := client.SubmitFigure(ctx, "12", "workloads="+strings.Join(subset, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// On the first completed job, yank worker 2: drop its live
+	// connections (the coordinator's SSE follows die mid-stream), then
+	// close its listener (all retries get connection refused). Its
+	// in-flight simulations keep running as zombies — exactly the
+	// double-landing scenario the envelope lock exists for.
+	var once sync.Once
+	var killed sync.WaitGroup
+	state, err := client.FollowEvents(ctx, st.ID, func(ev serve.Event) {
+		if ev.Type != "progress" {
+			return
+		}
+		once.Do(func() {
+			killed.Add(1)
+			go func() {
+				defer killed.Done()
+				t2.CloseClientConnections()
+				t2.Close()
+			}()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != serve.StateDone {
+		t.Fatalf("figure task ended %s after worker kill", state)
+	}
+	killed.Wait()
+
+	fig, err := client.FigureResult(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.SHA256 != wantSHA {
+		t.Fatalf("post-kill figure sha %s != local %s\ntable:\n%s", fig.SHA256, wantSHA, fig.Text)
+	}
+
+	shutdownAll(t, cs, w1, w2) // w2's zombies drain here; counters go final
+
+	if got := cs.Exp().Pool().Executed(); got != 0 {
+		t.Fatalf("coordinator simulated %d jobs locally, want 0", got)
+	}
+	ex1, ex2 := w1.Exp().Pool().Executed(), w2.Exp().Pool().Executed()
+	if ex1+ex2 != distinct {
+		t.Fatalf("workers executed %d+%d, want %d total (exactly once despite the kill)", ex1, ex2, distinct)
+	}
+	_, _, puts1, _, _ := w1.Store().Stats()
+	_, _, puts2, _, _ := w2.Store().Stats()
+	if puts1+puts2 != distinct {
+		t.Fatalf("store writes %d+%d, want %d", puts1, puts2, distinct)
+	}
+
+	// The dead worker must be off the ring; whether its row says "dead"
+	// by now depends on heartbeat timing vs dispatch detection — both
+	// paths remove it.
+	deadURL := strings.TrimRight(t2.URL, "/")
+	if coord.ring.Has(deadURL) {
+		// The only way it rejoined is a successful probe, which a closed
+		// listener cannot produce.
+		t.Fatal("killed worker still (or back) on the ring")
+	}
+	if w2.Exp().Pool().Executed() > 0 {
+		t.Logf("zombie worker finished %d in-flight sims after the kill (locks held, survivor waited)", ex2)
+	}
+}

@@ -1,0 +1,138 @@
+// Package fleet scales the nsd daemon horizontally: a coordinator
+// daemon accepts the ordinary job/figure API and, instead of simulating
+// locally, dispatches each distinct job to one of N worker daemons over
+// the existing HTTP JSON API. Placement is a consistent-hash ring over
+// sha256(Job.Key()), so adding or removing a worker moves only ~1/N of
+// the key space; exactly-once simulation is guaranteed by the layered
+// dedupe below the dispatch (the coordinator pool's memo single-flight,
+// plus the workers' shared-store envelope locks when they share a cache
+// directory). See DESIGN.md ("Fleet mode").
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the virtual-node count per worker. 64 vnodes keeps
+// the worst-case load skew across a handful of workers under ~15% while
+// the ring stays small enough that membership changes are cheap.
+const DefaultReplicas = 64
+
+// Ring is a consistent-hash ring with virtual nodes. Keys and members
+// hash through sha256 (the same digest family the store envelope names
+// use), so placement is stable across processes, platforms and restarts.
+// Safe for concurrent use.
+type Ring struct {
+	replicas int
+
+	mu      sync.RWMutex
+	points  []uint64          // sorted vnode positions
+	owner   map[uint64]string // vnode position -> member
+	members map[string]struct{}
+}
+
+// NewRing builds an empty ring; replicas <= 0 means DefaultReplicas.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{
+		replicas: replicas,
+		owner:    make(map[uint64]string),
+		members:  make(map[string]struct{}),
+	}
+}
+
+// hashPoint maps a string to a position on the ring: the first 8 bytes
+// of its sha256, big-endian.
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member's vnodes. Adding a present member is a no-op.
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		pt := hashPoint(fmt.Sprintf("%s#%d", member, i))
+		if _, taken := r.owner[pt]; taken {
+			continue // vnode collision: astronomically rare, skip the point
+		}
+		r.owner[pt] = member
+		r.points = append(r.points, pt)
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a] < r.points[b] })
+}
+
+// Remove deletes a member's vnodes; its keys fall to the ring
+// successors. Reports whether the member was present.
+func (r *Ring) Remove(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return false
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, pt := range r.points {
+		if r.owner[pt] == member {
+			delete(r.owner, pt)
+			continue
+		}
+		kept = append(kept, pt)
+	}
+	r.points = kept
+	return true
+}
+
+// Has reports membership.
+func (r *Ring) Has(member string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.members[member]
+	return ok
+}
+
+// Members returns the current membership, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len is the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Owner maps a key to its member: the first vnode clockwise from
+// hashPoint(key), wrapping at the top. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (member string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	pt := hashPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= pt })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.owner[r.points[i]], true
+}

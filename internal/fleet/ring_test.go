@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys returns n synthetic job-key-shaped strings.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("histogram|NS|ci|OOO8|%d", i)
+	}
+	return out
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := NewRing(0)
+	b := NewRing(0)
+	for _, m := range []string{"http://w1", "http://w2", "http://w3"} {
+		a.Add(m)
+	}
+	// Insertion order must not matter.
+	for _, m := range []string{"http://w3", "http://w1", "http://w2"} {
+		b.Add(m)
+	}
+	for _, k := range keys(500) {
+		oa, ok := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if !ok || oa != ob {
+			t.Fatalf("key %q: owner %q vs %q", k, oa, ob)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(4)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if r.Remove("ghost") {
+		t.Fatal("removing an absent member reported true")
+	}
+	r.Add("m")
+	r.Add("m") // idempotent
+	if got := r.Members(); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("members = %v", got)
+	}
+	if !r.Remove("m") || r.Len() != 0 {
+		t.Fatal("remove did not empty the ring")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"http://w1", "http://w2", "http://w3", "http://w4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	n := 8000
+	for _, k := range keys(n) {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	// With 64 vnodes each, no member should stray far from n/4.
+	for _, m := range members {
+		share := float64(counts[m]) / float64(n)
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys: %v", m, 100*share, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing contract: removing
+// one member moves ONLY that member's keys (to ring successors); every
+// key owned by a survivor stays put. Adding the member back restores the
+// original placement exactly.
+func TestRingMinimalMovement(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"http://w1", "http://w2", "http://w3", "http://w4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	ks := keys(4000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k], _ = r.Owner(k)
+	}
+	const victim = "http://w2"
+	r.Remove(victim)
+	moved := 0
+	for _, k := range ks {
+		now, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("key %q lost its owner", k)
+		}
+		if before[k] == victim {
+			moved++
+			if now == victim {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+			continue
+		}
+		if now != before[k] {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", k, before[k], now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys; balance test should have caught this")
+	}
+	r.Add(victim)
+	for _, k := range ks {
+		if now, _ := r.Owner(k); now != before[k] {
+			t.Fatalf("key %q not restored after re-add: %s vs %s", k, now, before[k])
+		}
+	}
+}

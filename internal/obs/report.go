@@ -81,6 +81,11 @@ type RunEnv struct {
 	// PeakRSSBytes is the process's high-water resident set (VmHWM); 0
 	// when the platform does not expose it.
 	PeakRSSBytes uint64 `json:"peak_rss_bytes,omitempty"`
+	// Fleet is the coordinator's worker-topology snapshot (nsd coordinator
+	// mode). Like Workers and Shards it describes the execution, never a
+	// result — Canonical strips the whole Env — so merged fleet reports
+	// stay byte-identical to single-daemon ones.
+	Fleet any `json:"fleet,omitempty"`
 }
 
 // RunReport is the machine-readable record of one experiment run.

@@ -21,7 +21,10 @@ type Progress struct {
 	// Disk marks a job served from the persistent result store (Pool.Disk)
 	// instead of being simulated.
 	Disk bool
-	Err  error
+	// Remote marks a job delegated to Pool.Remote (a fleet coordinator
+	// dispatching to a worker daemon) instead of simulating locally.
+	Remote bool
+	Err    error
 	// Done/Total count distinct jobs within the current Run batch:
 	// duplicate submissions of one key collapse into a single progress
 	// line, reported only once the underlying measurement is final.
@@ -49,6 +52,14 @@ type Pool struct {
 	// so measurements survive across processes (CLI runs and the nsd
 	// daemon share one store).
 	Disk *Store
+	// Remote, when non-nil, replaces local simulation: a fresh job that
+	// missed the memo and the store is delegated to it (the fleet
+	// coordinator dispatches to a worker daemon here). The memo map and
+	// store still dedupe in front of it, so each distinct job is
+	// dispatched at most once concurrently per pool; successful remote
+	// results are written through Disk like local ones. Set before the
+	// first Run.
+	Remote func(ctx context.Context, j Job) (*Result, error)
 
 	sem chan struct{} // pool-wide worker slots
 
@@ -63,6 +74,7 @@ type Pool struct {
 	executed uint64
 	hits     uint64
 	diskHits uint64
+	remote   uint64
 	// shards is the per-job shard-engine count (1 = serial machines);
 	// stallNanos accumulates each shard's barrier-stall wall time across
 	// every simulation this pool executed.
@@ -187,6 +199,13 @@ func (p *Pool) DiskHits() uint64 {
 	return p.diskHits
 }
 
+// RemoteJobs reports how many jobs were delegated to Pool.Remote.
+func (p *Pool) RemoteJobs() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.remote
+}
+
 // distinctJob is one deduplicated key of a batch: the entry to wait on or
 // execute, plus the first submission index it answers for.
 type distinctJob struct {
@@ -272,14 +291,15 @@ func (p *Pool) run(ctx context.Context, jobs []Job, onProgress func(Progress)) (
 	// simulation).
 	var progressMu sync.Mutex
 	done := 0
-	report := func(d *distinctJob, cached, disk bool, err error) {
+	report := func(d *distinctJob, src jobSource, err error) {
 		if onProgress == nil {
 			return
 		}
 		progressMu.Lock()
 		done++
-		onProgress(Progress{Job: jobs[d.first], Key: d.key, Cached: cached,
-			Disk: disk, Err: err, Done: done, Total: len(dist)})
+		onProgress(Progress{Job: jobs[d.first], Key: d.key, Cached: src == srcMemo,
+			Disk: src == srcDisk, Remote: src == srcRemote,
+			Err: err, Done: done, Total: len(dist)})
 		progressMu.Unlock()
 	}
 
@@ -290,9 +310,9 @@ func (p *Pool) run(ctx context.Context, jobs []Job, onProgress func(Progress)) (
 		wg.Add(1)
 		go func(s int, d *distinctJob) {
 			defer wg.Done()
-			res, err, cached, disk := p.resolve(ctx, jobs[d.first], d)
+			res, err, src := p.resolve(ctx, jobs[d.first], d)
 			results[s], errs[s] = res, err
-			report(d, cached, disk, err)
+			report(d, src, err)
 		}(s, d)
 	}
 	wg.Wait()
@@ -308,10 +328,21 @@ func (p *Pool) run(ctx context.Context, jobs []Job, onProgress func(Progress)) (
 	return out, firstErr
 }
 
+// jobSource classifies where a distinct job's result came from, for
+// progress reporting.
+type jobSource int
+
+const (
+	srcSim jobSource = iota
+	srcMemo
+	srcDisk
+	srcRemote
+)
+
 // resolve drives one distinct job to a final result: execute it if this
 // batch owns the entry, otherwise wait on the owner — re-acquiring the key
 // if the owner's batch was canceled before the job started.
-func (p *Pool) resolve(ctx context.Context, j Job, d *distinctJob) (res *Result, err error, cached, disk bool) {
+func (p *Pool) resolve(ctx context.Context, j Job, d *distinctJob) (res *Result, err error, src jobSource) {
 	e, fresh := d.e, d.fresh
 	for {
 		if fresh {
@@ -322,7 +353,7 @@ func (p *Pool) resolve(ctx context.Context, j Job, d *distinctJob) (res *Result,
 		case <-ctx.Done():
 			// Abandoned while waiting on another batch's execution; the
 			// owner (if still live) completes the entry for everyone else.
-			return nil, ctx.Err(), false, false
+			return nil, ctx.Err(), srcSim
 		}
 		if !e.canceled {
 			p.mu.Lock()
@@ -331,7 +362,7 @@ func (p *Pool) resolve(ctx context.Context, j Job, d *distinctJob) (res *Result,
 			if p.Obs != nil {
 				p.Obs.Hit(d.key)
 			}
-			return e.res, e.err, true, false
+			return e.res, e.err, srcMemo
 		}
 		// The owning batch was canceled before the job started. The entry
 		// was removed from the memo map; take over (or chase whichever
@@ -352,39 +383,104 @@ func (p *Pool) resolve(ctx context.Context, j Job, d *distinctJob) (res *Result,
 }
 
 // executeEntry fills e for key: from the persistent store when possible,
-// otherwise by simulating under the pool-wide worker bound. Cancellation
-// before a worker slot is acquired releases the entry for other batches.
-func (p *Pool) executeEntry(ctx context.Context, j Job, key string, e *memoEntry, rec *obs.JobRecord) (res *Result, err error, cached, disk bool) {
+// by delegating to Pool.Remote when set, otherwise by simulating under
+// the pool-wide worker bound — holding the store's advisory per-envelope
+// lock so two processes sharing one cache directory never compute the
+// same job concurrently. Cancellation before a worker slot is acquired
+// releases the entry for other batches.
+func (p *Pool) executeEntry(ctx context.Context, j Job, key string, e *memoEntry, rec *obs.JobRecord) (res *Result, err error, src jobSource) {
 	select {
 	case p.sem <- struct{}{}:
 	case <-ctx.Done():
 		p.cancelEntry(key, e)
-		return nil, ctx.Err(), false, false
+		return nil, ctx.Err(), srcSim
 	}
 	defer func() { <-p.sem }()
 	if cerr := ctx.Err(); cerr != nil {
 		// Canceled in the same instant the slot freed up: still abandon.
 		p.cancelEntry(key, e)
-		return nil, cerr, false, false
+		return nil, cerr, srcSim
+	}
+
+	diskLoad := func() (*Result, bool) {
+		if p.Disk == nil {
+			return nil, false
+		}
+		dres, ok := p.Disk.Load(key)
+		if !ok {
+			return nil, false
+		}
+		e.res = dres
+		if rec != nil {
+			rec.Workload = j.Workload
+			rec.System = j.System.String()
+			rec.SimCycles = dres.Cycles
+			rec.Events = dres.Events
+		}
+		p.mu.Lock()
+		p.diskHits++
+		p.mu.Unlock()
+		if p.Obs != nil {
+			p.Obs.DiskHit(key)
+		}
+		return dres, true
+	}
+	if dres, ok := diskLoad(); ok {
+		close(e.done)
+		return dres, nil, srcDisk
+	}
+
+	if p.Remote != nil {
+		// Fleet delegation: a worker daemon simulates; dedupe in front of
+		// the dispatch (memo above, store lock on the workers' side) keeps
+		// the job exactly-once fleet-wide.
+		start := time.Now()
+		e.res, e.err = p.Remote(ctx, j)
+		if rec != nil {
+			rec.Timing.WallSeconds = time.Since(start).Seconds()
+			if e.err != nil {
+				rec.Err = e.err.Error()
+			} else {
+				rec.Workload = j.Workload
+				rec.System = j.System.String()
+				rec.SimCycles = e.res.Cycles
+				rec.Events = e.res.Events
+			}
+		}
+		if e.err != nil && ctx.Err() != nil {
+			// A dispatch cut short by cancellation must not poison the
+			// memo: release the entry so a later batch re-dispatches.
+			p.cancelEntry(key, e)
+			return nil, e.err, srcRemote
+		}
+		p.mu.Lock()
+		p.remote++
+		p.mu.Unlock()
+		if e.err == nil && p.Disk != nil {
+			p.Disk.Put(key, e.res)
+		}
+		close(e.done)
+		return e.res, e.err, srcRemote
 	}
 
 	if p.Disk != nil {
-		if dres, ok := p.Disk.Load(key); ok {
-			e.res = dres
-			if rec != nil {
-				rec.Workload = j.Workload
-				rec.System = j.System.String()
-				rec.SimCycles = dres.Cycles
-				rec.Events = dres.Events
+		// Cross-process single-flight: hold the envelope's advisory lock
+		// while simulating, so peer daemons sharing this cache directory
+		// wait (then load our Put) instead of duplicating the work. A nil
+		// lock means the filesystem refused lock files; compute anyway.
+		lk, lerr := p.Disk.AcquireLock(ctx, key)
+		if lerr != nil {
+			p.cancelEntry(key, e)
+			return nil, lerr, srcSim
+		}
+		defer lk.Release()
+		if lk != nil {
+			// The lock's usual holder was a peer computing this very key:
+			// its release means the entry likely exists now.
+			if dres, ok := diskLoad(); ok {
+				close(e.done)
+				return dres, nil, srcDisk
 			}
-			p.mu.Lock()
-			p.diskHits++
-			p.mu.Unlock()
-			if p.Obs != nil {
-				p.Obs.DiskHit(key)
-			}
-			close(e.done)
-			return dres, nil, false, true
 		}
 	}
 
@@ -419,7 +515,7 @@ func (p *Pool) executeEntry(ctx context.Context, j Job, key string, e *memoEntry
 		p.Disk.Put(key, e.res)
 	}
 	close(e.done)
-	return e.res, e.err, false, false
+	return e.res, e.err, srcSim
 }
 
 // cancelEntry abandons an entry this batch claimed but never started:

@@ -54,10 +54,12 @@ type Store struct {
 	dir      string
 	maxBytes int64
 
-	mu      sync.Mutex
-	entries map[string]storeFile // file name -> index row
-	total   int64
+	mu                                        sync.Mutex
+	entries                                   map[string]storeFile // file name -> index row
+	total                                     int64
 	loads, loadHits, puts, evictions, corrupt uint64
+	// Advisory-lock outcomes (see AcquireLock in storelock.go).
+	lockAcquired, lockWaited, lockStolen uint64
 }
 
 // OpenStore opens (creating if needed) a result store rooted at dir.

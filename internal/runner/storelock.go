@@ -1,0 +1,186 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/backoff"
+)
+
+// LockStaleAge is how old an advisory lock's mtime may be before a
+// contender treats its holder as dead and steals it. Holders touch
+// their lock every LockStaleAge/4 while computing, so a live holder —
+// however long its simulation — is never mistaken for a stale one;
+// only a crashed process (or an unreachable host on a shared
+// filesystem) stops refreshing.
+const LockStaleAge = 10 * time.Minute
+
+// StoreLock is a held advisory per-envelope lock: a `<sha>.lock` file
+// beside the entry it guards, containing "pid host unixnano". It makes
+// simulation single-flight across *processes* sharing one cache
+// directory (the in-process memo map already makes it single-flight
+// within a process): two daemons — or a fleet's workers — racing on one
+// job key compute it once, with the losers waiting and then loading the
+// winner's entry.
+type StoreLock struct {
+	path string
+	stop chan struct{} // stops the mtime-refresh goroutine
+	done chan struct{} // refresh goroutine exited
+}
+
+// lockPath is the advisory-lock file guarding a job key's envelope.
+func (s *Store) lockPath(key string) string {
+	return filepath.Join(s.dir, strings.TrimSuffix(fileName(key), ".json")+".lock")
+}
+
+// LockStats reports cumulative advisory-lock outcomes: locks acquired
+// uncontended, waits on a live peer's lock, and stale locks stolen.
+func (s *Store) LockStats() (acquired, waited, stolen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lockAcquired, s.lockWaited, s.lockStolen
+}
+
+// AcquireLock acquires the advisory single-flight lock for a job key,
+// polling with jittered exponential backoff while a live peer holds it.
+// It returns (nil, nil) — "proceed unlocked" — when the filesystem
+// refuses lock files entirely: the lock is an optimization, and a
+// read-only or misbehaving disk degrades to duplicate computation, not
+// failure. The only error returned is ctx's.
+//
+// After acquiring, callers must re-check Store.Load before computing:
+// the usual reason the lock was held is that a peer was computing this
+// very key, and its released lock means the entry now exists.
+func (s *Store) AcquireLock(ctx context.Context, key string) (*StoreLock, error) {
+	path := s.lockPath(key)
+	pol := backoff.Policy{Base: 10 * time.Millisecond, Max: time.Second}
+	waitCounted := false
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d %s %d\n", os.Getpid(), hostname(), time.Now().UnixNano())
+			f.Close()
+			s.mu.Lock()
+			s.lockAcquired++
+			s.mu.Unlock()
+			lk := &StoreLock{path: path, stop: make(chan struct{}), done: make(chan struct{})}
+			go lk.refresh()
+			return lk, nil
+		}
+		if !os.IsExist(err) {
+			// The directory cannot hold lock files (permissions, quota,
+			// exotic filesystems): single-flight degrades to best effort.
+			return nil, nil
+		}
+		if stale, holder := lockIsStale(path); stale {
+			// The holder died (or stopped refreshing): steal by removing
+			// the file and re-racing the O_EXCL create. A losing thief
+			// simply sees the winner's fresh lock on the next iteration.
+			if rmErr := os.Remove(path); rmErr == nil || os.IsNotExist(rmErr) {
+				s.mu.Lock()
+				s.lockStolen++
+				s.mu.Unlock()
+				_ = holder
+				continue
+			}
+		}
+		if !waitCounted {
+			waitCounted = true
+			s.mu.Lock()
+			s.lockWaited++
+			s.mu.Unlock()
+		}
+		if err := pol.Wait(ctx, attempt, 0); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Release removes the lock file, waking contenders. Safe on a nil
+// receiver (the degraded "proceed unlocked" path) and idempotent.
+func (l *StoreLock) Release() {
+	if l == nil {
+		return
+	}
+	select {
+	case <-l.stop:
+	default:
+		close(l.stop)
+		<-l.done
+		os.Remove(l.path)
+	}
+}
+
+// refresh touches the lock's mtime every LockStaleAge/4 until Release,
+// so a live holder's lock never ages into stealable territory.
+func (l *StoreLock) refresh() {
+	defer close(l.done)
+	t := time.NewTicker(LockStaleAge / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			now := time.Now()
+			os.Chtimes(l.path, now, now)
+		}
+	}
+}
+
+// lockIsStale reports whether the lock at path belongs to a dead
+// holder: a same-host pid that no longer exists, or (the cross-host
+// shared-filesystem case, where pids mean nothing) an mtime older than
+// LockStaleAge. A vanished file reports not-stale — the holder released
+// it; the contender's next create attempt settles ownership.
+func lockIsStale(path string) (stale bool, holder string) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return false, ""
+	}
+	if time.Since(info.ModTime()) > LockStaleAge {
+		return true, "aged-out"
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, ""
+	}
+	var pid int
+	var host string
+	var nanos int64
+	if n, _ := fmt.Sscanf(string(data), "%d %s %d", &pid, &host, &nanos); n < 2 {
+		// Unparseable lock: let it age out rather than guessing.
+		return false, ""
+	}
+	holder = fmt.Sprintf("pid %d on %s", pid, host)
+	if host != hostname() {
+		// A peer host's lock: liveness is unknowable here, so only the
+		// mtime age (checked above) can retire it.
+		return false, holder
+	}
+	// Same host: signal 0 probes existence without delivering anything.
+	// ESRCH means the pid is gone; EPERM means it exists under another
+	// uid — alive either way for our purposes.
+	if err := syscall.Kill(pid, 0); err == syscall.ESRCH {
+		return true, holder
+	}
+	return false, holder
+}
+
+// hostname is cached; the fallback keeps lock contents parseable on
+// hosts where os.Hostname fails.
+var hostname = func() func() string {
+	h, err := os.Hostname()
+	if err != nil || h == "" {
+		h = "unknown-host"
+	}
+	return func() string { return h }
+}()

@@ -1,0 +1,235 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestStoreLockSingleFlight pins the cross-process contract: while one
+// store instance (standing in for one daemon) holds a key's advisory
+// lock, a second instance's AcquireLock waits; after the holder puts the
+// entry and releases, the waiter acquires and its re-check Load hits.
+func TestStoreLockSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "lock-contract|NS"
+
+	lkA, err := a.AcquireLock(context.Background(), key)
+	if err != nil || lkA == nil {
+		t.Fatalf("uncontended acquire = (%v, %v), want lock", lkA, err)
+	}
+
+	acquired := make(chan *StoreLock, 1)
+	go func() {
+		lk, err := b.AcquireLock(context.Background(), key)
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- lk
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("contender acquired a held lock")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	res := &Result{Workload: "lock-contract", System: core.NS, Cycles: 42}
+	if err := a.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	lkA.Release()
+	lkA.Release() // idempotent
+
+	select {
+	case lkB := <-acquired:
+		if lkB == nil {
+			t.Fatal("contender got nil lock after release")
+		}
+		defer lkB.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("contender never acquired after release")
+	}
+	got, ok := b.Load(key)
+	if !ok || got.Cycles != 42 {
+		t.Fatalf("post-acquire Load = (%+v, %v), want the holder's entry", got, ok)
+	}
+	if _, waited, _ := b.LockStats(); waited == 0 {
+		t.Fatal("contender's wait not counted in LockStats")
+	}
+}
+
+// TestStoreLockStealsDeadPid: a lock whose same-host holder pid no
+// longer exists is stolen immediately, not waited out.
+func TestStoreLockStealsDeadPid(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "dead-holder|NS"
+	// Linux pids cap at 2^22; 1<<30 can never be live.
+	deadLock := fmt.Sprintf("%d %s %d\n", 1<<30, hostname(), time.Now().UnixNano())
+	if err := os.WriteFile(s.lockPath(key), []byte(deadLock), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	lk, err := s.AcquireLock(ctx, key)
+	if err != nil || lk == nil {
+		t.Fatalf("AcquireLock over dead holder = (%v, %v), want stolen lock", lk, err)
+	}
+	lk.Release()
+	if _, _, stolen := s.LockStats(); stolen != 1 {
+		t.Fatalf("stolen = %d, want 1", stolen)
+	}
+}
+
+// TestStoreLockStealsAgedOut: a foreign-host lock (pid liveness
+// unknowable) is stolen once its mtime exceeds LockStaleAge.
+func TestStoreLockStealsAgedOut(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "aged-holder|NS"
+	path := s.lockPath(key)
+	foreign := fmt.Sprintf("%d %s %d\n", os.Getpid(), "some-other-host", time.Now().UnixNano())
+	if err := os.WriteFile(path, []byte(foreign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh foreign lock: held, our ctx-bounded attempt must time out.
+	short, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	if lk, err := s.AcquireLock(short, key); err != context.DeadlineExceeded {
+		t.Fatalf("fresh foreign lock acquire = (%v, %v), want deadline exceeded", lk, err)
+	}
+	cancel()
+
+	old := time.Now().Add(-LockStaleAge - time.Minute)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	lk, err := s.AcquireLock(ctx, key)
+	if err != nil || lk == nil {
+		t.Fatalf("AcquireLock over aged lock = (%v, %v), want stolen lock", lk, err)
+	}
+	lk.Release()
+}
+
+// TestStoreLockLiveHolderNotStolen: a fresh lock held by a live
+// same-host pid (ours) is respected until ctx gives up.
+func TestStoreLockLiveHolderNotStolen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "live-holder|NS"
+	lk, err := s.AcquireLock(context.Background(), key)
+	if err != nil || lk == nil {
+		t.Fatal("setup acquire failed")
+	}
+	defer lk.Release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if got, err := s.AcquireLock(ctx, key); err != context.DeadlineExceeded || got != nil {
+		t.Fatalf("contender = (%v, %v), want (nil, deadline exceeded)", got, err)
+	}
+	if _, _, stolen := s.LockStats(); stolen != 0 {
+		t.Fatalf("live lock stolen %d times", stolen)
+	}
+}
+
+// TestStoreLockDegradesUnlocked: when the directory cannot hold lock
+// files at all (here: it vanished), AcquireLock reports "proceed
+// unlocked" instead of failing — the lock is advisory and the store is a
+// cache.
+func TestStoreLockDegradesUnlocked(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := s.AcquireLock(context.Background(), "gone|NS")
+	if err != nil || lk != nil {
+		t.Fatalf("AcquireLock on missing dir = (%v, %v), want (nil, nil)", lk, err)
+	}
+	lk.Release() // nil-safe
+}
+
+// TestPoolSingleFlightAcrossStores is the two-daemon integration: two
+// pools with independent memo maps share one cache directory, both run
+// the same job concurrently, and the advisory lock makes exactly one of
+// them simulate — the other waits on the lock and loads the winner's
+// entry (the store-put oracle: one put fleet-wide).
+func TestPoolSingleFlightAcrossStores(t *testing.T) {
+	dir := t.TempDir()
+	job := Job{Workload: "histogram", System: core.NS}
+	pools := make([]*Pool, 2)
+	for i := range pools {
+		st, err := OpenStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pools[i] = NewPool(2)
+		pools[i].Disk = st
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(pools))
+	results := make([]*Result, len(pools))
+	for i, p := range pools {
+		wg.Add(1)
+		go func(i int, p *Pool) {
+			defer wg.Done()
+			results[i], errs[i] = p.RunOne(job)
+		}(i, p)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("pool %d: %v", i, err)
+		}
+	}
+	if results[0].Cycles == 0 || results[0].Cycles != results[1].Cycles {
+		t.Fatalf("results diverge: %d vs %d cycles", results[0].Cycles, results[1].Cycles)
+	}
+	var executed, puts, diskHits uint64
+	for _, p := range pools {
+		executed += p.Executed()
+		diskHits += p.DiskHits()
+		_, _, pputs, _, _ := p.Disk.Stats()
+		puts += pputs
+	}
+	if executed != 1 {
+		t.Fatalf("fleet-wide executed = %d, want exactly 1", executed)
+	}
+	if puts != 1 {
+		t.Fatalf("fleet-wide store puts = %d, want exactly 1", puts)
+	}
+	if diskHits != 1 {
+		t.Fatalf("fleet-wide disk hits = %d, want 1 (the lock loser)", diskHits)
+	}
+}

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/backoff"
+)
+
+// Client is a retrying HTTP client for the nsd API: the programmatic
+// twin of the curl walkthrough in EXPERIMENTS.md, and the transport the
+// fleet coordinator dispatches through. Transient failures — connection
+// errors, 429 admission backpressure (honoring Retry-After), 5xx — are
+// retried under a backoff.Policy; structural answers (400, 404, 409)
+// surface immediately. Safe for concurrent use.
+type Client struct {
+	// Base is the daemon's root URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client (nil = a 30s-timeout default;
+	// streaming endpoints always use a timeout-free copy).
+	HTTP *http.Client
+	// Retry paces transient-failure retries (zero value = backoff.Default).
+	Retry backoff.Policy
+	// Attempts bounds tries per request (<= 0 means 4).
+	Attempts int
+	// ClientID, when set, is sent as X-Client-ID (per-client admission
+	// accounting on the daemon).
+	ClientID string
+}
+
+// errStatus is a non-2xx answer, carrying the decoded error body.
+type errStatus struct {
+	code int
+	msg  string
+}
+
+func (e *errStatus) Error() string {
+	return fmt.Sprintf("http %d: %s", e.code, e.msg)
+}
+
+// IsNotFound reports whether err is the daemon's 404 (e.g. a task id
+// that died with its daemon).
+func IsNotFound(err error) bool { return StatusCode(err) == http.StatusNotFound }
+
+// StatusCode returns the HTTP status behind a client error, 0 when the
+// error is not an HTTP answer (connection failure, decode error, ctx).
+func StatusCode(err error) int {
+	var es *errStatus
+	if errors.As(err, &es) {
+		return es.code
+	}
+	return 0
+}
+
+func (c *Client) attempts() int {
+	if c.Attempts <= 0 {
+		return 4
+	}
+	return c.Attempts
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// retryable reports whether a status code is worth another attempt, and
+// the server's Retry-After hint if any.
+func retryable(resp *http.Response) (bool, time.Duration) {
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		var after time.Duration
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				after = time.Duration(secs) * time.Second
+			}
+		}
+		return true, after
+	}
+	return resp.StatusCode >= 500, 0
+}
+
+// do runs one JSON request with retries, decoding a 2xx body into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			var after time.Duration
+			if es, ok := lastErr.(*retryErr); ok {
+				after = es.after
+			}
+			if err := c.Retry.Wait(ctx, attempt-1, after); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.ClientID != "" {
+			req.Header.Set("X-Client-ID", c.ClientID)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = &retryErr{err: err}
+			continue
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			defer resp.Body.Close()
+			if out == nil {
+				io.Copy(io.Discard, resp.Body)
+				return nil
+			}
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		resp.Body.Close()
+		if ok, after := retryable(resp); ok {
+			lastErr = &retryErr{err: &errStatus{resp.StatusCode, eb.Error}, after: after}
+			continue
+		}
+		return &errStatus{resp.StatusCode, eb.Error}
+	}
+	if re, ok := lastErr.(*retryErr); ok {
+		return fmt.Errorf("serve: %s %s failed after %d attempts: %w", method, path, c.attempts(), re.err)
+	}
+	return lastErr
+}
+
+// retryErr wraps a transient failure with its Retry-After hint.
+type retryErr struct {
+	err   error
+	after time.Duration
+}
+
+func (r *retryErr) Error() string { return r.err.Error() }
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Readyz probes readiness: nil means the daemon admits work; an
+// errStatus 503 means it is draining.
+func (c *Client) Readyz(ctx context.Context) error {
+	// One attempt, no retries: readiness probes are periodic already.
+	probe := *c
+	probe.Attempts = 1
+	return probe.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// SubmitJob submits one job and returns the accepted task.
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (TaskStatus, error) {
+	var st TaskStatus
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", req, &st)
+	return st, err
+}
+
+// SubmitFigure submits a figure's job set (rawQuery e.g. "quick=1").
+func (c *Client) SubmitFigure(ctx context.Context, fig, rawQuery string) (TaskStatus, error) {
+	path := "/api/v1/figures/" + fig
+	if rawQuery != "" {
+		path += "?" + rawQuery
+	}
+	var st TaskStatus
+	err := c.do(ctx, http.MethodPost, path, struct{}{}, &st)
+	return st, err
+}
+
+// Status polls one task.
+func (c *Client) Status(ctx context.Context, id string) (TaskStatus, error) {
+	var st TaskStatus
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// JobResult fetches a done job task's measurement.
+func (c *Client) JobResult(ctx context.Context, id string) (JobResult, error) {
+	var res JobResult
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/result", nil, &res)
+	return res, err
+}
+
+// FigureResult fetches a done figure task's rendered table.
+func (c *Client) FigureResult(ctx context.Context, id string) (FigureResult, error) {
+	var res FigureResult
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/result", nil, &res)
+	return res, err
+}
+
+// Cancel requests task cancellation.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+id, nil, nil)
+}
+
+// FollowEvents streams a task's SSE feed, invoking fn (may be nil) per
+// event — the replayed log first, live events after — until the
+// terminal state event arrives, which it returns. A stream cut mid-task
+// returns an error; callers fall back to Status polling (the feed is
+// replay-then-tail, so a reconnect loses nothing).
+func (c *Client) FollowEvents(ctx context.Context, id string, fn func(Event)) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return "", err
+	}
+	if c.ClientID != "" {
+		req.Header.Set("X-Client-ID", c.ClientID)
+	}
+	// SSE outlives any sane request timeout: strip it for this call.
+	hc := *c.http()
+	hc.Timeout = 0
+	resp, err := hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return "", &errStatus{resp.StatusCode, eb.Error}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue // event:/comment/blank framing lines
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return "", fmt.Errorf("serve: bad SSE payload %q: %w", data, err)
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.Type == "state" && TerminalState(ev.State) {
+			return ev.State, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("serve: event stream for %s ended without a terminal state", id)
+}

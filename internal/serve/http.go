@@ -19,20 +19,20 @@ import (
 	"repro/internal/workloads"
 )
 
-// jobRequest is the POST /api/v1/jobs body. Unset fields inherit the
+// JobRequest is the POST /api/v1/jobs body. Unset fields inherit the
 // daemon's base harness configuration.
-type jobRequest struct {
-	Workload  string         `json:"workload"`
-	System    string         `json:"system"`
-	Scale     string         `json:"scale,omitempty"` // "ci" or "paper"
-	Core      string         `json:"core,omitempty"`  // "IO4", "OOO4", "OOO8"
-	Seed      *uint64        `json:"seed,omitempty"`
-	Overrides *overridesJSON `json:"overrides,omitempty"`
+type JobRequest struct {
+	Workload  string        `json:"workload"`
+	System    string        `json:"system"`
+	Scale     string        `json:"scale,omitempty"` // "ci" or "paper"
+	Core      string        `json:"core,omitempty"`  // "IO4", "OOO4", "OOO8"
+	Seed      *uint64       `json:"seed,omitempty"`
+	Overrides *JobOverrides `json:"overrides,omitempty"`
 }
 
-// overridesJSON mirrors runner.Overrides with pointer optionality, so a
+// JobOverrides mirrors runner.Overrides with pointer optionality, so a
 // request only names the parameters it sweeps.
-type overridesJSON struct {
+type JobOverrides struct {
 	RangeWindow          *int    `json:"range_window,omitempty"`
 	CreditWindows        *int    `json:"credit_windows,omitempty"`
 	SCCROB               *int    `json:"scc_rob,omitempty"`
@@ -48,7 +48,7 @@ type overridesJSON struct {
 }
 
 // apply folds the set fields into o.
-func (j *overridesJSON) apply(o *runner.Overrides) {
+func (j *JobOverrides) apply(o *runner.Overrides) {
 	if j.RangeWindow != nil {
 		o.RangeWindow = runner.Int(*j.RangeWindow)
 	}
@@ -87,8 +87,75 @@ func (j *overridesJSON) apply(o *runner.Overrides) {
 	}
 }
 
-// taskStatus is the status JSON for both task kinds.
-type taskStatus struct {
+// JobRequestFor renders a runner.Job as the wire request that rebuilds
+// it exactly on another daemon: buildJob on the receiving side yields a
+// Job with the identical Key() digest (override canonicalization makes
+// explicitly-set defaults and unset fields digest the same). This is
+// what lets the fleet coordinator dispatch over the existing public API
+// instead of a private RPC.
+func JobRequestFor(j runner.Job) JobRequest {
+	req := JobRequest{
+		Workload: j.Workload,
+		System:   j.System.String(),
+		Core:     j.CoreType,
+		Seed:     new(uint64),
+	}
+	if req.Core != "IO4" && req.Core != "OOO4" {
+		// Canonicalize "" (and anything else Job.Key treats as the
+		// default) so the receiving daemon's own -core default never
+		// leaks into a dispatched job.
+		req.Core = "OOO8"
+	}
+	*req.Seed = j.Seed
+	if j.Scale == workloads.ScalePaper {
+		req.Scale = "paper"
+	} else {
+		req.Scale = "ci"
+	}
+	o := j.Overrides
+	var jo JobOverrides
+	set := false
+	setI := func(dst **int, f runner.OptInt) {
+		if f.Set {
+			v := f.V
+			*dst = &v
+			set = true
+		}
+	}
+	setU := func(dst **uint64, f runner.OptU64) {
+		if f.Set {
+			v := f.V
+			*dst = &v
+			set = true
+		}
+	}
+	setB := func(dst **bool, f runner.OptBool) {
+		if f.Set {
+			v := f.V
+			*dst = &v
+			set = true
+		}
+	}
+	setI(&jo.RangeWindow, o.RangeWindow)
+	setI(&jo.CreditWindows, o.CreditWindows)
+	setI(&jo.SCCROB, o.SCCROB)
+	setI(&jo.SCCCount, o.SCCCount)
+	setI(&jo.FIFODepth, o.FIFODepth)
+	setU(&jo.SCMIssueLatency, o.SCMIssueLatency)
+	setU(&jo.IndirectReduceMinLen, o.IndirectReduceMinLen)
+	setU(&jo.ContextSwitchAt, o.ContextSwitchAt)
+	setU(&jo.ContextSwitchGap, o.ContextSwitchGap)
+	setB(&jo.ScalarPE, o.ScalarPE)
+	setB(&jo.MRSWLock, o.MRSWLock)
+	setB(&jo.AffineRangesAtCore, o.AffineRangesAtCore)
+	if set {
+		req.Overrides = &jo
+	}
+	return req
+}
+
+// TaskStatus is the status JSON for both task kinds.
+type TaskStatus struct {
 	ID       string `json:"id"`
 	Kind     string `json:"kind"`
 	State    string `json:"state"`
@@ -103,15 +170,15 @@ type taskStatus struct {
 	Finished string `json:"finished,omitempty"`
 }
 
-// jobResult is the result JSON of a job task.
-type jobResult struct {
+// JobResult is the result JSON of a job task.
+type JobResult struct {
 	Key    string         `json:"key"`
 	Source string         `json:"source"` // "sim", "memo" or "disk"
 	Result *runner.Result `json:"result"`
 }
 
-// figureResult is the result JSON of a figure task.
-type figureResult struct {
+// FigureResult is the result JSON of a figure task.
+type FigureResult struct {
 	Figure string `json:"figure"`
 	SHA256 string `json:"sha256"` // digest of Text, byte-identical to nsexp output
 	Text   string `json:"text"`
@@ -126,6 +193,7 @@ type errorBody struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("POST /api/v1/figures/{fig}", s.handleSubmitFigure)
@@ -188,12 +256,23 @@ func rejection(w http.ResponseWriter, retryAfter int, err error) {
 	writeError(w, http.StatusTooManyRequests, "%v", err)
 }
 
+// handleHealthz is liveness: the process is up and serving. It stays OK
+// through a drain — a draining daemon is alive, just not accepting work —
+// so an orchestrator doesn't kill a daemon mid-drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: whether submissions are being admitted.
+// SIGTERM (Shutdown) flips it to 503 immediately, so the fleet
+// coordinator's heartbeat and any external load balancer stop routing
+// new work to a draining daemon while its in-flight tasks finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // promMetric renders one hand-maintained metric with its # HELP and
@@ -237,11 +316,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		promMetric(w, "nsd_store_puts_total", "counter", "Results written to the store.", puts)
 		promMetric(w, "nsd_store_evictions_total", "counter", "Store entries evicted by the size cap.", evictions)
 		promMetric(w, "nsd_store_corrupt_total", "counter", "Store entries discarded as corrupt.", corrupt)
+		la, lw, ls := s.store.LockStats()
+		promMetric(w, "nsd_store_lock_acquired_total", "counter", "Advisory envelope locks acquired for simulation.", la)
+		promMetric(w, "nsd_store_lock_waits_total", "counter", "Simulations that waited on a peer daemon's envelope lock.", lw)
+		promMetric(w, "nsd_store_lock_stolen_total", "counter", "Stale envelope locks (dead or aged-out holder) stolen.", ls)
+	}
+	for _, fn := range s.extraMetrics {
+		fn(w)
 	}
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	var req jobRequest
+	var req JobRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
 		return
@@ -298,7 +384,7 @@ func (s *Server) handleSubmitFigure(w http.ResponseWriter, r *http.Request) {
 }
 
 // buildJob validates a request against the daemon's base configuration.
-func (s *Server) buildJob(req jobRequest) (runner.Job, error) {
+func (s *Server) buildJob(req JobRequest) (runner.Job, error) {
 	cfg := s.cfg.Harness
 	if !knownWorkload(req.Workload) {
 		return runner.Job{}, fmt.Errorf("unknown workload %q (know %s)",
@@ -352,7 +438,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	ids := append([]string(nil), s.order...)
 	s.mu.Unlock()
-	out := make([]taskStatus, 0, len(ids))
+	out := make([]TaskStatus, 0, len(ids))
 	for _, id := range ids {
 		if t := s.lookup(id); t != nil {
 			out = append(out, t.snapshot())
@@ -378,8 +464,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	st := t.snapshot()
 	switch st.State {
-	case stateDone:
-	case stateFailed, stateCanceled:
+	case StateDone:
+	case StateFailed, StateCanceled:
 		writeError(w, http.StatusConflict, "task %s is %s: %s", t.id, st.State, st.Error)
 		return
 	default:
@@ -391,14 +477,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	t.mu.Unlock()
 	switch t.kind {
 	case taskJob:
-		writeJSON(w, http.StatusOK, jobResult{Key: t.key, Source: st.Source, Result: result})
+		writeJSON(w, http.StatusOK, JobResult{Key: t.key, Source: st.Source, Result: result})
 	case taskFigure:
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprint(w, text)
 			return
 		}
-		writeJSON(w, http.StatusOK, figureResult{Figure: t.figure, SHA256: digest, Text: text})
+		writeJSON(w, http.StatusOK, FigureResult{Figure: t.figure, SHA256: digest, Text: text})
 	}
 }
 
@@ -476,6 +562,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		GoVersion: runtime.Version(),
 		Workers:   pool.Workers(),
 		Shards:    pool.Shards(),
+	}
+	if s.fleetEnv != nil {
+		rep.Env.Fleet = s.fleetEnv()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	rep.WriteJSON(w)

@@ -25,6 +25,7 @@ type metrics struct {
 	jobsSim        obs.Counter
 	jobsMemo       obs.Counter
 	jobsDisk       obs.Counter
+	jobsFleet      obs.Counter
 	sseClients     obs.Counter
 	taskWall       obs.Histogram
 }
@@ -42,6 +43,7 @@ var counterHelp = map[string]string{
 	"nsd.jobs.simulated":              "Jobs that actually simulated (not memo or disk hits).",
 	"nsd.jobs.memo_hits":              "Jobs served from the in-process memo cache.",
 	"nsd.jobs.disk_hits":              "Jobs served from the persistent result store.",
+	"nsd.jobs.fleet_dispatched":       "Jobs delegated to fleet workers (coordinator mode).",
 	"nsd.sse.streams":                 "Server-sent-event streams opened (/events and /live).",
 	"nsd.task.wall_ms":                "Task wall time from admission to terminal state, in milliseconds.",
 }
@@ -63,6 +65,7 @@ func newMetrics() *metrics {
 		jobsSim:        reg.Counter("nsd.jobs.simulated"),
 		jobsMemo:       reg.Counter("nsd.jobs.memo_hits"),
 		jobsDisk:       reg.Counter("nsd.jobs.disk_hits"),
+		jobsFleet:      reg.Counter("nsd.jobs.fleet_dispatched"),
 		sseClients:     reg.Counter("nsd.sse.streams"),
 		taskWall:       reg.Histogram("nsd.task.wall_ms"),
 	}

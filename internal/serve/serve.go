@@ -25,6 +25,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -83,6 +84,12 @@ type Server struct {
 	// callback; the default goes through the pool. Tests stub it to make
 	// admission, cancellation and drain timing deterministic.
 	runJobs func(ctx context.Context, jobs []runner.Job, fn func(runner.Progress)) ([]*runner.Result, error)
+
+	// extraMetrics are appended to /metrics output (the fleet coordinator
+	// adds its nsd_fleet_* families here); fleetEnv, when set, is folded
+	// into /api/v1/report's Env as the fleet topology.
+	extraMetrics []func(io.Writer)
+	fleetEnv     func() any
 }
 
 // New builds a daemon. The persistent store is opened (and created) under
@@ -123,6 +130,32 @@ func New(cfg Config) (*Server, error) {
 
 // Exp exposes the shared experiment (pool stats, configuration).
 func (s *Server) Exp() *harness.Exp { return s.exp }
+
+// SetRemote installs a remote executor on the daemon's pool: fresh jobs
+// that miss the memo and the store are delegated to fn instead of
+// simulating locally. This is how coordinator mode turns the daemon
+// into a fleet front end — the figure harness, memoization, SSE
+// progress and admission control are unchanged; only the innermost
+// "simulate" step is replaced by a dispatch. Set before serving.
+func (s *Server) SetRemote(fn func(ctx context.Context, j runner.Job) (*runner.Result, error)) {
+	s.exp.Pool().Remote = fn
+}
+
+// AddMetrics appends a producer of extra Prometheus text families to
+// /metrics (used by the fleet coordinator for nsd_fleet_*). Call before
+// serving.
+func (s *Server) AddMetrics(fn func(io.Writer)) {
+	s.extraMetrics = append(s.extraMetrics, fn)
+}
+
+// SetFleetEnv installs a fleet-topology snapshot producer folded into
+// /api/v1/report's Env section (execution environment, outside the
+// canonical report). Call before serving.
+func (s *Server) SetFleetEnv(fn func() any) { s.fleetEnv = fn }
+
+// Draining reports whether shutdown has begun (readiness, for external
+// probes; /readyz is the HTTP surface of the same signal).
+func (s *Server) Draining() bool { return s.draining() }
 
 // Store exposes the persistent store (nil when CacheDir is unset).
 func (s *Server) Store() *runner.Store { return s.store }
@@ -219,6 +252,9 @@ func (s *Server) runTask(ctx context.Context, t *task) {
 		case ev.Cached:
 			source = "memo"
 			s.met.inc(s.met.jobsMemo)
+		case ev.Remote:
+			source = "fleet"
+			s.met.inc(s.met.jobsFleet)
 		case ev.Err == nil:
 			s.met.inc(s.met.jobsSim)
 		}
@@ -249,13 +285,13 @@ func (s *Server) runTask(ctx context.Context, t *task) {
 	switch {
 	case err == nil:
 		s.met.inc(s.met.completed)
-		t.finish(stateDone, "")
+		t.finish(StateDone, "")
 	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
 		s.met.inc(s.met.canceled)
-		t.finish(stateCanceled, err.Error())
+		t.finish(StateCanceled, err.Error())
 	default:
 		s.met.inc(s.met.failed)
-		t.finish(stateFailed, err.Error())
+		t.finish(StateFailed, err.Error())
 	}
 }
 

@@ -79,20 +79,20 @@ func getJSON(t *testing.T, url string, out any) *http.Response {
 }
 
 // waitState polls a task's status until it reaches a terminal state.
-func waitState(t *testing.T, base, id string) taskStatus {
+func waitState(t *testing.T, base, id string) TaskStatus {
 	t.Helper()
 	deadline := time.Now().Add(180 * time.Second)
 	for time.Now().Before(deadline) {
-		var st taskStatus
+		var st TaskStatus
 		getJSON(t, base+"/api/v1/jobs/"+id, &st)
 		switch st.State {
-		case stateDone, stateFailed, stateCanceled:
+		case StateDone, StateFailed, StateCanceled:
 			return st
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("task %s did not finish", id)
-	return taskStatus{}
+	return TaskStatus{}
 }
 
 // TestServeJobDiskHitAcrossDaemons is the cross-process contract: the same
@@ -101,26 +101,26 @@ func waitState(t *testing.T, base, id string) taskStatus {
 // serves it from disk.
 func TestServeJobDiskHitAcrossDaemons(t *testing.T) {
 	dir := t.TempDir()
-	req := jobRequest{Workload: "histogram", System: "NS"}
+	req := JobRequest{Workload: "histogram", System: "NS"}
 
 	run := func(wantSource string, wantExecuted, wantDisk uint64) {
 		s := newTestServer(t, func(c *Config) { c.CacheDir = dir })
 		ts := httptest.NewServer(s.Handler())
 		defer ts.Close()
 
-		var st taskStatus
+		var st TaskStatus
 		resp := postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c1", req, &st)
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("submit status = %d, want 202", resp.StatusCode)
 		}
 		fin := waitState(t, ts.URL, st.ID)
-		if fin.State != stateDone {
+		if fin.State != StateDone {
 			t.Fatalf("task state = %s (%s), want done", fin.State, fin.Error)
 		}
 		if fin.Source != wantSource {
 			t.Fatalf("task source = %q, want %q", fin.Source, wantSource)
 		}
-		var res jobResult
+		var res JobResult
 		getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID+"/result", &res)
 		if res.Result == nil || res.Result.Cycles == 0 {
 			t.Fatalf("result missing: %+v", res)
@@ -163,15 +163,15 @@ func TestServeFigureDigestMatchesCLI(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	var st taskStatus
+	var st TaskStatus
 	resp := postJSON(t, ts.Client(), ts.URL+"/api/v1/figures/12?"+query, "c1", struct{}{}, &st)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
 	}
-	if fin := waitState(t, ts.URL, st.ID); fin.State != stateDone {
+	if fin := waitState(t, ts.URL, st.ID); fin.State != StateDone {
 		t.Fatalf("figure task state = %s (%s)", fin.State, fin.Error)
 	}
-	var res figureResult
+	var res FigureResult
 	getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID+"/result", &res)
 
 	if s.Exp().Pool().Executed() != 0 {
@@ -246,19 +246,19 @@ func TestServeQueueBackpressure(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	req := jobRequest{Workload: "histogram", System: "NS"}
-	var first, second taskStatus
+	req := JobRequest{Workload: "histogram", System: "NS"}
+	var first, second TaskStatus
 	if resp := postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c1", req, &first); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("first submit = %d", resp.StatusCode)
 	}
-	req2 := jobRequest{Workload: "pathfinder", System: "NS"}
+	req2 := JobRequest{Workload: "pathfinder", System: "NS"}
 	if resp := postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c2", req2, &second); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("second submit = %d", resp.StatusCode)
 	}
 
 	var rejected errorBody
 	resp := postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c3",
-		jobRequest{Workload: "pr_pull", System: "NS"}, &rejected)
+		JobRequest{Workload: "pr_pull", System: "NS"}, &rejected)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-depth submit = %d, want 429", resp.StatusCode)
 	}
@@ -269,9 +269,9 @@ func TestServeQueueBackpressure(t *testing.T) {
 	close(gate) // drain the queue; slots free up and admission resumes
 	waitState(t, ts.URL, first.ID)
 	waitState(t, ts.URL, second.ID)
-	var third taskStatus
+	var third TaskStatus
 	if resp := postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c3",
-		jobRequest{Workload: "pr_pull", System: "NS"}, &third); resp.StatusCode != http.StatusAccepted {
+		JobRequest{Workload: "pr_pull", System: "NS"}, &third); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("post-drain submit = %d, want 202", resp.StatusCode)
 	}
 	waitState(t, ts.URL, third.ID)
@@ -286,15 +286,15 @@ func TestServePerClientLimit(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	req := jobRequest{Workload: "histogram", System: "NS"}
-	var first taskStatus
+	req := JobRequest{Workload: "histogram", System: "NS"}
+	var first TaskStatus
 	if resp := postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "greedy", req, &first); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("first submit = %d", resp.StatusCode)
 	}
 	if resp := postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "greedy", req, &errorBody{}); resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("same-client second submit = %d, want 429", resp.StatusCode)
 	}
-	var other taskStatus
+	var other TaskStatus
 	if resp := postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "polite", req, &other); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("other-client submit = %d, want 202", resp.StatusCode)
 	}
@@ -312,9 +312,9 @@ func TestServeCancelStopsTask(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	var st taskStatus
+	var st TaskStatus
 	postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c1",
-		jobRequest{Workload: "histogram", System: "NS"}, &st)
+		JobRequest{Workload: "histogram", System: "NS"}, &st)
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+st.ID, nil)
 	resp, err := ts.Client().Do(req)
 	if err != nil {
@@ -324,7 +324,7 @@ func TestServeCancelStopsTask(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("cancel status = %d, want 202", resp.StatusCode)
 	}
-	if fin := waitState(t, ts.URL, st.ID); fin.State != stateCanceled {
+	if fin := waitState(t, ts.URL, st.ID); fin.State != StateCanceled {
 		t.Fatalf("canceled task state = %s", fin.State)
 	}
 	if r := getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID+"/result", &errorBody{}); r.StatusCode != http.StatusConflict {
@@ -342,9 +342,9 @@ func TestServeDrainRejectsAndCancels(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	var st taskStatus
+	var st TaskStatus
 	postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c1",
-		jobRequest{Workload: "histogram", System: "NS"}, &st)
+		JobRequest{Workload: "histogram", System: "NS"}, &st)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
@@ -357,11 +357,16 @@ func TestServeDrainRejectsAndCancels(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	if resp := postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c2",
-		jobRequest{Workload: "pathfinder", System: "NS"}, &errorBody{}); resp.StatusCode != http.StatusServiceUnavailable {
+		JobRequest{Workload: "pathfinder", System: "NS"}, &errorBody{}); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
 	}
-	if resp := getJSON(t, ts.URL+"/healthz", &errorBody{}); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	// Liveness stays OK through a drain (the process is up); readiness
+	// flips to 503 so the fleet heartbeat and any LB stop routing here.
+	if resp := getJSON(t, ts.URL+"/healthz", &struct{}{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/readyz", &errorBody{}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
 	}
 
 	select {
@@ -372,7 +377,7 @@ func TestServeDrainRejectsAndCancels(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("Shutdown did not drain after its deadline expired")
 	}
-	if fin := waitState(t, ts.URL, st.ID); fin.State != stateCanceled {
+	if fin := waitState(t, ts.URL, st.ID); fin.State != StateCanceled {
 		t.Fatalf("in-flight task after forced drain = %s, want canceled", fin.State)
 	}
 }
@@ -385,9 +390,9 @@ func TestServeSSEStreamsProgress(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	var st taskStatus
+	var st TaskStatus
 	postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c1",
-		jobRequest{Workload: "histogram", System: "NS"}, &st)
+		JobRequest{Workload: "histogram", System: "NS"}, &st)
 
 	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/events")
 	if err != nil {
@@ -424,7 +429,7 @@ func TestServeSSEStreamsProgress(t *testing.T) {
 			t.Fatalf("event %d has seq %d; replay must be gapless", i, ev.Seq)
 		}
 	}
-	if first := events[0]; first.Type != "state" || first.State != stateRunning {
+	if first := events[0]; first.Type != "state" || first.State != StateRunning {
 		t.Fatalf("first event = %+v, want state running", first)
 	}
 	sawProgress := false
@@ -436,8 +441,128 @@ func TestServeSSEStreamsProgress(t *testing.T) {
 	if !sawProgress {
 		t.Fatalf("no 1/1 progress event in %+v", events)
 	}
-	if last := events[len(events)-1]; last.Type != "state" || last.State != stateDone {
+	if last := events[len(events)-1]; last.Type != "state" || last.State != StateDone {
 		t.Fatalf("last event = %+v, want state done", last)
+	}
+}
+
+// TestServeSSEReconnectMidStream pins replay-then-tail under client
+// disconnect: a subscriber that drops mid-task and reconnects sees the
+// complete, gapless event log — everything it already read replays,
+// followed by the events it missed while away, through the terminal
+// state. This is what makes the fleet coordinator's per-worker SSE
+// following loss-free across connection churn.
+func TestServeSSEReconnectMidStream(t *testing.T) {
+	s := newTestServer(t, nil)
+	step := make(chan struct{}) // one send = permission to emit one progress event
+	const totalSteps = 3
+	s.runJobs = func(ctx context.Context, jobs []runner.Job, fn func(runner.Progress)) ([]*runner.Result, error) {
+		for i := 0; i < totalSteps; i++ {
+			select {
+			case <-step:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if fn != nil {
+				fn(runner.Progress{Job: jobs[0], Key: jobs[0].Key(), Done: i + 1, Total: totalSteps})
+			}
+		}
+		return []*runner.Result{{Workload: jobs[0].Workload, System: jobs[0].System, Cycles: 1}}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var st TaskStatus
+	postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c1",
+		JobRequest{Workload: "histogram", System: "NS"}, &st)
+
+	// First subscriber: read until the first progress event lands, then
+	// hang up mid-stream.
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	step <- struct{}{} // release progress 1/3
+	var before []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		before = append(before, ev)
+		if ev.Type == "progress" {
+			break
+		}
+	}
+	resp.Body.Close() // disconnect with the task still running
+	if len(before) < 2 {
+		t.Fatalf("pre-disconnect stream delivered %d events, want state+progress: %+v", len(before), before)
+	}
+
+	// The task progresses while no subscriber is attached.
+	step <- struct{}{} // 2/3
+	step <- struct{}{} // 3/3
+	if fin := waitState(t, ts.URL, st.ID); fin.State != StateDone {
+		t.Fatalf("task state = %s (%s), want done", fin.State, fin.Error)
+	}
+
+	// Reconnect: the full log replays from seq 0 — nothing the first
+	// connection consumed is gone, nothing emitted while away is missed.
+	resp2, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var after []Event
+	sc = bufio.NewScanner(resp2.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		after = append(after, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// running + 3 progress + done, gapless from seq 0.
+	if want := 2 + totalSteps; len(after) != want {
+		t.Fatalf("reconnect replayed %d events, want %d: %+v", len(after), want, after)
+	}
+	for i, ev := range after {
+		if ev.Seq != i {
+			t.Fatalf("reconnect event %d has seq %d; replay must be gapless", i, ev.Seq)
+		}
+	}
+	for i, ev := range before {
+		if after[i] != ev {
+			t.Fatalf("replayed event %d = %+v differs from first connection's %+v", i, after[i], ev)
+		}
+	}
+	progressDone := 0
+	for _, ev := range after {
+		if ev.Type == "progress" {
+			progressDone++
+			if ev.Done != progressDone || ev.Total != totalSteps {
+				t.Fatalf("progress event out of order: %+v", ev)
+			}
+		}
+	}
+	if progressDone != totalSteps {
+		t.Fatalf("replay carries %d progress events, want %d", progressDone, totalSteps)
+	}
+	if last := after[len(after)-1]; last.Type != "state" || last.State != StateDone {
+		t.Fatalf("reconnect last event = %+v, want state done", last)
 	}
 }
 
@@ -448,9 +573,9 @@ func TestServeMetricsAndReport(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	var st taskStatus
+	var st TaskStatus
 	postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c1",
-		jobRequest{Workload: "histogram", System: "NS"}, &st)
+		JobRequest{Workload: "histogram", System: "NS"}, &st)
 	waitState(t, ts.URL, st.ID)
 
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -495,9 +620,9 @@ func TestServeIntrospectionSurfaces(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	var st taskStatus
+	var st TaskStatus
 	postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", "c1",
-		jobRequest{Workload: "histogram", System: "NS"}, &st)
+		JobRequest{Workload: "histogram", System: "NS"}, &st)
 	waitState(t, ts.URL, st.ID)
 
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -590,9 +715,9 @@ func TestServeValidation(t *testing.T) {
 		body         any
 		want         int
 	}{
-		{http.MethodPost, "/api/v1/jobs", jobRequest{Workload: "nope", System: "NS"}, http.StatusBadRequest},
-		{http.MethodPost, "/api/v1/jobs", jobRequest{Workload: "histogram", System: "nope"}, http.StatusBadRequest},
-		{http.MethodPost, "/api/v1/jobs", jobRequest{Workload: "histogram", System: "NS", Scale: "huge"}, http.StatusBadRequest},
+		{http.MethodPost, "/api/v1/jobs", JobRequest{Workload: "nope", System: "NS"}, http.StatusBadRequest},
+		{http.MethodPost, "/api/v1/jobs", JobRequest{Workload: "histogram", System: "nope"}, http.StatusBadRequest},
+		{http.MethodPost, "/api/v1/jobs", JobRequest{Workload: "histogram", System: "NS", Scale: "huge"}, http.StatusBadRequest},
 		{http.MethodPost, "/api/v1/figures/99", struct{}{}, http.StatusBadRequest},
 		{http.MethodGet, "/api/v1/jobs/t999999", nil, http.StatusNotFound},
 		{http.MethodGet, "/api/v1/jobs/t999999/result", nil, http.StatusNotFound},
@@ -650,9 +775,9 @@ func TestServeOverlappingTraffic(t *testing.T) {
 			defer wg.Done()
 			client := fmt.Sprintf("client-%d", g)
 			for i := 0; i < 6; i++ {
-				var st taskStatus
+				var st TaskStatus
 				resp := postJSON(t, ts.Client(), ts.URL+"/api/v1/jobs", client,
-					jobRequest{Workload: "histogram", System: "NS"}, &st)
+					JobRequest{Workload: "histogram", System: "NS"}, &st)
 				switch resp.StatusCode {
 				case http.StatusAccepted:
 				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
@@ -666,7 +791,7 @@ func TestServeOverlappingTraffic(t *testing.T) {
 				mu.Unlock()
 				switch i % 3 {
 				case 0: // poll status
-					getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID, &taskStatus{})
+					getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID, &TaskStatus{})
 				case 1: // cancel (racing completion — either terminal state is fine)
 					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+st.ID, nil)
 					if resp, err := ts.Client().Do(req); err == nil {
@@ -697,7 +822,7 @@ func TestServeOverlappingTraffic(t *testing.T) {
 		}
 		st := tk.snapshot()
 		switch st.State {
-		case stateDone, stateCanceled, stateFailed:
+		case StateDone, StateCanceled, StateFailed:
 		default:
 			t.Fatalf("task %s left in state %s after drain", id, st.State)
 		}

@@ -8,14 +8,20 @@ import (
 	"repro/internal/runner"
 )
 
-// task states.
+// Task states, as reported in TaskStatus.State and SSE state events.
+// Done, failed and canceled are terminal.
 const (
-	stateQueued   = "queued"
-	stateRunning  = "running"
-	stateDone     = "done"
-	stateFailed   = "failed"
-	stateCanceled = "canceled"
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
 )
+
+// TerminalState reports whether a task state string is terminal.
+func TerminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
 
 // task kinds.
 const (
@@ -80,7 +86,7 @@ func newTask(kind, client string) *task {
 	return &task{
 		kind:    kind,
 		client:  client,
-		state:   stateQueued,
+		state:   StateQueued,
 		created: now(),
 		notify:  make(chan struct{}),
 	}
@@ -98,9 +104,9 @@ func (t *task) publishLocked(ev Event) {
 func (t *task) setRunning() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.state = stateRunning
+	t.state = StateRunning
 	t.started = now()
-	t.publishLocked(Event{Type: "state", State: stateRunning})
+	t.publishLocked(Event{Type: "state", State: StateRunning})
 }
 
 // progress records one finished job of the task's batch.
@@ -154,10 +160,10 @@ func (t *task) eventsSince(i int) (evs []Event, notify <-chan struct{}, closed b
 }
 
 // snapshot returns the task's externally visible status.
-func (t *task) snapshot() taskStatus {
+func (t *task) snapshot() TaskStatus {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	st := taskStatus{
+	st := TaskStatus{
 		ID:     t.id,
 		Kind:   t.kind,
 		State:  t.state,
